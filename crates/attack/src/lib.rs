@@ -1,0 +1,45 @@
+//! # srs-attack
+//!
+//! Attack models against row-swap Row Hammer defenses, reproducing the
+//! security analyses of the Scale-SRS paper:
+//!
+//! * [`juggernaut`] — the analytical model of the **Juggernaut** attack
+//!   (Equations 1-10), which breaks Randomized Row-Swap in hours by
+//!   harvesting the latent activations of its unswap-swap operations, and
+//!   its application to Secure Row-Swap (Figures 6, 7 and 10);
+//! * [`montecarlo`] — the event-driven Monte-Carlo validation of the
+//!   analytical model (the experimental points of Figure 6);
+//! * [`birthday`] — the untargeted random-row attack RRS was originally
+//!   analyzed with (Figure 1a);
+//! * [`outlier`] — the outlier-appearance model that justifies Scale-SRS's
+//!   swap rate of 3 (Figure 13);
+//! * [`multibank`] — the multiple-bank attack variant (Section III-C).
+//!
+//! ## Example
+//!
+//! ```
+//! use srs_attack::juggernaut;
+//!
+//! let rrs_days = juggernaut::time_to_break_rrs_days(4800, 6);
+//! let srs_days = juggernaut::time_to_break_srs_days(4800, 6);
+//! assert!(rrs_days < 1.0, "Juggernaut breaks RRS in under a day");
+//! assert!(srs_days > 365.0, "SRS resists for years");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod birthday;
+pub mod juggernaut;
+pub mod montecarlo;
+pub mod multibank;
+pub mod outlier;
+pub mod params;
+pub mod prob;
+
+pub use birthday::BirthdayOutcome;
+pub use juggernaut::JuggernautOutcome;
+pub use montecarlo::MonteCarloResult;
+pub use multibank::MultiBankOutcome;
+pub use outlier::OutlierOutcome;
+pub use params::{AttackPagePolicy, AttackParams};

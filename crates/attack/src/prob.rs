@@ -1,0 +1,150 @@
+//! Small probability helpers used by the attack models.
+//!
+//! The binomial probabilities of Equation 8 involve `G` in the tens of
+//! thousands and `k` up to the swap rate, so everything is computed in
+//! log-space to stay inside `f64` range.
+
+/// Natural log of `n!` via the log-gamma function (Stirling/Lanczos-free
+/// implementation that is exact for small `n` and accurate to ~1e-10 above).
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let x = n as f64;
+        // Stirling series with the first two correction terms.
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability mass `P[X = k]` of a Binomial(n, p).
+#[must_use]
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    if k > n {
+        return 0.0;
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Upper tail `P[X >= k]` of a Binomial(n, p), summed directly (the tail is
+/// short for the parameters used here).
+#[must_use]
+pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    // Terms decay geometrically once k > n*p, so a few hundred terms suffice;
+    // cap the summation to keep the cost bounded.
+    let upper = n.min(k + 512);
+    for i in k..=upper {
+        total += binomial_pmf(n, i, p);
+    }
+    total.min(1.0)
+}
+
+/// Probability mass `P[X = k]` of a Poisson(lambda).
+#[must_use]
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    (k as f64 * lambda.ln() - lambda - ln_factorial(k)).exp()
+}
+
+/// Draw a Poisson(lambda) sample using inversion by sequential search —
+/// adequate for the small lambdas (< 1) used by the Monte-Carlo model.
+pub fn poisson_sample<R: rand::RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let limit = (-lambda).exp();
+    let mut product: f64 = 1.0;
+    let mut count = 0u64;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+        if count > 10_000 {
+            return count; // pathological lambda; avoid an unbounded loop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn factorial_matches_exact_values() {
+        assert!((ln_factorial(0) - 0.0).abs() < 1e-12);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        // 50! via Stirling vs the exact ln value.
+        let exact: f64 = (2..=50u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(50) - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn choose_small_cases() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 0).exp() - 1.0).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one_for_small_n() {
+        let total: f64 = (0..=20).map(|k| binomial_pmf(20, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_sf_is_monotone_in_k() {
+        let n = 50_000;
+        let p = 1.0 / 131_072.0;
+        let mut last = 1.0;
+        for k in 0..6 {
+            let sf = binomial_sf(n, k, p);
+            assert!(sf <= last + 1e-15, "sf must not increase with k");
+            last = sf;
+        }
+    }
+
+    #[test]
+    fn poisson_matches_binomial_for_rare_events() {
+        let n = 100_000u64;
+        let p = 2e-5;
+        let lambda = n as f64 * p;
+        for k in 0..5u64 {
+            let b = binomial_pmf(n, k, p);
+            let q = poisson_pmf(lambda, k);
+            assert!((b - q).abs() / q.max(1e-300) < 0.01, "k={k}: {b} vs {q}");
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_has_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 0.5;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| poisson_sample(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.02, "mean = {mean}");
+    }
+}

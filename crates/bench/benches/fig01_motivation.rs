@@ -1,0 +1,36 @@
+//! Figure 1 — motivation: (a) time-to-break RRS with the untargeted
+//! (birthday) attack as the swap rate and TRH vary; (b) normalized
+//! performance of RRS as TRH varies.
+
+use srs_attack::birthday;
+use srs_bench::{figure_config, figure_workloads, format_days, format_norm, print_table, worker_threads};
+use srs_core::DefenseKind;
+use srs_sim::{mean_normalized, run_parallel};
+
+fn main() {
+    // (a) Security: untargeted attack time-to-break.
+    let mut rows = Vec::new();
+    for &t_rh in &[1200u64, 2400, 4800, 9600] {
+        let mut row = vec![format!("TRH={t_rh}")];
+        for swap_rate in [4u64, 5, 6, 7, 8] {
+            row.push(format_days(birthday::time_to_break_days(t_rh, swap_rate)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 1a: time-to-break RRS, untargeted (birthday) attack",
+        &["", "rate=4", "rate=5", "rate=6", "rate=7", "rate=8"],
+        &rows,
+    );
+
+    // (b) Performance: RRS normalized to the unprotected baseline.
+    let workloads = figure_workloads();
+    let mut rows = Vec::new();
+    for &t_rh in &[4800u64, 2400, 1200] {
+        let config = figure_config(DefenseKind::Rrs { immediate_unswap: true }, t_rh);
+        let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
+        let results = run_parallel(jobs, worker_threads());
+        rows.push(vec![format!("TRH={t_rh}"), format_norm(mean_normalized(&results))]);
+    }
+    print_table("Figure 1b: RRS normalized performance vs TRH", &["", "normalized IPC"], &rows);
+}

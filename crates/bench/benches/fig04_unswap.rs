@@ -1,0 +1,33 @@
+//! Figure 4 — RRS with and without immediate unswap operations, normalized
+//! to the unprotected baseline.
+
+use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_core::DefenseKind;
+use srs_sim::{mean_normalized, run_parallel, suite_averages};
+
+fn main() {
+    let workloads = figure_workloads();
+    let mut rows = Vec::new();
+    for (label, immediate) in [("Unswap", true), ("No Unswap", false)] {
+        for &t_rh in &[1200u64, 2400, 4800] {
+            let config = figure_config(DefenseKind::Rrs { immediate_unswap: immediate }, t_rh);
+            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
+            let results = run_parallel(jobs, worker_threads());
+            let mut row = vec![format!("{label} (TRH={t_rh})"), format_norm(mean_normalized(&results))];
+            let per_suite = suite_averages(&results);
+            row.push(
+                per_suite
+                    .iter()
+                    .map(|(s, v)| format!("{s}={}", format_norm(*v)))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Figure 4: RRS with vs without immediate unswap (normalized performance)",
+        &["configuration", "ALL mean", "per-suite"],
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 6 — time-to-break RRS with the Juggernaut attack as the number of
+//! attack rounds varies (analytical model and Monte-Carlo validation).
+
+use srs_attack::{juggernaut, montecarlo, AttackParams};
+use srs_bench::{format_days, print_table};
+
+fn main() {
+    let rounds: Vec<u64> = (0..=1400).step_by(100).collect();
+    let mut rows = Vec::new();
+    for &n in &rounds {
+        let mut row = vec![n.to_string()];
+        for &t_rh in &[4800u64, 2400, 1200] {
+            let params = AttackParams::rrs(t_rh, 6);
+            match juggernaut::evaluate(&params, n) {
+                Some(o) => row.push(format_days(o.expected_time_days())),
+                None => row.push("-".to_string()),
+            }
+        }
+        // Monte-Carlo validation point for TRH = 4800.
+        let params = AttackParams::rrs(4800, 6);
+        match montecarlo::simulate(&params, n, 2_000_000, 0xF16) {
+            Some(mc) if mc.expected_time_seconds.is_finite() => {
+                row.push(format_days(mc.expected_time_days()));
+            }
+            _ => row.push("-".to_string()),
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6: time-to-break RRS with Juggernaut vs attack rounds (swap rate 6)",
+        &["rounds", "TRH=4800", "TRH=2400", "TRH=1200", "MC @4800"],
+        &rows,
+    );
+    let best = juggernaut::best_attack(&AttackParams::rrs(4800, 6)).expect("feasible");
+    println!(
+        "\nBest attack at TRH=4800: {} rounds, {} required guesses, time {}",
+        best.attack_rounds,
+        best.required_guesses,
+        format_days(best.expected_time_days())
+    );
+}

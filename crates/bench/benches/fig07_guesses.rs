@@ -1,0 +1,24 @@
+//! Figure 7 — number of correct random guesses required as the number of
+//! Juggernaut attack rounds varies.
+
+use srs_attack::{juggernaut, AttackParams};
+use srs_bench::print_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in (0..=1400u64).step_by(100) {
+        let mut row = vec![n.to_string()];
+        for &t_rh in &[4800u64, 2400, 1200] {
+            match juggernaut::evaluate(&AttackParams::rrs(t_rh, 6), n) {
+                Some(o) => row.push(o.required_guesses.to_string()),
+                None => row.push("-".to_string()),
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 7: required correct random guesses vs attack rounds (swap rate 6)",
+        &["rounds", "TRH=4800", "TRH=2400", "TRH=1200"],
+        &rows,
+    );
+}

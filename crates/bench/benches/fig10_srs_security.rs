@@ -1,0 +1,24 @@
+//! Figure 10 — time-to-break SRS and RRS with Juggernaut as the swap rate
+//! varies from 6 to 10.
+
+use srs_attack::juggernaut;
+use srs_bench::{format_days, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for swap_rate in 6u64..=10 {
+        let mut row = vec![swap_rate.to_string()];
+        for &t_rh in &[4800u64, 2400, 1200] {
+            row.push(format_days(juggernaut::time_to_break_srs_days(t_rh, swap_rate)));
+        }
+        for &t_rh in &[4800u64, 2400, 1200] {
+            row.push(format_days(juggernaut::time_to_break_rrs_days(t_rh, swap_rate)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 10: time-to-break with Juggernaut vs swap rate",
+        &["rate", "SRS@4800", "SRS@2400", "SRS@1200", "RRS@4800", "RRS@2400", "RRS@1200"],
+        &rows,
+    );
+}

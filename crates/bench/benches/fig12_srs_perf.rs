@@ -1,0 +1,25 @@
+//! Figure 12 — normalized performance of SRS and RRS across TRH values.
+
+use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_core::DefenseKind;
+use srs_sim::{run_parallel, suite_averages};
+
+fn main() {
+    let workloads = figure_workloads();
+    let mut rows = Vec::new();
+    for (label, kind) in [("RRS", DefenseKind::Rrs { immediate_unswap: true }), ("SRS", DefenseKind::Srs)] {
+        for &t_rh in &[1200u64, 2400, 4800] {
+            let config = figure_config(kind, t_rh);
+            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
+            let results = run_parallel(jobs, worker_threads());
+            for (suite, value) in suite_averages(&results) {
+                rows.push(vec![format!("{label} (TRH={t_rh})"), suite, format_norm(value)]);
+            }
+        }
+    }
+    print_table(
+        "Figure 12: normalized performance of SRS vs RRS",
+        &["configuration", "suite", "normalized IPC"],
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 13 — time until M simultaneous outlier rows appear within a bank,
+//! as the swap rate varies (TRH = 4800).
+
+use srs_attack::outlier;
+use srs_bench::{format_days, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for swap_rate in 3u64..=6 {
+        let mut row = vec![swap_rate.to_string()];
+        for m in 1..=4usize {
+            row.push(format_days(outlier::days_until_outliers(4800, swap_rate, m)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 13: time-to-appear of outlier rows (TRH = 4800)",
+        &["swap rate", "1 outlier", "2 outliers", "3 outliers", "4 outliers"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 14 — normalized performance of Scale-SRS and RRS at TRH = 1200,
+//! per workload (hot-row workloads) and per suite.
+
+use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_core::DefenseKind;
+use srs_sim::{run_parallel, suite_averages, NormalizedResult};
+
+fn run(kind: DefenseKind) -> Vec<NormalizedResult> {
+    let config = figure_config(kind, 1200);
+    let jobs = figure_workloads().iter().map(|w| (config.clone(), w.clone())).collect();
+    run_parallel(jobs, worker_threads())
+}
+
+fn main() {
+    let rrs = run(DefenseKind::Rrs { immediate_unswap: true });
+    let scale = run(DefenseKind::ScaleSrs);
+
+    // Per-workload detail for workloads with hot rows (what the paper plots).
+    let mut rows = Vec::new();
+    for r in &rrs {
+        let s = scale.iter().find(|s| s.workload == r.workload);
+        rows.push(vec![
+            r.workload.clone(),
+            format_norm(r.normalized_performance),
+            s.map_or("-".to_string(), |s| format_norm(s.normalized_performance)),
+            r.detail.max_row_activations_in_window.to_string(),
+        ]);
+    }
+    rows.sort();
+    print_table(
+        "Figure 14 (detail): per-workload normalized performance at TRH = 1200",
+        &["workload", "RRS", "Scale-SRS", "max row ACTs/window"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for (label, results) in [("RRS", &rrs), ("Scale-SRS", &scale)] {
+        for (suite, value) in suite_averages(results) {
+            rows.push(vec![label.to_string(), suite, format_norm(value)]);
+        }
+    }
+    print_table(
+        "Figure 14 (suites): normalized performance at TRH = 1200",
+        &["design", "suite", "normalized IPC"],
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 15 — sensitivity of Scale-SRS and RRS to the Row Hammer threshold
+//! (512 .. 4800) with the Misra-Gries tracker.
+
+use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_core::DefenseKind;
+use srs_sim::{mean_normalized, run_parallel};
+
+fn main() {
+    let workloads = figure_workloads();
+    let mut rows = Vec::new();
+    for &t_rh in &[512u64, 1200, 2400, 4800] {
+        let mut row = vec![format!("TRH={t_rh}")];
+        for kind in [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::ScaleSrs] {
+            let config = figure_config(kind, t_rh);
+            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
+            let results = run_parallel(jobs, worker_threads());
+            row.push(format_norm(mean_normalized(&results)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15: normalized performance vs TRH (Misra-Gries tracker)",
+        &["threshold", "RRS", "Scale-SRS"],
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the core data structures: RIT operations,
+//! tracker updates, the analytical attack model and the cache model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use srs_attack::{juggernaut, AttackParams};
+use srs_cache::{CacheConfig, SetAssociativeCache};
+use srs_core::rit::BankRit;
+use srs_core::{MitigationConfig, RowSwapDefense, ScaleSrs, SecureRowSwap};
+use srs_trackers::{AggressorTracker, MisraGriesConfig, MisraGriesTracker};
+
+fn bench_rit(c: &mut Criterion) {
+    c.bench_function("rit_swap_and_translate", |b| {
+        let mut rit = BankRit::new(8192);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rit.swap_to(black_box(i % 2048), black_box((i * 37) % 65_536), 0);
+            black_box(rit.translate(i % 2048));
+        });
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    c.bench_function("misra_gries_record_activation", |b| {
+        let mut tracker =
+            MisraGriesTracker::new(MisraGriesConfig::for_threshold(800, 1_360_000, 16));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tracker.record_activation((i % 16) as usize, i % 4096));
+        });
+    });
+}
+
+fn bench_defense_trigger(c: &mut Criterion) {
+    c.bench_function("srs_mitigation_trigger", |b| {
+        let mut defense = SecureRowSwap::new(MitigationConfig::paper_default(1200, 6));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(defense.on_mitigation_trigger((i % 32) as usize, i % 8192, i));
+        });
+    });
+    c.bench_function("scale_srs_mitigation_trigger", |b| {
+        let mut defense = ScaleSrs::new(MitigationConfig::paper_default(1200, 3));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(defense.on_mitigation_trigger((i % 32) as usize, i % 8192, i));
+        });
+    });
+}
+
+fn bench_attack_model(c: &mut Criterion) {
+    c.bench_function("juggernaut_best_attack", |b| {
+        let params = AttackParams::rrs(4800, 6);
+        b.iter(|| black_box(juggernaut::best_attack(black_box(&params))));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("llc_access", |b| {
+        let mut llc = SetAssociativeCache::new(CacheConfig::llc_8mb());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(llc.access(black_box(i * 64 % (1 << 24)), i.is_multiple_of(4)));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rit,
+    bench_tracker,
+    bench_defense_trigger,
+    bench_attack_model,
+    bench_cache
+);
+criterion_main!(benches);

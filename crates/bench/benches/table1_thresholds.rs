@@ -1,0 +1,13 @@
+//! Table I — demonstrated Row Hammer thresholds across DRAM generations.
+
+use srs_bench::print_table;
+use srs_core::thresholds::{threshold_reduction_factor, ROW_HAMMER_THRESHOLDS};
+
+fn main() {
+    let rows: Vec<Vec<String>> = ROW_HAMMER_THRESHOLDS
+        .iter()
+        .map(|e| vec![e.generation.to_string(), format!("{}K", e.t_rh / 1000), e.year.to_string()])
+        .collect();
+    print_table("Table I: Row Hammer thresholds 2014-2021", &["generation", "TRH", "year"], &rows);
+    println!("\nReduction factor oldest->newest: {:.1}x", threshold_reduction_factor());
+}

@@ -1,0 +1,78 @@
+//! The not-secure baseline: no Row Hammer mitigation at all.
+
+use crate::actions::MitigationAction;
+use crate::config::MitigationConfig;
+use crate::defense::{DefenseKind, RowSwapDefense};
+use crate::storage::StorageReport;
+
+/// A defense that does nothing. All performance results in the paper are
+/// normalized against this baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoMitigation {
+    config: MitigationConfig,
+}
+
+impl NoMitigation {
+    /// Create a baseline "defense".
+    #[must_use]
+    pub fn new(config: MitigationConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl RowSwapDefense for NoMitigation {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Baseline
+    }
+
+    fn translate(&self, _bank: usize, row: u64) -> u64 {
+        row
+    }
+
+    fn on_mitigation_trigger(&mut self, _bank: usize, _row: u64, _now_ns: u64) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, _now_ns: u64) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn on_new_window(&mut self, _now_ns: u64) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn swap_threshold(&self) -> Option<u64> {
+        None
+    }
+
+    fn storage_report(&self) -> StorageReport {
+        StorageReport::default()
+    }
+
+    fn swaps_performed(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_inert() {
+        let mut b = NoMitigation::new(MitigationConfig::paper_default(4800, 6));
+        assert_eq!(b.translate(0, 123), 123);
+        assert!(b.on_mitigation_trigger(0, 123, 0).is_empty());
+        assert!(b.on_tick(0).is_empty());
+        assert!(b.on_new_window(0).is_empty());
+        assert_eq!(b.swap_threshold(), None);
+        assert_eq!(b.swaps_performed(), 0);
+        assert_eq!(b.storage_report().total_bits(), 0);
+        assert_eq!(b.kind(), DefenseKind::Baseline);
+        assert_eq!(b.name(), "baseline");
+    }
+}

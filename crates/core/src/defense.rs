@@ -1,0 +1,108 @@
+//! The defense abstraction: what a row-swap Row Hammer mitigation looks like
+//! to the memory system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::actions::MitigationAction;
+use crate::storage::StorageReport;
+
+/// Which defense to instantiate (used by experiment configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// No Row Hammer mitigation at all (the paper's not-secure baseline).
+    Baseline,
+    /// Randomized Row-Swap (RRS), the prior state of the art.
+    Rrs {
+        /// Whether swapped pairs are unswapped immediately before a re-swap
+        /// (the design point RRS ships with; turning it off reproduces the
+        /// "No Unswap" curves of Figure 4).
+        immediate_unswap: bool,
+    },
+    /// Secure Row-Swap: swap-only indirection, no unswap-swap latent
+    /// activations, lazy place-back, swap-count attack detection.
+    Srs,
+    /// Scalable and Secure Row-Swap: SRS plus outlier detection and LLC
+    /// pinning, enabling a swap rate of 3.
+    ScaleSrs,
+}
+
+impl std::fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefenseKind::Baseline => f.write_str("baseline"),
+            DefenseKind::Rrs { immediate_unswap: true } => f.write_str("rrs"),
+            DefenseKind::Rrs { immediate_unswap: false } => f.write_str("rrs-no-unswap"),
+            DefenseKind::Srs => f.write_str("srs"),
+            DefenseKind::ScaleSrs => f.write_str("scale-srs"),
+        }
+    }
+}
+
+impl DefenseKind {
+    /// The swap rate (`TRH / TS`) the paper uses for this defense.
+    ///
+    /// RRS and SRS use a swap rate of 6; Scale-SRS can securely use 3; the
+    /// baseline never swaps.
+    #[must_use]
+    pub fn default_swap_rate(&self) -> u64 {
+        match self {
+            DefenseKind::Baseline => 0,
+            DefenseKind::Rrs { .. } | DefenseKind::Srs => 6,
+            DefenseKind::ScaleSrs => 3,
+        }
+    }
+}
+
+/// A row-swap defense as seen by the memory controller and the simulator.
+///
+/// All row indices are *row addresses as issued by the system* ("logical"
+/// rows); the defense owns the indirection that decides which DRAM chip
+/// location ("physical" row) currently stores each logical row.
+pub trait RowSwapDefense {
+    /// A short, stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The kind of this defense.
+    fn kind(&self) -> DefenseKind;
+
+    /// Where the data of logical `row` currently lives in bank `bank`.
+    fn translate(&self, bank: usize, row: u64) -> u64;
+
+    /// Called when the aggressor tracker reports that logical `row` in
+    /// `bank` crossed the swap threshold. Returns the mitigation actions
+    /// (row movements, counter accesses, pin requests) the memory system
+    /// must perform.
+    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction>;
+
+    /// Called periodically (at least once per ~100 µs of simulated time) so
+    /// the defense can schedule lazy work such as SRS place-back operations.
+    fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction>;
+
+    /// Called at every refresh-window (64 ms) boundary.
+    fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction>;
+
+    /// The swap threshold `TS` in activations, or `None` for the baseline.
+    fn swap_threshold(&self) -> Option<u64>;
+
+    /// Per-bank SRAM storage required by the defense's structures.
+    fn storage_report(&self) -> StorageReport;
+
+    /// Total number of swap operations performed so far (all banks).
+    fn swaps_performed(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_and_swap_rates() {
+        assert_eq!(DefenseKind::Baseline.to_string(), "baseline");
+        assert_eq!(DefenseKind::Rrs { immediate_unswap: true }.to_string(), "rrs");
+        assert_eq!(DefenseKind::Rrs { immediate_unswap: false }.to_string(), "rrs-no-unswap");
+        assert_eq!(DefenseKind::ScaleSrs.to_string(), "scale-srs");
+        assert_eq!(DefenseKind::Baseline.default_swap_rate(), 0);
+        assert_eq!(DefenseKind::Srs.default_swap_rate(), 6);
+        assert_eq!(DefenseKind::ScaleSrs.default_swap_rate(), 3);
+    }
+}

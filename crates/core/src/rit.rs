@@ -1,0 +1,416 @@
+//! The Row Indirection Table (RIT).
+//!
+//! The RIT records which DRAM chip location ("physical row") currently holds
+//! the data of each row address issued by the system ("logical row"), and
+//! the reverse. RRS stores the mappings as *tuple pairs* so that a pair can
+//! be unswapped immediately; SRS splits the table into a *real* part
+//! (logical → physical) and a *mirrored* part (physical → logical) so that
+//! rows can keep swapping forward without ever being unswapped within the
+//! epoch (Section IV-C of the paper).
+//!
+//! Both organisations need the same two look-up directions, so a single
+//! [`BankRit`] provides them; the defenses differ in how they use it and in
+//! how its storage is accounted (see [`crate::storage`]).
+//!
+//! The hardware RIT is built as a Collision Avoidance Table (CAT) — an
+//! over-provisioned set-associative structure that is never filled beyond a
+//! safe load factor so conflict-based attacks cannot force evictions. This
+//! model abstracts the CAT's internal hashing and keeps only its two
+//! architecturally visible properties: a bounded entry count and the
+//! guarantee that an insertion below capacity always succeeds.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity and sizing parameters of a per-bank RIT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RitConfig {
+    /// Maximum number of live (non-identity) mappings per bank.
+    pub capacity: usize,
+    /// Bits per row address stored in an entry.
+    pub row_bits: u32,
+    /// CAT over-provisioning factor applied when reporting storage (the
+    /// physical table has more slots than `capacity` live mappings).
+    pub overprovision: f64,
+}
+
+impl RitConfig {
+    /// Size the RIT for a bank that can experience at most
+    /// `max_swaps_per_window` swaps per refresh window.
+    ///
+    /// Mappings from the previous epoch are evicted lazily, so in the worst
+    /// case the table holds the live mappings of two consecutive epochs.
+    #[must_use]
+    pub fn for_swaps(max_swaps_per_window: u64, rows_per_bank: u64) -> Self {
+        let capacity = (2 * max_swaps_per_window).max(8) as usize;
+        let row_bits = 64 - rows_per_bank.next_power_of_two().leading_zeros() - 1;
+        Self { capacity, row_bits: row_bits.max(1), overprovision: 1.5 }
+    }
+
+    /// SRAM bits needed for one bank's RIT when storing both mapping
+    /// directions (RRS tuple pairs, or SRS real + mirrored halves).
+    #[must_use]
+    pub fn storage_bits_dual(&self) -> u64 {
+        let entry_bits = u64::from(2 * self.row_bits + 2); // two rows + valid + lock/epoch bit
+        (self.capacity as f64 * self.overprovision).ceil() as u64 * 2 * entry_bits
+    }
+
+    /// SRAM bits for the compact single-table variant discussed in the
+    /// paper's Discussion §4 (a direction bit per entry instead of a
+    /// mirrored half).
+    #[must_use]
+    pub fn storage_bits_compact(&self) -> u64 {
+        self.storage_bits_dual() / 2 + (self.capacity as f64 * self.overprovision).ceil() as u64
+    }
+}
+
+/// A record of one swap performed through the RIT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapRecord {
+    /// The logical row that triggered the swap.
+    pub row: u64,
+    /// The physical location the row's data moved *from*.
+    pub from_location: u64,
+    /// The physical location the row's data moved *to*.
+    pub to_location: u64,
+    /// The logical row whose data previously occupied `to_location` and has
+    /// been displaced to `from_location`.
+    pub displaced_row: u64,
+}
+
+/// The per-bank Row Indirection Table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BankRit {
+    forward: HashMap<u64, u64>,
+    reverse: HashMap<u64, u64>,
+    epoch_of: HashMap<u64, u64>,
+    capacity: usize,
+}
+
+impl BankRit {
+    /// Create an empty table with the given live-mapping capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            forward: HashMap::new(),
+            reverse: HashMap::new(),
+            epoch_of: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Where the data of logical `row` currently lives.
+    #[must_use]
+    pub fn translate(&self, row: u64) -> u64 {
+        self.forward.get(&row).copied().unwrap_or(row)
+    }
+
+    /// Which logical row's data currently lives at physical `location`.
+    #[must_use]
+    pub fn occupant(&self, location: u64) -> u64 {
+        self.reverse.get(&location).copied().unwrap_or(location)
+    }
+
+    /// Whether logical `row` is currently remapped away from its home.
+    #[must_use]
+    pub fn is_remapped(&self, row: u64) -> bool {
+        self.forward.contains_key(&row)
+    }
+
+    /// Number of live (non-identity) mappings.
+    #[must_use]
+    pub fn live_entries(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Maximum number of live mappings.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a new swap could still be recorded (two mappings may be
+    /// created per swap).
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.live_entries() + 2 <= self.capacity
+    }
+
+    /// Logical rows whose mapping was created in an epoch before
+    /// `current_epoch` (candidates for lazy place-back).
+    #[must_use]
+    pub fn stale_rows(&self, current_epoch: u64) -> Vec<u64> {
+        let mut rows: Vec<u64> = self
+            .epoch_of
+            .iter()
+            .filter(|(_, &e)| e < current_epoch)
+            .map(|(&r, _)| r)
+            .filter(|r| self.forward.contains_key(r))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// All currently remapped logical rows.
+    #[must_use]
+    pub fn remapped_rows(&self) -> Vec<u64> {
+        let mut rows: Vec<u64> = self.forward.keys().copied().collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn set_mapping(&mut self, row: u64, location: u64, epoch: u64) {
+        if row == location {
+            self.forward.remove(&row);
+            self.reverse.remove(&location);
+            self.epoch_of.remove(&row);
+        } else {
+            self.forward.insert(row, location);
+            self.reverse.insert(location, row);
+            self.epoch_of.insert(row, epoch);
+        }
+    }
+
+    /// Swap the data of logical `row` with whatever currently occupies
+    /// physical `target_location`.
+    ///
+    /// Returns `None` (and changes nothing) if the swap would be a no-op
+    /// (the row already lives there) or if the table has no room left.
+    pub fn swap_to(&mut self, row: u64, target_location: u64, epoch: u64) -> Option<SwapRecord> {
+        let from = self.translate(row);
+        if from == target_location {
+            return None;
+        }
+        let displaced = self.occupant(target_location);
+        if !(self.has_room() || self.is_remapped(row) || self.is_remapped(displaced)) {
+            return None;
+        }
+        self.set_mapping(row, target_location, epoch);
+        self.set_mapping(displaced, from, epoch);
+        Some(SwapRecord { row, from_location: from, to_location: target_location, displaced_row: displaced })
+    }
+
+    /// Unswap logical `row`, restoring it (and whatever occupies its home)
+    /// to identity mappings. Used by RRS for immediate unswaps and by the
+    /// SRS place-back engine.
+    ///
+    /// Returns `None` if the row was not remapped.
+    pub fn unswap(&mut self, row: u64, epoch: u64) -> Option<SwapRecord> {
+        if !self.is_remapped(row) {
+            return None;
+        }
+        let from = self.translate(row);
+        let occupant_of_home = self.occupant(row);
+        // Move `row` home and move the occupant of its home to the location
+        // `row` vacated (daisy-chain step of the place-back procedure).
+        self.set_mapping(row, row, epoch);
+        self.set_mapping(occupant_of_home, from, epoch);
+        Some(SwapRecord { row, from_location: from, to_location: row, displaced_row: occupant_of_home })
+    }
+
+    /// Remove every mapping (end-of-simulation or bulk unswap accounting).
+    pub fn clear(&mut self) {
+        self.forward.clear();
+        self.reverse.clear();
+        self.epoch_of.clear();
+    }
+
+    /// Check the internal bijection invariant; used by tests.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        if self.forward.len() != self.reverse.len() {
+            return false;
+        }
+        self.forward.iter().all(|(&row, &loc)| self.reverse.get(&loc) == Some(&row))
+            && self.reverse.iter().all(|(&loc, &row)| self.forward.get(&row) == Some(&loc))
+    }
+}
+
+/// All per-bank RITs of a defense.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowIndirectionTable {
+    config: RitConfig,
+    banks: Vec<BankRit>,
+}
+
+impl RowIndirectionTable {
+    /// Create one empty RIT per bank.
+    #[must_use]
+    pub fn new(config: RitConfig, banks: usize) -> Self {
+        Self { banks: (0..banks).map(|_| BankRit::new(config.capacity)).collect(), config }
+    }
+
+    /// The sizing configuration.
+    #[must_use]
+    pub fn config(&self) -> &RitConfig {
+        &self.config
+    }
+
+    /// Access one bank's table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: usize) -> &BankRit {
+        &self.banks[bank]
+    }
+
+    /// Mutable access to one bank's table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_mut(&mut self, bank: usize) -> &mut BankRit {
+        &mut self.banks[bank]
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total live mappings across all banks.
+    #[must_use]
+    pub fn total_live_entries(&self) -> usize {
+        self.banks.iter().map(BankRit::live_entries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rit() -> BankRit {
+        BankRit::new(64)
+    }
+
+    #[test]
+    fn identity_by_default() {
+        let r = rit();
+        assert_eq!(r.translate(5), 5);
+        assert_eq!(r.occupant(5), 5);
+        assert!(!r.is_remapped(5));
+        assert_eq!(r.live_entries(), 0);
+    }
+
+    #[test]
+    fn swap_moves_both_rows() {
+        let mut r = rit();
+        let rec = r.swap_to(10, 99, 0).unwrap();
+        assert_eq!(rec.from_location, 10);
+        assert_eq!(rec.to_location, 99);
+        assert_eq!(rec.displaced_row, 99);
+        assert_eq!(r.translate(10), 99);
+        assert_eq!(r.translate(99), 10);
+        assert_eq!(r.occupant(99), 10);
+        assert_eq!(r.occupant(10), 99);
+        assert!(r.invariants_hold());
+        assert_eq!(r.live_entries(), 2);
+    }
+
+    #[test]
+    fn swap_to_own_location_is_noop() {
+        let mut r = rit();
+        assert!(r.swap_to(7, 7, 0).is_none());
+        assert_eq!(r.live_entries(), 0);
+    }
+
+    #[test]
+    fn chained_swaps_track_locations() {
+        let mut r = rit();
+        // A -> location of B, then A (now at B's home) -> location of C.
+        r.swap_to(1, 2, 0).unwrap();
+        let rec = r.swap_to(1, 3, 0).unwrap();
+        assert_eq!(rec.from_location, 2);
+        assert_eq!(rec.to_location, 3);
+        assert_eq!(rec.displaced_row, 3);
+        // Row 1's data is at location 3; row 3's data is at location 2 (where
+        // row 1 used to be); row 2's data is at row 1's home.
+        assert_eq!(r.translate(1), 3);
+        assert_eq!(r.translate(3), 2);
+        assert_eq!(r.translate(2), 1);
+        assert!(r.invariants_hold());
+    }
+
+    #[test]
+    fn unswap_restores_pair() {
+        let mut r = rit();
+        r.swap_to(1, 2, 0).unwrap();
+        let rec = r.unswap(1, 0).unwrap();
+        assert_eq!(rec.to_location, 1);
+        assert_eq!(r.translate(1), 1);
+        assert_eq!(r.translate(2), 2);
+        assert_eq!(r.live_entries(), 0);
+        assert!(r.invariants_hold());
+    }
+
+    #[test]
+    fn unswap_of_chain_homes_one_row_per_step() {
+        let mut r = rit();
+        r.swap_to(1, 2, 0).unwrap();
+        r.swap_to(1, 3, 0).unwrap();
+        // Home row 1; rows 2 and 3 may still be displaced among themselves.
+        r.unswap(1, 1).unwrap();
+        assert_eq!(r.translate(1), 1);
+        assert!(r.invariants_hold());
+        // Homing the remaining stale rows one by one empties the table.
+        for row in r.remapped_rows() {
+            r.unswap(row, 1);
+        }
+        assert_eq!(r.live_entries(), 0);
+    }
+
+    #[test]
+    fn unswap_of_identity_row_is_none() {
+        let mut r = rit();
+        assert!(r.unswap(42, 0).is_none());
+    }
+
+    #[test]
+    fn capacity_blocks_new_pairs_but_not_existing_rows() {
+        let mut r = BankRit::new(4);
+        assert!(r.swap_to(1, 100, 0).is_some());
+        assert!(r.swap_to(2, 200, 0).is_some());
+        // Table full (4 live entries): a brand-new pair is rejected...
+        assert!(r.swap_to(3, 300, 0).is_none());
+        // ...but a row that is already remapped may keep swapping.
+        assert!(r.swap_to(1, 200, 0).is_some());
+        assert!(r.invariants_hold());
+    }
+
+    #[test]
+    fn stale_rows_are_reported_per_epoch() {
+        let mut r = rit();
+        r.swap_to(1, 10, 0).unwrap();
+        r.swap_to(2, 20, 1).unwrap();
+        let stale = r.stale_rows(1);
+        assert!(stale.contains(&1));
+        assert!(stale.contains(&10));
+        assert!(!stale.contains(&2));
+    }
+
+    #[test]
+    fn rit_config_sizes() {
+        let c = RitConfig::for_swaps(1700, 128 * 1024);
+        assert_eq!(c.capacity, 3400);
+        assert_eq!(c.row_bits, 17);
+        assert!(c.storage_bits_dual() > c.storage_bits_compact());
+        // Dual storage at TS=800 lands in the tens of kilobytes per bank,
+        // the order of magnitude of Table IV.
+        let bytes = c.storage_bits_dual() / 8;
+        assert!(bytes > 20_000 && bytes < 80_000, "bytes = {bytes}");
+    }
+
+    #[test]
+    fn multi_bank_table_is_independent() {
+        let mut t = RowIndirectionTable::new(RitConfig::for_swaps(16, 1024), 4);
+        t.bank_mut(0).swap_to(1, 2, 0).unwrap();
+        assert_eq!(t.bank(0).translate(1), 2);
+        assert_eq!(t.bank(1).translate(1), 1);
+        assert_eq!(t.total_live_entries(), 2);
+        assert_eq!(t.banks(), 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! Randomized Row-Swap (RRS), the prior state-of-the-art defense the paper
+//! attacks and improves upon.
+//!
+//! RRS swaps an aggressor row with a randomly chosen row every `TS`
+//! activations. If the same row keeps getting activated it is first
+//! *unswapped* back to its original location and then swapped to a fresh
+//! random partner — and each such unswap-swap issues extra ("latent")
+//! activations at the aggressor's original chip location, which is exactly
+//! what the Juggernaut attack exploits (Section II-F and III).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::actions::{MitigationAction, RowOpKind};
+use crate::config::MitigationConfig;
+use crate::defense::{DefenseKind, RowSwapDefense};
+use crate::rit::{RitConfig, RowIndirectionTable};
+use crate::storage::{storage_for, StorageReport};
+
+/// Statistics kept by an RRS instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RrsStats {
+    /// Initial swaps performed.
+    pub swaps: u64,
+    /// Unswap-swap operations performed.
+    pub unswap_swaps: u64,
+    /// Mitigation triggers that could not be served because the RIT was full.
+    pub skipped: u64,
+    /// Rows bulk-unswapped at window boundaries (no-unswap variant only).
+    pub bulk_unswapped: u64,
+}
+
+/// The Randomized Row-Swap defense.
+#[derive(Debug)]
+pub struct RandomizedRowSwap {
+    config: MitigationConfig,
+    immediate_unswap: bool,
+    rit: RowIndirectionTable,
+    rng: StdRng,
+    epoch: u64,
+    stats: RrsStats,
+}
+
+impl RandomizedRowSwap {
+    /// Create an RRS instance with immediate unswaps (the paper's default).
+    #[must_use]
+    pub fn new(config: MitigationConfig) -> Self {
+        Self::with_unswap_policy(config, true)
+    }
+
+    /// Create an RRS instance, choosing whether re-swapped rows are first
+    /// unswapped (Figure 4 compares both policies).
+    #[must_use]
+    pub fn with_unswap_policy(config: MitigationConfig, immediate_unswap: bool) -> Self {
+        let rit_config = RitConfig::for_swaps(config.max_swaps_per_window(), config.rows_per_bank);
+        Self {
+            rit: RowIndirectionTable::new(rit_config, config.banks),
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            epoch: 0,
+            stats: RrsStats::default(),
+            immediate_unswap,
+            config,
+        }
+    }
+
+    /// Per-instance statistics.
+    #[must_use]
+    pub fn stats(&self) -> &RrsStats {
+        &self.stats
+    }
+
+    /// The defense configuration.
+    #[must_use]
+    pub fn config(&self) -> &MitigationConfig {
+        &self.config
+    }
+
+    fn random_location(&mut self, avoid: u64) -> u64 {
+        loop {
+            let candidate = self.rng.random_range(0..self.config.rows_per_bank);
+            if candidate != avoid {
+                return candidate;
+            }
+        }
+    }
+
+    fn make_room(&mut self, bank: usize, now_ns: u64, actions: &mut Vec<MitigationAction>) {
+        // RRS evicts (unswaps) tuples of the previous epoch to create space
+        // for new ones.
+        if self.rit.bank(bank).has_room() {
+            return;
+        }
+        let stale = self.rit.bank(bank).stale_rows(self.epoch);
+        for row in stale {
+            if self.rit.bank(bank).has_room() {
+                break;
+            }
+            if let Some(rec) = self.rit.bank_mut(bank).unswap(row, self.epoch) {
+                actions.push(MitigationAction::RowOperation {
+                    bank,
+                    kind: RowOpKind::PlaceBack,
+                    duration_ns: self.config.placeback_latency_ns,
+                    activations: vec![rec.from_location, rec.row],
+                });
+            }
+        }
+        let _ = now_ns;
+    }
+}
+
+impl RowSwapDefense for RandomizedRowSwap {
+    fn name(&self) -> &'static str {
+        if self.immediate_unswap {
+            "rrs"
+        } else {
+            "rrs-no-unswap"
+        }
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Rrs { immediate_unswap: self.immediate_unswap }
+    }
+
+    fn translate(&self, bank: usize, row: u64) -> u64 {
+        self.rit.bank(bank).translate(row)
+    }
+
+    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+        let mut actions = Vec::new();
+        self.make_room(bank, now_ns, &mut actions);
+        let already_swapped = self.rit.bank(bank).is_remapped(row);
+        let current_location = self.rit.bank(bank).translate(row);
+        let target = self.random_location(current_location);
+
+        if already_swapped && self.immediate_unswap {
+            // Unswap back home, then swap to a fresh random location. The
+            // original chip location of `row` (its home) is activated twice:
+            // once to write the row back and once to read it out again for
+            // the new swap — the latent activations of Figure 3.
+            let home = row;
+            let unswap_rec = self.rit.bank_mut(bank).unswap(row, self.epoch);
+            let swap_rec = self.rit.bank_mut(bank).swap_to(row, target, self.epoch);
+            if unswap_rec.is_none() && swap_rec.is_none() {
+                self.stats.skipped += 1;
+                return actions;
+            }
+            let mut activations = Vec::new();
+            if let Some(rec) = unswap_rec {
+                activations.push(rec.from_location);
+                activations.push(home);
+            }
+            if let Some(rec) = swap_rec {
+                activations.push(home);
+                activations.push(rec.to_location);
+            }
+            self.stats.unswap_swaps += 1;
+            actions.push(MitigationAction::RowOperation {
+                bank,
+                kind: RowOpKind::UnswapSwap,
+                duration_ns: self.config.reswap_latency_ns,
+                activations,
+            });
+        } else {
+            match self.rit.bank_mut(bank).swap_to(row, target, self.epoch) {
+                Some(rec) => {
+                    self.stats.swaps += 1;
+                    actions.push(MitigationAction::RowOperation {
+                        bank,
+                        kind: RowOpKind::Swap,
+                        duration_ns: self.config.swap_latency_ns,
+                        activations: vec![rec.from_location, rec.to_location],
+                    });
+                }
+                None => self.stats.skipped += 1,
+            }
+        }
+        actions
+    }
+
+    fn on_tick(&mut self, _now_ns: u64) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn on_new_window(&mut self, _now_ns: u64) -> Vec<MitigationAction> {
+        self.epoch += 1;
+        if self.immediate_unswap {
+            return Vec::new();
+        }
+        // Without immediate unswaps every displaced row must be put back at
+        // the end of the refresh interval, producing the latency spike the
+        // paper describes (Section II-F, performance implication 2).
+        let mut actions = Vec::new();
+        for bank in 0..self.rit.banks() {
+            let rows = self.rit.bank(bank).remapped_rows();
+            for row in rows {
+                if let Some(rec) = self.rit.bank_mut(bank).unswap(row, self.epoch) {
+                    self.stats.bulk_unswapped += 1;
+                    actions.push(MitigationAction::RowOperation {
+                        bank,
+                        kind: RowOpKind::BulkUnswap,
+                        duration_ns: self.config.placeback_latency_ns,
+                        activations: vec![rec.from_location, rec.row],
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    fn swap_threshold(&self) -> Option<u64> {
+        Some(self.config.swap_threshold())
+    }
+
+    fn storage_report(&self) -> StorageReport {
+        storage_for(self.kind(), &self.config)
+    }
+
+    fn swaps_performed(&self) -> u64 {
+        self.stats.swaps + self.stats.unswap_swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rrs() -> RandomizedRowSwap {
+        RandomizedRowSwap::new(MitigationConfig::paper_default(4800, 6))
+    }
+
+    #[test]
+    fn first_trigger_swaps_the_row_away() {
+        let mut d = rrs();
+        let actions = d.on_mitigation_trigger(0, 1000, 0);
+        assert_eq!(actions.len(), 1);
+        assert_ne!(d.translate(0, 1000), 1000);
+        assert_eq!(d.stats().swaps, 1);
+        match &actions[0] {
+            MitigationAction::RowOperation { kind, activations, .. } => {
+                assert_eq!(*kind, RowOpKind::Swap);
+                // One latent activation at the original location, one at the
+                // random partner.
+                assert!(activations.contains(&1000));
+                assert_eq!(activations.len(), 2);
+            }
+            MitigationAction::PinRow { .. } => panic!("RRS never pins rows"),
+        }
+    }
+
+    #[test]
+    fn second_trigger_is_an_unswap_swap_with_two_latent_home_activations() {
+        let mut d = rrs();
+        d.on_mitigation_trigger(0, 1000, 0);
+        let actions = d.on_mitigation_trigger(0, 1000, 1_000_000);
+        assert_eq!(d.stats().unswap_swaps, 1);
+        match &actions[0] {
+            MitigationAction::RowOperation { kind, activations, duration_ns, .. } => {
+                assert_eq!(*kind, RowOpKind::UnswapSwap);
+                let home_acts = activations.iter().filter(|&&r| r == 1000).count();
+                assert_eq!(home_acts, 2, "unswap-swap must hit the home location twice");
+                assert_eq!(*duration_ns, d.config().reswap_latency_ns);
+            }
+            MitigationAction::PinRow { .. } => panic!("RRS never pins rows"),
+        }
+        // The row is again remapped somewhere away from home.
+        assert_ne!(d.translate(0, 1000), 1000);
+    }
+
+    #[test]
+    fn no_unswap_variant_accumulates_and_spikes_at_window_end() {
+        let mut d = RandomizedRowSwap::with_unswap_policy(
+            MitigationConfig::paper_default(4800, 6),
+            false,
+        );
+        for i in 0..5 {
+            d.on_mitigation_trigger(0, 1000 + i, 0);
+        }
+        assert_eq!(d.stats().swaps, 5);
+        let spike = d.on_new_window(64_000_000);
+        assert!(spike.len() >= 5, "bulk unswap must touch every displaced row");
+        assert!(spike.iter().all(|a| matches!(
+            a,
+            MitigationAction::RowOperation { kind: RowOpKind::BulkUnswap, .. }
+        )));
+        // Everything is home again.
+        for i in 0..5 {
+            assert_eq!(d.translate(0, 1000 + i), 1000 + i);
+        }
+    }
+
+    #[test]
+    fn translation_is_consistent_after_many_triggers() {
+        let mut d = rrs();
+        for i in 0..200u64 {
+            d.on_mitigation_trigger((i % 4) as usize, i * 7 % 1024, i * 1000);
+        }
+        for bank in 0..4 {
+            assert!(d.rit.bank(bank).invariants_hold());
+        }
+    }
+
+    #[test]
+    fn swap_rate_6_reports_ts_800() {
+        assert_eq!(rrs().swap_threshold(), Some(800));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mut a = rrs();
+        let mut b = rrs();
+        a.on_mitigation_trigger(0, 5, 0);
+        b.on_mitigation_trigger(0, 5, 0);
+        assert_eq!(a.translate(0, 5), b.translate(0, 5));
+    }
+
+    #[test]
+    fn storage_report_is_nonzero() {
+        assert!(rrs().storage_report().total_bits() > 0);
+    }
+}

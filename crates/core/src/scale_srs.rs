@@ -1,0 +1,215 @@
+//! Scalable and Secure Row-Swap (Scale-SRS), the paper's headline
+//! contribution (Section V).
+//!
+//! Scale-SRS is SRS with two additions that together make a swap rate of 3
+//! safe (halving the swap traffic of RRS/SRS and shrinking the RIT):
+//!
+//! 1. **Outlier detection** — the per-row swap-tracking counters already
+//!    maintained by SRS are compared against `outlier_swap_count x TS`
+//!    (3 x TS by default); a location crossing it is an outlier that the
+//!    random-guess attack has landed on repeatedly.
+//! 2. **LLC pinning** — outlier rows are pinned in the last-level cache for
+//!    the rest of the refresh window through the pin-buffer, so they stop
+//!    producing DRAM activations entirely.
+
+use std::collections::HashSet;
+
+use crate::actions::MitigationAction;
+use crate::config::MitigationConfig;
+use crate::defense::{DefenseKind, RowSwapDefense};
+use crate::srs::{SecureRowSwap, SrsStats};
+use crate::storage::{storage_for, StorageReport};
+
+/// The Scalable and Secure Row-Swap defense.
+#[derive(Debug)]
+pub struct ScaleSrs {
+    inner: SecureRowSwap,
+    pinned: HashSet<(usize, u64)>,
+    pins_requested: u64,
+}
+
+impl ScaleSrs {
+    /// Create a Scale-SRS instance. The configuration's swap rate should
+    /// normally be 3 (use [`MitigationConfig::paper_default`]`(t_rh, 3)`).
+    #[must_use]
+    pub fn new(config: MitigationConfig) -> Self {
+        Self { inner: SecureRowSwap::new(config), pinned: HashSet::new(), pins_requested: 0 }
+    }
+
+    /// The statistics of the underlying SRS machinery.
+    #[must_use]
+    pub fn stats(&self) -> &SrsStats {
+        self.inner.stats()
+    }
+
+    /// The defense configuration.
+    #[must_use]
+    pub fn config(&self) -> &MitigationConfig {
+        self.inner.config()
+    }
+
+    /// Rows currently pinned in the LLC (bank, logical row).
+    #[must_use]
+    pub fn pinned_rows(&self) -> &HashSet<(usize, u64)> {
+        &self.pinned
+    }
+
+    /// Total pin requests issued since construction.
+    #[must_use]
+    pub fn pins_requested(&self) -> u64 {
+        self.pins_requested
+    }
+}
+
+impl RowSwapDefense for ScaleSrs {
+    fn name(&self) -> &'static str {
+        "scale-srs"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::ScaleSrs
+    }
+
+    fn translate(&self, bank: usize, row: u64) -> u64 {
+        self.inner.translate(bank, row)
+    }
+
+    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+        if self.pinned.contains(&(bank, row)) {
+            // A pinned row no longer reaches DRAM; any residual trigger
+            // (e.g. racing with the pin installation) needs no further work.
+            return Vec::new();
+        }
+        let (mut actions, detected) = self.inner.swap_only_trigger(bank, row, now_ns);
+        if detected && self.pinned.insert((bank, row)) {
+            self.pins_requested += 1;
+            actions.push(MitigationAction::PinRow { bank, row });
+        }
+        actions
+    }
+
+    fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction> {
+        self.inner.tick_placeback(now_ns)
+    }
+
+    fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction> {
+        // Pins only last for the refresh interval in which they were made.
+        self.pinned.clear();
+        self.inner.start_new_window(now_ns);
+        Vec::new()
+    }
+
+    fn swap_threshold(&self) -> Option<u64> {
+        Some(self.inner.config().swap_threshold())
+    }
+
+    fn storage_report(&self) -> StorageReport {
+        storage_for(DefenseKind::ScaleSrs, self.inner.config())
+    }
+
+    fn swaps_performed(&self) -> u64 {
+        self.inner.swaps_performed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::RowOpKind;
+
+    fn scale_srs(t_rh: u64) -> ScaleSrs {
+        ScaleSrs::new(MitigationConfig::paper_default(t_rh, 3))
+    }
+
+    #[test]
+    fn uses_swap_rate_three_by_default() {
+        let d = scale_srs(1200);
+        assert_eq!(d.swap_threshold(), Some(400));
+    }
+
+    #[test]
+    fn outlier_row_is_pinned_after_three_swaps() {
+        let mut d = scale_srs(4800);
+        let mut pin_seen = false;
+        for i in 0..3 {
+            let actions = d.on_mitigation_trigger(0, 9, i);
+            pin_seen |= actions.iter().any(|a| matches!(a, MitigationAction::PinRow { bank: 0, row: 9 }));
+        }
+        assert!(pin_seen, "third swap of the same row must request a pin");
+        assert_eq!(d.pins_requested(), 1);
+        assert!(d.pinned_rows().contains(&(0, 9)));
+    }
+
+    #[test]
+    fn pinned_row_generates_no_further_actions() {
+        let mut d = scale_srs(4800);
+        for i in 0..3 {
+            d.on_mitigation_trigger(0, 9, i);
+        }
+        let swaps_before = d.swaps_performed();
+        let actions = d.on_mitigation_trigger(0, 9, 100);
+        assert!(actions.is_empty());
+        assert_eq!(d.swaps_performed(), swaps_before);
+    }
+
+    #[test]
+    fn pin_is_released_at_the_next_window() {
+        let mut d = scale_srs(4800);
+        for i in 0..3 {
+            d.on_mitigation_trigger(0, 9, i);
+        }
+        assert!(!d.pinned_rows().is_empty());
+        d.on_new_window(64_000_000);
+        assert!(d.pinned_rows().is_empty());
+        // The row can be mitigated normally again in the new window.
+        let actions = d.on_mitigation_trigger(0, 9, 64_100_000);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::Swap, .. })));
+    }
+
+    #[test]
+    fn benign_rows_are_never_pinned() {
+        let mut d = scale_srs(1200);
+        // Many different rows each trigger once or twice: no outliers.
+        for row in 0..200u64 {
+            d.on_mitigation_trigger((row % 4) as usize, row, row);
+            if row % 2 == 0 {
+                d.on_mitigation_trigger((row % 4) as usize, row, row + 1);
+            }
+        }
+        assert_eq!(d.pins_requested(), 0);
+    }
+
+    #[test]
+    fn storage_includes_pin_buffer_and_is_smaller_than_rrs() {
+        let d = scale_srs(1200);
+        let report = d.storage_report();
+        assert!(report.pin_buffer_bits > 0);
+        let rrs = crate::storage::storage_for(
+            DefenseKind::Rrs { immediate_unswap: true },
+            &MitigationConfig::paper_default(1200, 6),
+        );
+        assert!(report.total_bits() * 2 < rrs.total_bits());
+    }
+
+    #[test]
+    fn place_back_still_works_through_the_wrapper() {
+        let mut d = scale_srs(4800);
+        for i in 0..5 {
+            d.on_mitigation_trigger(0, 50 + i, 0);
+        }
+        d.on_new_window(64_000_000);
+        let mut now = 64_000_000;
+        let mut place_backs = 0;
+        for _ in 0..200 {
+            now += 1_000_000;
+            place_backs += d
+                .on_tick(now)
+                .iter()
+                .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. }))
+                .count();
+        }
+        assert!(place_backs >= 5);
+    }
+}

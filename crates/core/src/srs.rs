@@ -1,0 +1,372 @@
+//! Secure Row-Swap (SRS), the paper's first contribution (Section IV).
+//!
+//! SRS keeps the randomized-swap idea of RRS but removes the unswap-swap
+//! operation — the source of the latent activations exploited by the
+//! Juggernaut attack. A row that keeps getting hammered simply swaps
+//! *onward* to a fresh random location; stale mappings are put back to their
+//! original locations lazily, spread over the next refresh window through a
+//! per-bank place-back buffer. Every swap also updates a per-row
+//! swap-tracking counter held in reserved DRAM, which provides attack
+//! detection against future unknown attack patterns.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::actions::{MitigationAction, RowOpKind};
+use crate::config::MitigationConfig;
+use crate::counters::SwapCounters;
+use crate::defense::{DefenseKind, RowSwapDefense};
+use crate::rit::{RitConfig, RowIndirectionTable};
+use crate::storage::{storage_for, StorageReport};
+
+/// Statistics kept by an SRS instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrsStats {
+    /// Swap operations performed.
+    pub swaps: u64,
+    /// Lazy place-back operations performed.
+    pub place_backs: u64,
+    /// Counter-row read-modify-writes performed.
+    pub counter_accesses: u64,
+    /// Triggers skipped because the RIT had no room.
+    pub skipped: u64,
+    /// Rows flagged by the swap-count attack detector.
+    pub detections: u64,
+}
+
+/// The Secure Row-Swap defense.
+#[derive(Debug)]
+pub struct SecureRowSwap {
+    config: MitigationConfig,
+    rit: RowIndirectionTable,
+    counters: Vec<SwapCounters>,
+    placeback_queue: Vec<VecDeque<u64>>,
+    next_placeback_ns: u64,
+    placeback_interval_ns: u64,
+    rng: StdRng,
+    epoch: u64,
+    stats: SrsStats,
+}
+
+impl SecureRowSwap {
+    /// Create an SRS instance.
+    #[must_use]
+    pub fn new(config: MitigationConfig) -> Self {
+        let rit_config = RitConfig::for_swaps(config.max_swaps_per_window(), config.rows_per_bank);
+        let row_bytes = 8 * 1024;
+        Self {
+            rit: RowIndirectionTable::new(rit_config, config.banks),
+            counters: (0..config.banks)
+                .map(|_| SwapCounters::new(config.rows_per_bank, row_bytes))
+                .collect(),
+            placeback_queue: vec![VecDeque::new(); config.banks],
+            next_placeback_ns: 0,
+            placeback_interval_ns: config.refresh_window_ns,
+            rng: StdRng::seed_from_u64(config.rng_seed ^ 0x5125),
+            epoch: 0,
+            stats: SrsStats::default(),
+            config,
+        }
+    }
+
+    /// Per-instance statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SrsStats {
+        &self.stats
+    }
+
+    /// The defense configuration.
+    #[must_use]
+    pub fn config(&self) -> &MitigationConfig {
+        &self.config
+    }
+
+    /// The current swap-count of the chip location that is the home of
+    /// logical `row` (used by Scale-SRS's outlier detector and by tests).
+    #[must_use]
+    pub fn swap_count(&self, bank: usize, row: u64) -> u64 {
+        self.counters[bank].count(row)
+    }
+
+    /// The attack-detection threshold in cumulative activations: a location
+    /// swapped `outlier_swap_count` times within an epoch is suspicious.
+    #[must_use]
+    pub fn detection_threshold(&self) -> u64 {
+        self.config.outlier_swap_count * self.config.swap_threshold()
+    }
+
+    fn random_location(&mut self, avoid: u64) -> u64 {
+        loop {
+            let candidate = self.rng.random_range(0..self.config.rows_per_bank);
+            if candidate != avoid {
+                return candidate;
+            }
+        }
+    }
+
+    /// Perform the swap-only mitigation for `row`, returning the actions and
+    /// whether the swap-tracking counter crossed the detection threshold.
+    pub(crate) fn swap_only_trigger(
+        &mut self,
+        bank: usize,
+        row: u64,
+        _now_ns: u64,
+    ) -> (Vec<MitigationAction>, bool) {
+        let mut actions = Vec::new();
+        let current_location = self.rit.bank(bank).translate(row);
+        let target = self.random_location(current_location);
+        let Some(rec) = self.rit.bank_mut(bank).swap_to(row, target, self.epoch) else {
+            self.stats.skipped += 1;
+            return (actions, false);
+        };
+        self.stats.swaps += 1;
+        actions.push(MitigationAction::RowOperation {
+            bank,
+            kind: RowOpKind::Swap,
+            duration_ns: self.config.swap_latency_ns,
+            activations: vec![rec.from_location, rec.to_location],
+        });
+
+        // Update the per-row swap-tracking counter: TS demand activations
+        // plus the single latent activation of the swap are charged to the
+        // home chip location of the row being mitigated.
+        let latent_at_home = if rec.from_location == row { 1 } else { 0 };
+        let new_count =
+            self.counters[bank].record_swap(row, self.config.swap_threshold() + latent_at_home);
+        self.stats.counter_accesses += 1;
+        actions.push(MitigationAction::RowOperation {
+            bank,
+            kind: RowOpKind::CounterAccess,
+            duration_ns: self.config.counter_access_latency_ns,
+            activations: vec![self.counters[bank].counter_row_of(row)],
+        });
+        let detected = new_count >= self.detection_threshold();
+        if detected {
+            self.stats.detections += 1;
+        }
+        (actions, detected)
+    }
+
+    fn placeback_step(&mut self) -> Option<MitigationAction> {
+        for bank in 0..self.placeback_queue.len() {
+            while let Some(row) = self.placeback_queue[bank].pop_front() {
+                if let Some(rec) = self.rit.bank_mut(bank).unswap(row, self.epoch) {
+                    self.stats.place_backs += 1;
+                    return Some(MitigationAction::RowOperation {
+                        bank,
+                        kind: RowOpKind::PlaceBack,
+                        duration_ns: self.config.placeback_latency_ns,
+                        activations: vec![rec.from_location, rec.row],
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn tick_placeback(&mut self, now_ns: u64) -> Vec<MitigationAction> {
+        let mut actions = Vec::new();
+        while now_ns >= self.next_placeback_ns {
+            match self.placeback_step() {
+                Some(action) => actions.push(action),
+                None => {
+                    // Nothing left to place back in this window.
+                    self.next_placeback_ns = now_ns + self.placeback_interval_ns;
+                    break;
+                }
+            }
+            self.next_placeback_ns += self.placeback_interval_ns;
+        }
+        actions
+    }
+
+    pub(crate) fn start_new_window(&mut self, now_ns: u64) {
+        self.epoch += 1;
+        for counters in &mut self.counters {
+            counters.advance_epoch();
+        }
+        let mut total_stale = 0usize;
+        for bank in 0..self.rit.banks() {
+            let stale = self.rit.bank(bank).stale_rows(self.epoch);
+            total_stale += stale.len();
+            self.placeback_queue[bank] = stale.into();
+        }
+        // Spread the evictions evenly across the window (Section IV-D).
+        self.placeback_interval_ns =
+            self.config.refresh_window_ns / (total_stale.max(1) as u64 + 1);
+        self.next_placeback_ns = now_ns + self.placeback_interval_ns;
+    }
+
+    /// Number of mappings waiting to be placed back.
+    #[must_use]
+    pub fn pending_place_backs(&self) -> usize {
+        self.placeback_queue.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl RowSwapDefense for SecureRowSwap {
+    fn name(&self) -> &'static str {
+        "srs"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Srs
+    }
+
+    fn translate(&self, bank: usize, row: u64) -> u64 {
+        self.rit.bank(bank).translate(row)
+    }
+
+    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+        self.swap_only_trigger(bank, row, now_ns).0
+    }
+
+    fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction> {
+        self.tick_placeback(now_ns)
+    }
+
+    fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction> {
+        self.start_new_window(now_ns);
+        Vec::new()
+    }
+
+    fn swap_threshold(&self) -> Option<u64> {
+        Some(self.config.swap_threshold())
+    }
+
+    fn storage_report(&self) -> StorageReport {
+        storage_for(DefenseKind::Srs, &self.config)
+    }
+
+    fn swaps_performed(&self) -> u64 {
+        self.stats.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srs() -> SecureRowSwap {
+        SecureRowSwap::new(MitigationConfig::paper_default(4800, 6))
+    }
+
+    #[test]
+    fn repeated_triggers_never_touch_the_home_location_again() {
+        let mut d = srs();
+        let home = 1000u64;
+        // First trigger: the home location is read once (one latent ACT).
+        let first = d.on_mitigation_trigger(0, home, 0);
+        let home_acts_first: usize = first
+            .iter()
+            .filter_map(|a| match a {
+                MitigationAction::RowOperation { kind: RowOpKind::Swap, activations, .. } => {
+                    Some(activations.iter().filter(|&&r| r == home).count())
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(home_acts_first, 1);
+
+        // Every subsequent trigger swaps onward without ever activating the
+        // home location — this is what defeats Juggernaut.
+        for i in 1..50u64 {
+            let actions = d.on_mitigation_trigger(0, home, i * 1_000_000);
+            for a in &actions {
+                if let MitigationAction::RowOperation { kind: RowOpKind::Swap, activations, .. } = a {
+                    assert!(
+                        !activations.contains(&home),
+                        "swap #{i} must not activate the aggressor's home"
+                    );
+                }
+            }
+        }
+        assert_eq!(d.stats().swaps, 50);
+    }
+
+    #[test]
+    fn counter_accumulates_and_detects_after_three_swaps() {
+        let mut d = srs();
+        let mut detected = false;
+        for i in 0..3 {
+            let (_, det) = d.swap_only_trigger(0, 7, i);
+            detected = det;
+        }
+        // 3 swaps x (800 + latent) >= 3 x 800.
+        assert!(detected, "third swap must cross the detection threshold");
+        assert!(d.swap_count(0, 7) >= d.detection_threshold());
+        assert_eq!(d.stats().counter_accesses, 3);
+    }
+
+    #[test]
+    fn every_swap_emits_a_counter_access_on_a_counter_row() {
+        let mut d = srs();
+        let actions = d.on_mitigation_trigger(0, 42, 0);
+        let counter_ops: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::CounterAccess, .. }))
+            .collect();
+        assert_eq!(counter_ops.len(), 1);
+        if let MitigationAction::RowOperation { activations, .. } = counter_ops[0] {
+            assert!(activations[0] >= d.config().rows_per_bank, "counter rows live outside the data rows");
+        }
+    }
+
+    #[test]
+    fn place_back_drains_stale_mappings_over_the_next_window() {
+        let mut d = srs();
+        for i in 0..10 {
+            d.on_mitigation_trigger(0, 100 + i, 0);
+        }
+        d.on_new_window(64_000_000);
+        assert!(d.pending_place_backs() > 0);
+        let mut place_backs = 0;
+        let mut now = 64_000_000;
+        while d.pending_place_backs() > 0 && now < 300_000_000 {
+            now += 1_000_000;
+            place_backs += d
+                .on_tick(now)
+                .iter()
+                .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. }))
+                .count();
+        }
+        assert!(place_backs > 0);
+        assert_eq!(d.pending_place_backs(), 0);
+        // All ten rows from the stale epoch have gone home.
+        for i in 0..10 {
+            assert_eq!(d.translate(0, 100 + i), 100 + i);
+        }
+    }
+
+    #[test]
+    fn new_window_resets_counters() {
+        let mut d = srs();
+        d.on_mitigation_trigger(0, 5, 0);
+        assert!(d.swap_count(0, 5) > 0);
+        d.on_new_window(64_000_000);
+        assert_eq!(d.swap_count(0, 5), 0);
+    }
+
+    #[test]
+    fn translation_stays_consistent_under_churn() {
+        let mut d = srs();
+        for i in 0..500u64 {
+            d.on_mitigation_trigger((i % 8) as usize, (i * 37) % 2048, i * 10_000);
+            if i % 100 == 99 {
+                d.on_new_window(i * 10_000);
+            }
+        }
+        for bank in 0..8 {
+            assert!(d.rit.bank(bank).invariants_hold());
+        }
+    }
+
+    #[test]
+    fn storage_includes_place_back_buffer_and_epoch_register() {
+        let report = srs().storage_report();
+        assert!(report.place_back_buffer_bits > 0);
+        assert_eq!(report.epoch_register_bits, 19);
+    }
+}

@@ -1,0 +1,483 @@
+//! The memory controller: per-bank transaction queues, FR-FCFS scheduling,
+//! refresh, maintenance (mitigation) operations and activation accounting.
+
+use std::collections::VecDeque;
+
+use crate::address::{AddressMapper, BankId, PhysAddr, RowId};
+use crate::bank::Bank;
+use crate::command::{
+    AccessKind, ActivationEvent, CompletedAccess, MaintenanceOp, MemRequest, RequestId,
+};
+use crate::config::{DramConfig, PagePolicy};
+use crate::error::DramError;
+use crate::stats::ControllerStats;
+use crate::Nanos;
+
+/// A demand request waiting in a bank queue.
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    id: RequestId,
+    request: MemRequest,
+    row: RowId,
+}
+
+/// A transaction-level DDR4 memory controller.
+///
+/// The controller owns one [`Bank`] model and one transaction queue per
+/// global bank, a per-channel data bus, and a per-rank refresh schedule.
+/// Demand requests are scheduled FR-FCFS (row hits first under the open-page
+/// policy, otherwise first-come-first-served), maintenance operations take
+/// priority over demand requests of the same bank, and every `ACT` issued is
+/// logged as an [`ActivationEvent`] that the caller drains.
+#[derive(Debug)]
+pub struct MemoryController {
+    config: DramConfig,
+    mapper: AddressMapper,
+    banks: Vec<Bank>,
+    queues: Vec<VecDeque<PendingRequest>>,
+    maintenance: Vec<VecDeque<MaintenanceOp>>,
+    bus_free_ns: Vec<Nanos>,
+    next_refresh_ns: Vec<Nanos>,
+    next_window_ns: Nanos,
+    activation_log: Vec<ActivationEvent>,
+    completed: Vec<CompletedAccess>,
+    stats: ControllerStats,
+    next_request_id: u64,
+}
+
+impl MemoryController {
+    /// Create a controller for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`]; use
+    /// [`MemoryController::try_new`] to handle invalid configurations
+    /// gracefully.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        Self::try_new(config).expect("valid DRAM configuration")
+    }
+
+    /// Create a controller, returning an error for invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn try_new(config: DramConfig) -> Result<Self, DramError> {
+        config.validate()?;
+        let total_banks = config.total_banks();
+        let total_ranks = config.channels * config.ranks_per_channel;
+        let mapper = AddressMapper::new(config.clone());
+        Ok(Self {
+            banks: vec![Bank::new(); total_banks],
+            queues: vec![VecDeque::new(); total_banks],
+            maintenance: vec![VecDeque::new(); total_banks],
+            bus_free_ns: vec![0; config.channels],
+            next_refresh_ns: vec![config.timing.t_refi; total_ranks],
+            next_window_ns: config.refresh_window_ns,
+            activation_log: Vec::new(),
+            completed: Vec::new(),
+            stats: ControllerStats::default(),
+            next_request_id: 0,
+            mapper,
+            config,
+        })
+    }
+
+    /// The configuration of this controller.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapper used by this controller.
+    #[must_use]
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Number of requests currently queued for the given bank.
+    #[must_use]
+    pub fn queue_depth(&self, bank: BankId) -> usize {
+        self.queues.get(bank.index()).map_or(0, VecDeque::len)
+    }
+
+    /// Total requests queued across all banks.
+    #[must_use]
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether the controller has any outstanding demand or maintenance work.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.total_queued() == 0 && self.maintenance.iter().all(VecDeque::is_empty)
+    }
+
+    /// Enqueue a demand request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::QueueFull`] if the destination bank's queue has
+    /// reached [`DramConfig::queue_capacity`].
+    pub fn enqueue(&mut self, request: MemRequest) -> Result<RequestId, DramError> {
+        let (bank, row) = self.mapper.bank_and_row(request.addr);
+        let queue = &mut self.queues[bank.index()];
+        if queue.len() >= self.config.queue_capacity {
+            return Err(DramError::QueueFull { bank: bank.index() });
+        }
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        queue.push_back(PendingRequest { id, request, row });
+        Ok(id)
+    }
+
+    /// Whether the bank a physical address maps to can accept another request.
+    #[must_use]
+    pub fn can_accept(&self, addr: PhysAddr) -> bool {
+        let (bank, _) = self.mapper.bank_and_row(addr);
+        self.queues[bank.index()].len() < self.config.queue_capacity
+    }
+
+    /// Enqueue a maintenance operation (executed with priority over demand
+    /// requests of the same bank).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] if the bank index is invalid.
+    pub fn enqueue_maintenance(&mut self, op: MaintenanceOp) -> Result<(), DramError> {
+        let idx = op.bank.index();
+        if idx >= self.banks.len() {
+            return Err(DramError::BankOutOfRange { bank: idx, total_banks: self.banks.len() });
+        }
+        self.maintenance[idx].push_back(op);
+        Ok(())
+    }
+
+    /// Drain the activation events logged since the last call.
+    pub fn drain_activations(&mut self) -> Vec<ActivationEvent> {
+        std::mem::take(&mut self.activation_log)
+    }
+
+    /// Time until which a bank is busy — useful for backpressure decisions.
+    #[must_use]
+    pub fn bank_busy_until(&self, bank: BankId) -> Nanos {
+        self.banks[bank.index()].busy_until()
+    }
+
+    /// Advance the controller to time `now`, scheduling any work that can
+    /// start at or before `now`, and return demand accesses that have
+    /// completed by `now`.
+    pub fn tick(&mut self, now: Nanos) -> Vec<CompletedAccess> {
+        self.handle_window_rollover(now);
+        self.handle_refresh(now);
+        for bank_idx in 0..self.banks.len() {
+            self.schedule_bank(bank_idx, now);
+        }
+        let (done, still_pending): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.completed).into_iter().partition(|c| c.finish_ns <= now);
+        self.completed = still_pending;
+        done
+    }
+
+    /// Advance until all queued demand and maintenance work has completed,
+    /// returning the completions and the final time. Useful in tests and for
+    /// draining attack traces that are not paced by a CPU model.
+    pub fn drain(&mut self, mut now: Nanos, step_ns: Nanos) -> (Vec<CompletedAccess>, Nanos) {
+        let step = step_ns.max(1);
+        let mut all = Vec::new();
+        loop {
+            all.extend(self.tick(now));
+            if self.is_idle() && self.completed.is_empty() {
+                break;
+            }
+            now += step;
+        }
+        (all, now)
+    }
+
+    fn handle_window_rollover(&mut self, now: Nanos) {
+        while now >= self.next_window_ns {
+            for bank in &mut self.banks {
+                bank.start_new_window();
+            }
+            self.stats.windows_elapsed += 1;
+            self.next_window_ns += self.config.refresh_window_ns;
+        }
+    }
+
+    fn handle_refresh(&mut self, now: Nanos) {
+        let t_rfc = self.config.timing.t_rfc;
+        let t_refi = self.config.timing.t_refi;
+        let banks_per_rank = self.config.banks_per_rank;
+        for (rank_idx, next) in self.next_refresh_ns.iter_mut().enumerate() {
+            while *next <= now {
+                let start_bank = rank_idx * banks_per_rank;
+                for b in start_bank..start_bank + banks_per_rank {
+                    let until = self.banks[b].busy_until().max(*next) + t_rfc;
+                    self.banks[b].occupy_until(until);
+                    self.banks[b].precharge();
+                }
+                self.stats.refreshes += 1;
+                *next += t_refi;
+            }
+        }
+    }
+
+    fn schedule_bank(&mut self, bank_idx: usize, now: Nanos) {
+        loop {
+            if !self.banks[bank_idx].is_free_at(now) {
+                return;
+            }
+            // Maintenance has priority.
+            if let Some(op) = self.maintenance[bank_idx].pop_front() {
+                self.execute_maintenance(bank_idx, &op, now);
+                continue;
+            }
+            let Some(pos) = self.pick_request(bank_idx) else { return };
+            let pending = self.queues[bank_idx].remove(pos).expect("index valid");
+            self.execute_demand(bank_idx, pending, now);
+        }
+    }
+
+    /// FR-FCFS: prefer the oldest request that hits the open row; otherwise
+    /// the oldest request.
+    fn pick_request(&self, bank_idx: usize) -> Option<usize> {
+        let queue = &self.queues[bank_idx];
+        if queue.is_empty() {
+            return None;
+        }
+        if self.config.page_policy == PagePolicy::OpenPage {
+            if let Some(open) = self.banks[bank_idx].open_row() {
+                if let Some(pos) = queue.iter().position(|p| p.row == open) {
+                    return Some(pos);
+                }
+            }
+        }
+        Some(0)
+    }
+
+    fn execute_maintenance(&mut self, bank_idx: usize, op: &MaintenanceOp, now: Nanos) {
+        let start = self.banks[bank_idx].busy_until().max(now);
+        let finish = start + op.duration_ns;
+        self.banks[bank_idx].occupy_until(finish);
+        // Maintenance leaves the bank precharged (row movements end with a
+        // precharge of the last written row).
+        self.banks[bank_idx].precharge();
+        for &row in &op.activations {
+            self.banks[bank_idx].activate(row);
+            self.banks[bank_idx].precharge();
+            self.activation_log.push(ActivationEvent {
+                bank: BankId::new(bank_idx),
+                row,
+                at_ns: start,
+                maintenance: true,
+            });
+        }
+        self.stats.record_maintenance(op.label, op.duration_ns, op.activations.len() as u64);
+    }
+
+    fn execute_demand(&mut self, bank_idx: usize, pending: PendingRequest, now: Nanos) {
+        let timing = self.config.timing;
+        let channel = bank_idx / (self.config.ranks_per_channel * self.config.banks_per_rank);
+        let bank_ready = self.banks[bank_idx].busy_until().max(now).max(pending.request.arrival_ns);
+
+        let (row_hit, service_latency) = match (self.config.page_policy, self.banks[bank_idx].open_row()) {
+            (PagePolicy::OpenPage, Some(open)) if open == pending.row => (true, timing.row_hit_latency()),
+            (PagePolicy::OpenPage, Some(_)) => (false, timing.row_conflict_latency()),
+            (PagePolicy::OpenPage, None) | (PagePolicy::ClosedPage, _) => {
+                (false, timing.row_closed_latency())
+            }
+        };
+
+        // The data burst must also win the channel bus.
+        let bus_ready = self.bus_free_ns[channel];
+        let start = bank_ready.max(bus_ready.saturating_sub(service_latency - timing.t_burst));
+        let finish = start + service_latency;
+        self.bus_free_ns[channel] = finish;
+
+        // Row-cycle time lower-bounds back-to-back activations in a bank.
+        let occupy_until = if row_hit { finish } else { finish.max(start + timing.t_rc) };
+        self.banks[bank_idx].occupy_until(occupy_until);
+
+        if !row_hit {
+            self.banks[bank_idx].activate(pending.row);
+            self.activation_log.push(ActivationEvent {
+                bank: BankId::new(bank_idx),
+                row: pending.row,
+                at_ns: start,
+                maintenance: false,
+            });
+            self.stats.activations += 1;
+            self.stats.row_misses += 1;
+        } else {
+            self.stats.row_hits += 1;
+        }
+        if self.config.page_policy == PagePolicy::ClosedPage {
+            self.banks[bank_idx].precharge();
+        }
+        match pending.request.kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        let done = CompletedAccess {
+            request_id: pending.id,
+            request: pending.request,
+            finish_ns: finish,
+            row_hit,
+        };
+        self.stats.total_demand_latency_ns += done.latency_ns();
+        self.completed.push(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::MaintenanceKind;
+
+    fn small_config() -> DramConfig {
+        DramConfig { channels: 1, banks_per_rank: 2, rows_per_bank: 1024, queue_capacity: 8, ..DramConfig::default() }
+    }
+
+    fn addr_for(mc: &MemoryController, bank: usize, row: u64) -> PhysAddr {
+        mc.mapper().address_of(BankId::new(bank), row).unwrap()
+    }
+
+    #[test]
+    fn single_read_completes_with_closed_page_latency() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 5);
+        let id = mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        let (done, _) = mc.drain(0, 5);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request_id, id);
+        assert!(!done[0].row_hit);
+        let expected = DramTimingHelper::closed_latency();
+        assert_eq!(done[0].latency_ns(), expected);
+        assert_eq!(mc.stats().reads, 1);
+        assert_eq!(mc.stats().activations, 1);
+    }
+
+    struct DramTimingHelper;
+    impl DramTimingHelper {
+        fn closed_latency() -> Nanos {
+            crate::config::DramTiming::default().row_closed_latency()
+        }
+    }
+
+    #[test]
+    fn closed_page_policy_never_reports_row_hits() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 5);
+        for _ in 0..4 {
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        }
+        let (done, _) = mc.drain(0, 5);
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|d| !d.row_hit));
+        assert_eq!(mc.stats().activations, 4);
+    }
+
+    #[test]
+    fn open_page_policy_hits_on_same_row() {
+        let mut cfg = small_config();
+        cfg.page_policy = PagePolicy::OpenPage;
+        let mut mc = MemoryController::new(cfg);
+        let addr = addr_for(&mc, 0, 5);
+        for _ in 0..4 {
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        }
+        let (done, _) = mc.drain(0, 5);
+        assert_eq!(done.len(), 4);
+        assert_eq!(done.iter().filter(|d| d.row_hit).count(), 3);
+        assert_eq!(mc.stats().activations, 1);
+    }
+
+    #[test]
+    fn queue_overflow_is_reported() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 1);
+        for _ in 0..8 {
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        }
+        assert!(!mc.can_accept(addr));
+        assert!(matches!(
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)),
+            Err(DramError::QueueFull { .. })
+        ));
+    }
+
+    #[test]
+    fn maintenance_blocks_bank_and_logs_latent_activations() {
+        let mut mc = MemoryController::new(small_config());
+        let swap_ns = mc.config().swap_latency_ns();
+        mc.enqueue_maintenance(MaintenanceOp::new(BankId::new(0), swap_ns, vec![10, 20], MaintenanceKind::Swap))
+            .unwrap();
+        let addr = addr_for(&mc, 0, 10);
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        let (done, _) = mc.drain(0, 50);
+        // The demand access waits for the swap to finish.
+        assert!(done[0].latency_ns() >= swap_ns);
+        let acts = mc.drain_activations();
+        let maint: Vec<_> = acts.iter().filter(|a| a.maintenance).collect();
+        assert_eq!(maint.len(), 2);
+        assert_eq!(maint[0].row, 10);
+        assert_eq!(maint[1].row, 20);
+        assert_eq!(mc.stats().maintenance_count(MaintenanceKind::Swap), 1);
+        assert_eq!(mc.stats().maintenance_activations, 2);
+    }
+
+    #[test]
+    fn refresh_blocks_all_banks_in_rank() {
+        let mut mc = MemoryController::new(small_config());
+        let t_refi = mc.config().timing.t_refi;
+        // Advance past one refresh interval with no work queued.
+        mc.tick(t_refi + 1);
+        assert_eq!(mc.stats().refreshes, 1);
+        // Banks are now busy until roughly t_refi + t_rfc.
+        assert!(mc.bank_busy_until(BankId::new(0)) >= t_refi);
+        assert!(mc.bank_busy_until(BankId::new(1)) >= t_refi);
+    }
+
+    #[test]
+    fn window_rollover_resets_per_window_counts() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 3);
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        let (_, t) = mc.drain(0, 5);
+        assert!(t < mc.config().refresh_window_ns);
+        mc.tick(mc.config().refresh_window_ns + 1);
+        assert_eq!(mc.stats().windows_elapsed, 1);
+    }
+
+    #[test]
+    fn requests_to_different_banks_proceed_in_parallel() {
+        let mut mc = MemoryController::new(small_config());
+        let a0 = addr_for(&mc, 0, 1);
+        let a1 = addr_for(&mc, 1, 1);
+        mc.enqueue(MemRequest::new(a0, AccessKind::Read, 0, 0)).unwrap();
+        mc.enqueue(MemRequest::new(a1, AccessKind::Read, 0, 0)).unwrap();
+        let (done, _) = mc.drain(0, 1);
+        assert_eq!(done.len(), 2);
+        // Bank-parallel accesses should not serialize on tRC; only the burst
+        // serializes on the shared channel bus.
+        let t = mc.config().timing;
+        let max_finish = done.iter().map(|d| d.finish_ns).max().unwrap();
+        assert!(max_finish <= t.row_closed_latency() + t.t_burst);
+    }
+
+    #[test]
+    fn bad_maintenance_bank_is_rejected() {
+        let mut mc = MemoryController::new(small_config());
+        let op = MaintenanceOp::new(BankId::new(999), 100, vec![], MaintenanceKind::Other);
+        assert!(mc.enqueue_maintenance(op).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the DRAM model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DRAM device and memory-controller model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A physical address decoded to a row outside the configured bank.
+    RowOutOfRange {
+        /// The decoded row index.
+        row: u64,
+        /// The number of rows per bank in the configuration.
+        rows_per_bank: u64,
+    },
+    /// A bank index was outside the configured geometry.
+    BankOutOfRange {
+        /// The offending global bank index.
+        bank: usize,
+        /// Total number of banks in the system.
+        total_banks: usize,
+    },
+    /// The per-bank transaction queue is full and cannot accept new requests.
+    QueueFull {
+        /// The global bank index whose queue overflowed.
+        bank: usize,
+    },
+    /// The configuration is internally inconsistent (e.g. zero banks).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows_per_bank } => {
+                write!(f, "row {row} out of range for bank with {rows_per_bank} rows")
+            }
+            DramError::BankOutOfRange { bank, total_banks } => {
+                write!(f, "bank {bank} out of range for system with {total_banks} banks")
+            }
+            DramError::QueueFull { bank } => {
+                write!(f, "transaction queue full for bank {bank}")
+            }
+            DramError::InvalidConfig(msg) => write!(f, "invalid DRAM configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DramError::RowOutOfRange { row: 200_000, rows_per_bank: 131_072 };
+        let s = e.to_string();
+        assert!(s.contains("200000"));
+        assert!(s.contains("131072"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn queue_full_display() {
+        assert_eq!(DramError::QueueFull { bank: 3 }.to_string(), "transaction queue full for bank 3");
+    }
+}

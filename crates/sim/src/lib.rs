@@ -1,0 +1,38 @@
+//! # srs-sim
+//!
+//! The full-system memory simulator of the Scale-SRS reproduction — the
+//! equivalent of the USIMM-based harness the paper uses for its performance
+//! evaluation. It wires trace-driven cores ([`srs_cpu`]), an aggressor
+//! tracker ([`srs_trackers`]), a row-swap defense ([`srs_core`]) and the
+//! DDR4 memory controller ([`srs_dram`]) together, and provides the
+//! experiment runner that produces the normalized-performance numbers of
+//! Figures 4, 12, 14, 15 and 16.
+//!
+//! ## Example
+//!
+//! ```
+//! use srs_core::DefenseKind;
+//! use srs_sim::{System, SystemConfig};
+//! use srs_workloads::hammer_trace;
+//!
+//! let mut config = SystemConfig::scaled_for_speed(DefenseKind::Srs, 1200);
+//! config.cores = 1;
+//! config.core.target_instructions = 2_000;
+//! config.max_sim_ns = 2_000_000;
+//! let trace = hammer_trace("hammer", 0x8000, 1_000, 1 << 24, 1);
+//! let result = System::new(config, trace).run();
+//! assert!(result.swaps > 0, "hammering must trigger row swaps");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod runner;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use metrics::{mean_normalized, NormalizedResult, SimResult};
+pub use runner::{run_normalized, run_parallel, run_workload, suite_averages};
+pub use system::System;

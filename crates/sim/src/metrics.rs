@@ -1,0 +1,131 @@
+//! Results produced by simulation runs.
+
+use serde::{Deserialize, Serialize};
+use srs_dram::ControllerStats;
+
+/// The result of simulating one workload on one system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// Defense name (`"baseline"`, `"rrs"`, `"srs"`, `"scale-srs"`, ...).
+    pub defense: String,
+    /// Row Hammer threshold of the run.
+    pub t_rh: u64,
+    /// Simulated time at which the run ended, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Per-core instructions-per-cycle values.
+    pub per_core_ipc: Vec<f64>,
+    /// Total instructions retired by all cores.
+    pub instructions: u64,
+    /// Memory-controller statistics.
+    pub controller: ControllerStats,
+    /// Total swaps performed by the defense.
+    pub swaps: u64,
+    /// Rows pinned in the LLC by Scale-SRS during the run.
+    pub rows_pinned: u64,
+    /// Demand accesses served from pinned LLC rows instead of DRAM.
+    pub pinned_hits: u64,
+    /// Largest per-row activation count observed in any refresh window.
+    pub max_row_activations_in_window: u64,
+}
+
+impl SimResult {
+    /// Sum of per-core IPCs (the throughput metric USIMM reports).
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.per_core_ipc.iter().sum()
+    }
+
+    /// Fraction of DRAM activity spent on mitigation (swap) operations.
+    #[must_use]
+    pub fn swap_traffic_fraction(&self) -> f64 {
+        let total = self.controller.activations.max(1) as f64;
+        self.controller.maintenance_activations as f64 / total
+    }
+}
+
+/// A defense result normalized against its baseline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedResult {
+    /// Workload name.
+    pub workload: String,
+    /// Defense name.
+    pub defense: String,
+    /// Row Hammer threshold.
+    pub t_rh: u64,
+    /// Defense IPC divided by baseline IPC (1.0 means no slowdown).
+    pub normalized_performance: f64,
+    /// The defense run's raw result.
+    pub detail: SimResult,
+}
+
+impl NormalizedResult {
+    /// Slowdown as a positive fraction (0.04 means 4% slower than baseline).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        1.0 - self.normalized_performance
+    }
+}
+
+/// Arithmetic mean of the normalized performance of a set of results (how
+/// the paper aggregates each suite and the ALL-78 bar).
+#[must_use]
+pub fn mean_normalized(results: &[NormalizedResult]) -> f64 {
+    if results.is_empty() {
+        return 1.0;
+    }
+    results.iter().map(|r| r.normalized_performance).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(norm: f64) -> NormalizedResult {
+        NormalizedResult {
+            workload: "w".to_string(),
+            defense: "d".to_string(),
+            t_rh: 1200,
+            normalized_performance: norm,
+            detail: SimResult {
+                workload: "w".to_string(),
+                defense: "d".to_string(),
+                t_rh: 1200,
+                elapsed_ns: 1000,
+                per_core_ipc: vec![1.0, 2.0],
+                instructions: 100,
+                controller: ControllerStats::default(),
+                swaps: 0,
+                rows_pinned: 0,
+                pinned_hits: 0,
+                max_row_activations_in_window: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn total_ipc_sums_cores() {
+        assert!((result(1.0).detail.total_ipc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_is_one_minus_normalized() {
+        assert!((result(0.96).slowdown() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_handles_empty_and_nonempty() {
+        assert_eq!(mean_normalized(&[]), 1.0);
+        let results = vec![result(0.9), result(1.0)];
+        assert!((mean_normalized(&results) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_fraction_divides_by_activations() {
+        let mut r = result(1.0);
+        r.detail.controller.activations = 200;
+        r.detail.controller.maintenance_activations = 20;
+        assert!((r.detail.swap_traffic_fraction() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,405 @@
+//! The full-system simulator: cores, tracker, defense and DRAM wired
+//! together (the USIMM-equivalent harness).
+//!
+//! The simulated traces are memory-side traces (already filtered through the
+//! L1/L2 hierarchy, as in the paper's artifact), so demand records go
+//! straight to the memory controller. The shared LLC appears in the model
+//! only where the defenses need it: rows pinned by Scale-SRS are served at
+//! LLC latency and stop producing DRAM activations.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
+use srs_cpu::{AccessToken, CoreStatus, TraceCore};
+use srs_dram::{
+    AccessKind, BankId, DramAddress, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController,
+    PhysAddr, RequestId,
+};
+use srs_trackers::{AggressorTracker, HydraConfig, HydraTracker, MisraGriesConfig, MisraGriesTracker, TrackerKind};
+use srs_workloads::Trace;
+
+use crate::config::SystemConfig;
+use crate::metrics::SimResult;
+
+/// A memory operation waiting for queue space in the controller.
+#[derive(Debug, Clone, Copy)]
+struct DeferredAccess {
+    addr: PhysAddr,
+    is_write: bool,
+    origin: Option<(usize, AccessToken)>,
+}
+
+/// The full-system simulator for one workload under one configuration.
+pub struct System {
+    config: SystemConfig,
+    workload: String,
+    cores: Vec<TraceCore>,
+    core_finish_ns: Vec<Option<u64>>,
+    controller: MemoryController,
+    tracker: Box<dyn AggressorTracker + Send>,
+    defense: Box<dyn RowSwapDefense + Send>,
+    pinned_rows: HashSet<(usize, u64)>,
+    pending: HashMap<RequestId, (usize, AccessToken)>,
+    deferred: VecDeque<DeferredAccess>,
+    next_window_ns: u64,
+    row_activations: HashMap<(usize, u64), u64>,
+    max_row_activations: u64,
+    rows_pinned: u64,
+    pinned_hits: u64,
+}
+
+fn build_tracker(config: &SystemConfig) -> Box<dyn AggressorTracker + Send> {
+    let mitigation = config.mitigation_config();
+    let ts = mitigation.swap_threshold();
+    match config.tracker {
+        TrackerKind::MisraGries => Box::new(MisraGriesTracker::new(MisraGriesConfig::for_threshold(
+            ts,
+            mitigation.act_max_per_window,
+            mitigation.banks,
+        ))),
+        TrackerKind::Hydra => Box::new(HydraTracker::new(HydraConfig::for_threshold(
+            ts,
+            mitigation.banks,
+            mitigation.rows_per_bank,
+        ))),
+    }
+}
+
+fn maintenance_kind(kind: RowOpKind) -> MaintenanceKind {
+    match kind {
+        RowOpKind::Swap => MaintenanceKind::Swap,
+        RowOpKind::UnswapSwap => MaintenanceKind::UnswapSwap,
+        RowOpKind::PlaceBack | RowOpKind::BulkUnswap => MaintenanceKind::PlaceBack,
+        RowOpKind::CounterAccess => MaintenanceKind::CounterAccess,
+    }
+}
+
+impl System {
+    /// Build a system that runs `trace` on every core (rate mode, as in the
+    /// paper's methodology).
+    #[must_use]
+    pub fn new(config: SystemConfig, trace: Trace) -> Self {
+        let controller = MemoryController::new(config.dram.clone());
+        let tracker = build_tracker(&config);
+        let defense = build_defense(config.defense, config.mitigation_config());
+        let cores: Vec<TraceCore> = (0..config.cores)
+            .map(|i| {
+                let mut t = trace.clone();
+                // Give each core a private copy offset into the address space
+                // so rate mode does not trivially share every row.
+                let offset = (i as u64) << 33;
+                for r in &mut t.records {
+                    r.addr = r.addr.wrapping_add(offset);
+                }
+                TraceCore::new(config.core, t)
+            })
+            .collect();
+        let window = config.dram.refresh_window_ns;
+        Self {
+            workload: trace.name.clone(),
+            core_finish_ns: vec![None; config.cores],
+            cores,
+            controller,
+            tracker,
+            defense,
+            pinned_rows: HashSet::new(),
+            pending: HashMap::new(),
+            deferred: VecDeque::new(),
+            next_window_ns: window,
+            row_activations: HashMap::new(),
+            max_row_activations: 0,
+            rows_pinned: 0,
+            pinned_hits: 0,
+            config,
+        }
+    }
+
+    /// The configuration of this system.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn decode(&self, addr: PhysAddr) -> (BankId, DramAddress) {
+        let d = self.controller.mapper().decode(addr);
+        (d.bank_id(&self.config.dram), d)
+    }
+
+    fn remapped_address(&self, decoded: &DramAddress, bank: BankId) -> PhysAddr {
+        let physical_row = self.defense.translate(bank.index(), decoded.row);
+        if physical_row == decoded.row {
+            return self
+                .controller
+                .mapper()
+                .encode(decoded)
+                .unwrap_or(PhysAddr::new(0));
+        }
+        let remapped = DramAddress { row: physical_row % self.config.dram.rows_per_bank, ..*decoded };
+        self.controller.mapper().encode(&remapped).unwrap_or_else(|_| {
+            self.controller.mapper().encode(decoded).unwrap_or(PhysAddr::new(0))
+        })
+    }
+
+    fn apply_actions(&mut self, actions: Vec<MitigationAction>) {
+        for action in actions {
+            match action {
+                MitigationAction::RowOperation { bank, kind, duration_ns, activations } => {
+                    let op = MaintenanceOp::new(
+                        BankId::new(bank),
+                        duration_ns,
+                        activations,
+                        maintenance_kind(kind),
+                    );
+                    let _ = self.controller.enqueue_maintenance(op);
+                }
+                MitigationAction::PinRow { bank, row } => {
+                    if self.pinned_rows.insert((bank, row)) {
+                        self.rows_pinned += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn submit(&mut self, addr: PhysAddr, is_write: bool, origin: Option<(usize, AccessToken)>, now: u64) {
+        let (bank, decoded) = self.decode(addr);
+        let logical_row = decoded.row;
+
+        if self.pinned_rows.contains(&(bank.index(), logical_row)) {
+            // The row lives in the LLC for the rest of the window.
+            self.pinned_hits += 1;
+            if let Some((core, token)) = origin {
+                self.cores[core].complete_read(token, now + self.config.llc_hit_latency_ns);
+            }
+            return;
+        }
+
+        // Row Hammer accounting and tracking on the issued row address.
+        let count = self.row_activations.entry((bank.index(), logical_row)).or_insert(0);
+        *count += 1;
+        self.max_row_activations = self.max_row_activations.max(*count);
+        let decision = self.tracker.record_activation(bank.index(), logical_row);
+        if decision.extra_memory_accesses > 0 {
+            // Hydra's memory-resident counter table traffic.
+            let timing = &self.config.dram.timing;
+            let op = MaintenanceOp::new(
+                bank,
+                decision.extra_memory_accesses * (timing.t_rc + timing.t_cas),
+                Vec::new(),
+                MaintenanceKind::CounterAccess,
+            );
+            let _ = self.controller.enqueue_maintenance(op);
+        }
+        if decision.mitigate {
+            let actions = self.defense.on_mitigation_trigger(bank.index(), logical_row, now);
+            self.apply_actions(actions);
+            // The trigger may have pinned the row; the current access still
+            // proceeds to memory (the data is being migrated).
+        }
+
+        let target = self.remapped_address(&decoded, bank);
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let core_id = origin.map_or(0, |(core, _)| core);
+        let request = MemRequest::new(target, kind, core_id, now);
+        match self.controller.enqueue(request) {
+            Ok(id) => {
+                if let Some(origin) = origin {
+                    self.pending.insert(id, origin);
+                }
+            }
+            Err(_) => self.deferred.push_back(DeferredAccess { addr, is_write, origin }),
+        }
+    }
+
+    fn retry_deferred(&mut self, now: u64) {
+        for _ in 0..self.deferred.len() {
+            let Some(item) = self.deferred.pop_front() else { break };
+            if self.controller.can_accept(item.addr) {
+                self.submit(item.addr, item.is_write, item.origin, now);
+            } else {
+                self.deferred.push_back(item);
+            }
+        }
+    }
+
+    fn handle_window_rollover(&mut self, now: u64) {
+        while now >= self.next_window_ns {
+            let boundary = self.next_window_ns;
+            self.tracker.reset_epoch();
+            let actions = self.defense.on_new_window(boundary);
+            self.apply_actions(actions);
+            self.pinned_rows.clear();
+            self.row_activations.clear();
+            self.next_window_ns += self.config.dram.refresh_window_ns;
+        }
+    }
+
+    fn all_cores_finished(&self) -> bool {
+        self.cores.iter().all(TraceCore::is_finished)
+    }
+
+    /// Run the simulation to completion (all cores reach their instruction
+    /// target, or the simulated-time cap is hit) and return the results.
+    pub fn run(mut self) -> SimResult {
+        let step_ns: u64 = 25;
+        let mut now: u64 = 0;
+        loop {
+            if now >= self.config.max_sim_ns {
+                break;
+            }
+            if self.all_cores_finished()
+                && self.pending.is_empty()
+                && self.deferred.is_empty()
+                && self.controller.is_idle()
+            {
+                break;
+            }
+            self.handle_window_rollover(now);
+            self.retry_deferred(now);
+
+            // Let every core issue work available at this time.
+            for core_idx in 0..self.cores.len() {
+                if self.deferred.len() > 512 {
+                    break;
+                }
+                for _ in 0..8 {
+                    match self.cores[core_idx].status(now) {
+                        CoreStatus::ReadyAt(t) if t <= now => {}
+                        CoreStatus::Finished => {
+                            if self.core_finish_ns[core_idx].is_none() {
+                                self.core_finish_ns[core_idx] = Some(now);
+                            }
+                            break;
+                        }
+                        _ => break,
+                    }
+                    let Some(issue) = self.cores[core_idx].try_issue(now) else { break };
+                    let origin = if issue.is_write { None } else { Some((core_idx, issue.token)) };
+                    self.submit(PhysAddr::new(issue.addr), issue.is_write, origin, now);
+                }
+            }
+
+            // Advance the memory controller and deliver completions.
+            for done in self.controller.tick(now) {
+                if let Some((core, token)) = self.pending.remove(&done.request_id) {
+                    self.cores[core].complete_read(token, done.finish_ns.max(now));
+                }
+            }
+            let _ = self.controller.drain_activations();
+
+            // Lazy defense work (SRS place-back).
+            let actions = self.defense.on_tick(now);
+            self.apply_actions(actions);
+
+            now += step_ns;
+        }
+
+        let elapsed = now.max(1);
+        for slot in &mut self.core_finish_ns {
+            if slot.is_none() {
+                *slot = Some(elapsed);
+            }
+        }
+        let per_core_ipc: Vec<f64> = self
+            .cores
+            .iter()
+            .zip(&self.core_finish_ns)
+            .map(|(core, finish)| core.ipc(finish.unwrap_or(elapsed).max(1)))
+            .collect();
+        let instructions = self.cores.iter().map(TraceCore::retired_instructions).sum();
+        SimResult {
+            workload: self.workload,
+            defense: self.defense.name().to_string(),
+            t_rh: self.config.t_rh,
+            elapsed_ns: elapsed,
+            per_core_ipc,
+            instructions,
+            controller: self.controller.stats().clone(),
+            swaps: self.defense.swaps_performed(),
+            rows_pinned: self.rows_pinned,
+            pinned_hits: self.pinned_hits,
+            max_row_activations_in_window: self.max_row_activations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_core::DefenseKind;
+    use srs_workloads::{hammer_trace, WorkloadSpec};
+
+    fn tiny_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+        let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+        config.cores = 2;
+        config.core.target_instructions = 6_000;
+        config.trace_records_per_core = 2_000;
+        config.dram.refresh_window_ns = 500_000;
+        config.max_sim_ns = 4_000_000;
+        config
+    }
+
+    fn tiny_trace(records: usize) -> Trace {
+        WorkloadSpec {
+            name: "test-hot".to_string(),
+            footprint_bytes: 1 << 24,
+            base_addr: 0,
+            read_fraction: 0.7,
+            mean_gap: 2,
+            pattern: srs_workloads::AccessPattern::HotRows { hot_rows: 2, hot_fraction: 0.6 },
+        }
+        .generate(records, 11)
+    }
+
+    #[test]
+    fn baseline_run_completes_and_reports_ipc() {
+        let config = tiny_config(DefenseKind::Baseline, 1200);
+        let result = System::new(config, tiny_trace(2_000)).run();
+        assert!(result.instructions > 0);
+        assert!(result.total_ipc() > 0.0);
+        assert!(result.controller.reads > 0);
+        assert_eq!(result.swaps, 0);
+    }
+
+    #[test]
+    fn hammering_triggers_swaps_under_rrs() {
+        let config = tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200);
+        let trace = hammer_trace("hammer", 0x10000, 2_000, 1 << 26, 5);
+        let result = System::new(config, trace).run();
+        assert!(result.swaps > 0, "hammering must trigger swaps");
+        assert!(result.controller.maintenance_activations > 0);
+    }
+
+    #[test]
+    fn defense_slows_down_hot_workloads_relative_to_baseline() {
+        let trace = tiny_trace(3_000);
+        let baseline = System::new(tiny_config(DefenseKind::Baseline, 1200), trace.clone()).run();
+        let rrs = System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace).run();
+        assert!(rrs.swaps > 0);
+        assert!(
+            rrs.total_ipc() <= baseline.total_ipc() * 1.02,
+            "rrs {} vs baseline {}",
+            rrs.total_ipc(),
+            baseline.total_ipc()
+        );
+    }
+
+    #[test]
+    fn scale_srs_pins_outliers_under_targeted_hammering() {
+        let mut config = tiny_config(DefenseKind::ScaleSrs, 2400);
+        config.dram.refresh_window_ns = 2_000_000;
+        let trace = hammer_trace("hammer", 0x4000, 6_000, 1 << 26, 9);
+        let result = System::new(config, trace).run();
+        assert!(result.swaps > 0);
+        assert!(result.rows_pinned > 0, "targeted hammering must pin the outlier row");
+        assert!(result.pinned_hits > 0, "pinned rows must absorb accesses");
+    }
+
+    #[test]
+    fn max_row_activation_statistic_sees_the_hot_row() {
+        let config = tiny_config(DefenseKind::Baseline, 1200);
+        let trace = hammer_trace("hammer", 0x8000, 1_500, 1 << 26, 3);
+        let result = System::new(config, trace).run();
+        assert!(result.max_row_activations_in_window > 100);
+    }
+}

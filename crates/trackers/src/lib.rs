@@ -1,0 +1,39 @@
+//! # srs-trackers
+//!
+//! Aggressor-row trackers for Row Hammer defenses. The Scale-SRS paper
+//! evaluates its mitigation with two state-of-the-art trackers:
+//!
+//! * the **Misra-Gries** frequent-item tracker used by Graphene and by the
+//!   original Randomized Row-Swap work, kept entirely in SRAM inside the
+//!   memory controller, and
+//! * **Hydra**, a hybrid tracker that keeps small group counters and a row
+//!   count cache on chip but spills exact per-row counters to a reserved
+//!   region of DRAM, trading SRAM for extra memory traffic.
+//!
+//! Both implement the [`AggressorTracker`] trait; a mitigation is triggered
+//! whenever a row's estimated activation count crosses the swap threshold
+//! `TS`.
+//!
+//! ## Example
+//!
+//! ```
+//! use srs_trackers::{AggressorTracker, MisraGriesTracker, MisraGriesConfig};
+//!
+//! let mut tracker = MisraGriesTracker::new(MisraGriesConfig::for_threshold(800, 1_360_000, 16));
+//! let mut fired = false;
+//! for _ in 0..800 {
+//!     fired |= tracker.record_activation(0, 42).mitigate;
+//! }
+//! assert!(fired, "row crossing TS must trigger mitigation");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hydra;
+pub mod misra_gries;
+pub mod tracker;
+
+pub use hydra::{HydraConfig, HydraTracker};
+pub use misra_gries::{MisraGriesConfig, MisraGriesTracker};
+pub use tracker::{AggressorTracker, TrackerDecision, TrackerKind};

@@ -1,0 +1,255 @@
+//! The Misra-Gries frequent-item tracker (as used by Graphene and RRS).
+//!
+//! Each bank owns a small table of `(row, counter)` pairs plus a spillover
+//! counter. The table is sized so that any row receiving more than `TS`
+//! activations within a tracking epoch is guaranteed to be present — the
+//! classic Misra-Gries guarantee requires `entries ≥ ACT_max / TS`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tracker::{AggressorTracker, TrackerDecision};
+
+/// Configuration of the Misra-Gries tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MisraGriesConfig {
+    /// Swap threshold `TS`: a mitigation fires when a row's counter reaches it.
+    pub swap_threshold: u64,
+    /// Number of `(row, counter)` entries per bank.
+    pub entries_per_bank: usize,
+    /// Number of banks tracked.
+    pub banks: usize,
+    /// Bits per row-address tag (17 bits for 128K rows).
+    pub row_tag_bits: u32,
+    /// Bits per counter.
+    pub counter_bits: u32,
+}
+
+impl MisraGriesConfig {
+    /// Size the tracker for a given swap threshold and per-bank activation
+    /// budget (`ACT_max`), following the Misra-Gries guarantee with the
+    /// 2x over-provisioning used by Graphene/RRS.
+    #[must_use]
+    pub fn for_threshold(swap_threshold: u64, act_max_per_window: u64, banks: usize) -> Self {
+        let needed = act_max_per_window.div_ceil(swap_threshold.max(1)) as usize;
+        Self {
+            swap_threshold,
+            entries_per_bank: (2 * needed).max(4),
+            banks: banks.max(1),
+            row_tag_bits: 17,
+            counter_bits: 13,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct BankTable {
+    entries: HashMap<u64, u64>,
+    spillover: u64,
+    capacity: usize,
+}
+
+impl BankTable {
+    fn new(capacity: usize) -> Self {
+        Self { entries: HashMap::new(), spillover: 0, capacity }
+    }
+
+    /// Returns the row's new estimated count.
+    fn observe(&mut self, row: u64) -> u64 {
+        if let Some(count) = self.entries.get_mut(&row) {
+            *count += 1;
+            return *count;
+        }
+        if self.entries.len() < self.capacity {
+            let start = self.spillover + 1;
+            self.entries.insert(row, start);
+            return start;
+        }
+        // Replace an entry whose count equals the spillover counter, if any;
+        // otherwise increment the spillover counter (all tracked rows keep
+        // their lead over untracked ones).
+        if let Some((&victim, _)) = self.entries.iter().find(|(_, &c)| c <= self.spillover) {
+            self.entries.remove(&victim);
+            let start = self.spillover + 1;
+            self.entries.insert(row, start);
+            start
+        } else {
+            self.spillover += 1;
+            self.spillover
+        }
+    }
+
+    fn reset_row(&mut self, row: u64) {
+        // After a mitigation the row starts counting from the spillover
+        // level again, mirroring Graphene's counter reset on a swap.
+        self.entries.insert(row, self.spillover);
+    }
+}
+
+/// The Misra-Gries aggressor tracker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisraGriesTracker {
+    config: MisraGriesConfig,
+    banks: Vec<BankTable>,
+}
+
+impl MisraGriesTracker {
+    /// Create a tracker with empty per-bank tables.
+    #[must_use]
+    pub fn new(config: MisraGriesConfig) -> Self {
+        let banks = (0..config.banks).map(|_| BankTable::new(config.entries_per_bank)).collect();
+        Self { config, banks }
+    }
+
+    /// The tracker configuration.
+    #[must_use]
+    pub fn config(&self) -> &MisraGriesConfig {
+        &self.config
+    }
+
+    /// Number of rows currently tracked in a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn tracked_rows(&self, bank: usize) -> usize {
+        self.banks[bank].entries.len()
+    }
+}
+
+impl AggressorTracker for MisraGriesTracker {
+    fn record_activation(&mut self, bank: usize, row: u64) -> TrackerDecision {
+        let bank = bank % self.banks.len();
+        let count = self.banks[bank].observe(row);
+        if count >= self.config.swap_threshold {
+            self.banks[bank].reset_row(row);
+            TrackerDecision::mitigate_now()
+        } else {
+            TrackerDecision::none()
+        }
+    }
+
+    fn estimated_count(&self, bank: usize, row: u64) -> u64 {
+        let bank = bank % self.banks.len();
+        self.banks[bank].entries.get(&row).copied().unwrap_or(self.banks[bank].spillover)
+    }
+
+    fn reset_epoch(&mut self) {
+        for b in &mut self.banks {
+            b.entries.clear();
+            b.spillover = 0;
+        }
+    }
+
+    fn swap_threshold(&self) -> u64 {
+        self.config.swap_threshold
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let entry_bits = u64::from(self.config.row_tag_bits + self.config.counter_bits);
+        self.config.banks as u64 * self.config.entries_per_bank as u64 * entry_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(ts: u64) -> MisraGriesTracker {
+        MisraGriesTracker::new(MisraGriesConfig::for_threshold(ts, 1_360_000, 2))
+    }
+
+    #[test]
+    fn sizes_per_guarantee() {
+        let c = MisraGriesConfig::for_threshold(800, 1_360_000, 16);
+        assert!(c.entries_per_bank >= 1_360_000_usize.div_ceil(800));
+        assert_eq!(c.banks, 16);
+    }
+
+    #[test]
+    fn fires_exactly_at_threshold() {
+        let mut t = tracker(100);
+        for i in 0..99 {
+            assert!(!t.record_activation(0, 7).mitigate, "fired early at {i}");
+        }
+        assert!(t.record_activation(0, 7).mitigate);
+    }
+
+    #[test]
+    fn refires_after_ts_more_activations() {
+        let mut t = tracker(100);
+        let mut fires = 0;
+        for _ in 0..300 {
+            if t.record_activation(0, 7).mitigate {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 3);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_background_noise() {
+        let mut t = tracker(200);
+        let mut fired = false;
+        for i in 0..40_000u64 {
+            // Background: a sweep over many distinct rows.
+            t.record_activation(0, 1000 + i);
+            // Aggressor row every 100th activation won't fire, but a denser
+            // aggressor must.
+            if i % 4 == 0 {
+                fired |= t.record_activation(0, 3).mitigate;
+            }
+        }
+        assert!(fired, "dense aggressor must be detected despite noise");
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut t = tracker(50);
+        for _ in 0..49 {
+            t.record_activation(0, 9);
+        }
+        // Bank 1 has seen nothing for row 9.
+        assert_eq!(t.estimated_count(1, 9), 0);
+        assert!(t.estimated_count(0, 9) >= 49);
+    }
+
+    #[test]
+    fn reset_epoch_clears_counts() {
+        let mut t = tracker(50);
+        for _ in 0..30 {
+            t.record_activation(0, 9);
+        }
+        t.reset_epoch();
+        assert_eq!(t.estimated_count(0, 9), 0);
+        assert_eq!(t.tracked_rows(0), 0);
+    }
+
+    #[test]
+    fn storage_is_tens_of_kilobits_per_bank() {
+        let t = tracker(800);
+        let per_bank_bits = t.storage_bits() / 2;
+        // ~2 * 1700 entries * 30 bits ≈ 100 kbit ≈ 12.5 KB per bank.
+        assert!(per_bank_bits > 50_000 && per_bank_bits < 200_000, "bits = {per_bank_bits}");
+    }
+
+    #[test]
+    fn never_underestimates_a_true_heavy_hitter() {
+        // Misra-Gries guarantee: estimate >= true count - spillover, and any
+        // row with > ACT/entries activations is tracked.
+        let mut t = MisraGriesTracker::new(MisraGriesConfig {
+            swap_threshold: 1_000_000, // never fire, we only check estimates
+            entries_per_bank: 64,
+            banks: 1,
+            row_tag_bits: 17,
+            counter_bits: 20,
+        });
+        for i in 0..10_000u64 {
+            t.record_activation(0, i % 200); // uniform background
+            t.record_activation(0, 7777); // heavy hitter, 1/2 of traffic
+        }
+        assert!(t.estimated_count(0, 7777) >= 5_000, "estimate too low");
+    }
+}

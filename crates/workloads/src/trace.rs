@@ -1,0 +1,195 @@
+//! The memory-access trace format consumed by the trace-driven core model.
+//!
+//! The paper's artifact drives USIMM with Pin-generated traces that have
+//! already been filtered through an L1 and L2 cache. Those traces are not
+//! redistributable, so this crate generates synthetic traces with the same
+//! shape: a stream of records, each saying how many non-memory instructions
+//! precede a memory operation at a given physical address.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Whether a trace record reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One record of a trace: `nonmem_insts` non-memory instructions followed by
+/// one memory operation at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Non-memory instructions executed before this memory operation.
+    pub nonmem_insts: u32,
+    /// The memory operation kind.
+    pub op: MemOp,
+    /// Physical byte address accessed.
+    pub addr: u64,
+}
+
+impl TraceRecord {
+    /// Total instructions this record represents (the memory operation plus
+    /// the non-memory instructions preceding it).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.nonmem_insts) + 1
+    }
+}
+
+/// A named memory-access trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload name (e.g. `"gcc"`, `"gups"`, `"mix3"`).
+    pub name: String,
+    /// The trace records, in program order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Create a trace from records.
+    #[must_use]
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        Self { name: name.into(), records }
+    }
+
+    /// Number of records (memory operations).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions represented by the trace.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.records.iter().map(TraceRecord::instructions).sum()
+    }
+
+    /// Fraction of memory operations that are reads, in [0, 1].
+    #[must_use]
+    pub fn read_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let reads = self.records.iter().filter(|r| r.op == MemOp::Read).count();
+        reads as f64 / self.records.len() as f64
+    }
+
+    /// Memory operations per kilo-instruction (a standard intensity metric).
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        let insts = self.total_instructions();
+        if insts == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 * 1000.0 / insts as f64
+    }
+
+    /// Serialize the trace to a compact binary representation.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.name.len() + self.records.len() * 13);
+        buf.put_u32(self.name.len() as u32);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_u64(self.records.len() as u64);
+        for r in &self.records {
+            buf.put_u32(r.nonmem_insts);
+            buf.put_u8(match r.op {
+                MemOp::Read => 0,
+                MemOp::Write => 1,
+            });
+            buf.put_u64(r.addr);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a trace previously produced by [`Trace::to_bytes`].
+    ///
+    /// Returns `None` if the buffer is truncated or malformed.
+    #[must_use]
+    pub fn from_bytes(mut data: Bytes) -> Option<Self> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let name_len = data.get_u32() as usize;
+        if data.remaining() < name_len + 8 {
+            return None;
+        }
+        let name_bytes = data.copy_to_bytes(name_len);
+        let name = String::from_utf8(name_bytes.to_vec()).ok()?;
+        let count = data.get_u64() as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 13 {
+                return None;
+            }
+            let nonmem_insts = data.get_u32();
+            let op = match data.get_u8() {
+                0 => MemOp::Read,
+                1 => MemOp::Write,
+                _ => return None,
+            };
+            let addr = data.get_u64();
+            records.push(TraceRecord { nonmem_insts, op, addr });
+        }
+        Some(Self { name, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "sample",
+            vec![
+                TraceRecord { nonmem_insts: 10, op: MemOp::Read, addr: 0x1000 },
+                TraceRecord { nonmem_insts: 0, op: MemOp::Write, addr: 0x2000 },
+                TraceRecord { nonmem_insts: 5, op: MemOp::Read, addr: 0x1040 },
+            ],
+        )
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_instructions(), 18);
+        assert!((t.read_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((t.mpki() - 3.0 * 1000.0 / 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(bytes).expect("well-formed");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 4);
+        assert!(Trace::from_bytes(truncated).is_none());
+        assert!(Trace::from_bytes(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn empty_trace_metrics() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mpki(), 0.0);
+        assert_eq!(t.read_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests (proptest) on the core data structures and models.
+
+use proptest::prelude::*;
+
+use scale_srs::core::rit::BankRit;
+use scale_srs::core::{MitigationConfig, RowSwapDefense, ScaleSrs, SecureRowSwap};
+use scale_srs::dram::{AddressMapper, DramConfig, PhysAddr};
+use scale_srs::trackers::{AggressorTracker, MisraGriesConfig, MisraGriesTracker};
+use scale_srs::workloads::{MemOp, Trace, TraceRecord};
+
+proptest! {
+    /// Decoding any line-aligned physical address and re-encoding it is the
+    /// identity (the mapper is a bijection over the device's capacity).
+    #[test]
+    fn address_mapping_round_trips(raw in 0u64..(1 << 35)) {
+        let config = DramConfig::default();
+        let mapper = AddressMapper::new(config.clone());
+        let addr = PhysAddr::new(raw).line_aligned(config.line_size_bytes);
+        let decoded = mapper.decode(addr);
+        let encoded = mapper.encode(&decoded).unwrap();
+        prop_assert_eq!(mapper.decode(encoded), decoded);
+    }
+
+    /// The RIT's forward and reverse maps stay mutually consistent under any
+    /// sequence of swap and unswap operations, and translation stays a
+    /// permutation (no two rows ever resolve to the same location).
+    #[test]
+    fn rit_stays_a_permutation(ops in proptest::collection::vec((0u64..64, 0u64..64, prop::bool::ANY), 1..200)) {
+        let mut rit = BankRit::new(256);
+        for (row, target, unswap) in ops {
+            if unswap {
+                rit.unswap(row, 0);
+            } else {
+                rit.swap_to(row, target, 0);
+            }
+            prop_assert!(rit.invariants_hold());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for row in 0u64..64 {
+            prop_assert!(seen.insert(rit.translate(row)), "duplicate location for row {}", row);
+        }
+    }
+
+    /// Mitigating a row in SRS reads the row's own home location only for
+    /// the initial swap — never systematically on every re-swap the way
+    /// RRS's unswap-swaps do. The only way the home can be read again is if
+    /// a uniformly random swap partner happened to land on the home first
+    /// (sending the row back there), which the attacker cannot control; so
+    /// the structural bound is `home reads <= 1 + times the row was randomly
+    /// swapped back home`. RRS by contrast reads the home about twice per
+    /// trigger.
+    #[test]
+    fn srs_home_reads_are_bounded_by_random_returns(rows in proptest::collection::vec(0u64..32, 1..100)) {
+        let mut defense = SecureRowSwap::new(MitigationConfig::paper_default(2400, 6));
+        let mut home_reads: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut returned_home: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, &row) in rows.iter().enumerate() {
+            for action in defense.on_mitigation_trigger(0, row, i as u64 * 1000) {
+                if let scale_srs::core::MitigationAction::RowOperation { kind: scale_srs::core::RowOpKind::Swap, activations, .. } = action {
+                    // The swap engine reports [from_location, to_location].
+                    if activations.first() == Some(&row) {
+                        *home_reads.entry(row).or_insert(0) += 1;
+                    }
+                    if activations.get(1) == Some(&row) {
+                        *returned_home.entry(row).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        for (&row, &reads) in &home_reads {
+            let returns = returned_home.get(&row).copied().unwrap_or(0);
+            prop_assert!(
+                reads <= 1 + returns,
+                "home of row {} read {} times with only {} random returns home",
+                row,
+                reads,
+                returns
+            );
+        }
+    }
+
+    /// The Misra-Gries tracker fires for any row stream in which one row
+    /// receives at least TS consecutive activations.
+    #[test]
+    fn misra_gries_always_catches_a_burst(noise in proptest::collection::vec(0u64..10_000, 0..500), ts in 16u64..128) {
+        let mut tracker = MisraGriesTracker::new(MisraGriesConfig::for_threshold(ts, 1_360_000, 1));
+        for row in noise {
+            tracker.record_activation(0, row);
+        }
+        let mut fired = false;
+        for _ in 0..ts {
+            fired |= tracker.record_activation(0, 424_242).mitigate;
+        }
+        prop_assert!(fired);
+    }
+
+    /// Trace binary serialization round-trips arbitrary record sequences.
+    #[test]
+    fn trace_serialization_round_trips(records in proptest::collection::vec((0u32..1000, prop::bool::ANY, 0u64..(1 << 40)), 0..200)) {
+        let trace = Trace::new(
+            "prop",
+            records
+                .into_iter()
+                .map(|(gap, write, addr)| TraceRecord {
+                    nonmem_insts: gap,
+                    op: if write { MemOp::Write } else { MemOp::Read },
+                    addr,
+                })
+                .collect(),
+        );
+        let back = Trace::from_bytes(trace.to_bytes()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Scale-SRS translation never maps a row outside the bank, whatever the
+    /// trigger sequence and threshold.
+    #[test]
+    fn scale_srs_translation_stays_in_range(rows in proptest::collection::vec(0u64..4096, 1..80), t_rh in prop::sample::select(vec![1200u64, 2400, 4800])) {
+        let config = MitigationConfig::paper_default(t_rh, 3);
+        let rows_per_bank = config.rows_per_bank;
+        let mut defense = ScaleSrs::new(config);
+        for (i, &row) in rows.iter().enumerate() {
+            defense.on_mitigation_trigger(i % 4, row, i as u64);
+        }
+        for &row in &rows {
+            for bank in 0..4 {
+                prop_assert!(defense.translate(bank, row) < rows_per_bank);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the paper's security claims, tying the analytical
+//! attack models to the behaviour of the implemented defenses.
+
+use scale_srs::attack::{birthday, juggernaut, outlier, AttackParams};
+use scale_srs::core::{
+    MitigationAction, MitigationConfig, RandomizedRowSwap, RowOpKind, RowSwapDefense, SecureRowSwap,
+};
+
+/// Count how many latent activations a defense performs at the aggressor's
+/// original (home) location over `triggers` consecutive mitigations.
+fn latent_home_activations(defense: &mut dyn RowSwapDefense, home: u64, triggers: u64) -> usize {
+    let mut count = 0;
+    for i in 0..triggers {
+        for action in defense.on_mitigation_trigger(0, home, i * 10_000) {
+            if let MitigationAction::RowOperation { kind, activations, .. } = action {
+                if matches!(kind, RowOpKind::Swap | RowOpKind::UnswapSwap) {
+                    count += activations.iter().filter(|&&r| r == home).count();
+                }
+            }
+        }
+    }
+    count
+}
+
+#[test]
+fn rrs_accumulates_latent_activations_and_srs_does_not() {
+    // This is the mechanism behind Juggernaut (Key Observation 1): N
+    // unswap-swaps give RRS roughly 2N latent activations at the home
+    // location, while SRS only ever touches it once (the initial swap).
+    let triggers = 50;
+    let mut rrs = RandomizedRowSwap::new(MitigationConfig::paper_default(4800, 6));
+    let mut srs = SecureRowSwap::new(MitigationConfig::paper_default(4800, 6));
+    let rrs_latent = latent_home_activations(&mut rrs, 7777, triggers);
+    let srs_latent = latent_home_activations(&mut srs, 7777, triggers);
+    assert!(rrs_latent as u64 >= 2 * (triggers - 1), "rrs latent = {rrs_latent}");
+    assert_eq!(srs_latent, 1, "srs must only touch the home location on the initial swap");
+}
+
+#[test]
+fn analytical_model_reflects_the_mechanism() {
+    // Because SRS removes the latent activations, Juggernaut degenerates to
+    // the plain random-guess attack, whose time-to-break is close to the
+    // birthday analysis at the same swap rate.
+    let srs_days = juggernaut::time_to_break_srs_days(4800, 6);
+    let rrs_days = juggernaut::time_to_break_rrs_days(4800, 6);
+    let untargeted_days = birthday::time_to_break_days(4800, 6);
+    assert!(rrs_days < 1.0);
+    assert!(srs_days > 365.0);
+    // SRS under Juggernaut is within two orders of magnitude of the
+    // untargeted attack (same structure, slightly fewer required hits).
+    assert!(srs_days < untargeted_days);
+    assert!(srs_days * 500.0 > untargeted_days);
+}
+
+#[test]
+fn juggernaut_single_window_break_matches_equation_one() {
+    // At TRH <= 2*TS + L*N_max the attack finishes within one window.
+    let params = AttackParams::rrs(1200, 6);
+    let best = juggernaut::best_attack(&params).expect("feasible");
+    assert!(best.single_window_break());
+    // Verify against Equation 1 directly.
+    let needed_rounds = ((1200.0 - 2.0 * params.t_s as f64) / params.latent_per_round).ceil() as u64;
+    assert!(best.attack_rounds >= needed_rounds || best.required_guesses == 0);
+}
+
+#[test]
+fn scale_srs_design_point_is_justified_by_outlier_rarity() {
+    // The paper picks swap rate 3 because windows with more than 3 outliers
+    // essentially never happen, and windows with exactly 3 are ~monthly.
+    let three = outlier::days_until_outliers(4800, 3, 3);
+    let four = outlier::days_until_outliers(4800, 3, 4);
+    assert!(three > 1.0, "3 simultaneous outliers must be rarer than daily ({three} days)");
+    assert!(four / three > 50.0, "4 outliers must be far rarer than 3");
+}
+
+#[test]
+fn ddr5_and_open_page_discussion_points_hold() {
+    // Discussion §3: open-page makes Juggernaut slower but does not fix RRS
+    // at low TRH.
+    let mut open = AttackParams::rrs(1200, 10);
+    open.page_policy = scale_srs::attack::AttackPagePolicy::OpenPage;
+    let days = juggernaut::best_attack(&open).expect("feasible").expected_time_days();
+    assert!(days < 1.0, "open-page RRS at TRH 1200 must still break in < 1 day ({days})");
+
+    // Discussion §5: DDR5's doubled refresh rate does not save RRS either.
+    let ddr5 = AttackParams::rrs(3000, 8).with_ddr5_refresh();
+    let days = juggernaut::best_attack(&ddr5).expect("feasible").expected_time_days();
+    assert!(days < 1.0, "DDR5 RRS at TRH 3000 must still break in < 1 day ({days})");
+}
+
+#[test]
+fn multibank_attack_is_weaker() {
+    let params = AttackParams::rrs(4800, 6);
+    let single = scale_srs::attack::multibank::evaluate(&params, 1).unwrap();
+    let sixteen = scale_srs::attack::multibank::evaluate(&params, 16).unwrap();
+    assert!(sixteen.expected_time_seconds > single.expected_time_seconds * 10.0);
+}
