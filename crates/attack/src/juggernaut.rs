@@ -257,7 +257,10 @@ mod tests {
     fn too_many_rounds_leave_no_time_for_guessing() {
         let params = AttackParams::rrs(4800, 6);
         let max = max_attack_rounds(&params);
-        assert!(evaluate(&params, max + 10).is_none() || evaluate(&params, max + 10).unwrap().required_guesses == 0);
+        assert!(
+            evaluate(&params, max + 10).is_none()
+                || evaluate(&params, max + 10).unwrap().required_guesses == 0
+        );
         assert!(max > 1_000 && max < 2_000, "max rounds = {max}");
     }
 

@@ -54,7 +54,12 @@ impl MonteCarloResult {
 /// Returns `None` when the analytical model says the chosen number of rounds
 /// is infeasible within one refresh window.
 #[must_use]
-pub fn simulate(params: &AttackParams, attack_rounds: u64, windows: u64, seed: u64) -> Option<MonteCarloResult> {
+pub fn simulate(
+    params: &AttackParams,
+    attack_rounds: u64,
+    windows: u64,
+    seed: u64,
+) -> Option<MonteCarloResult> {
     let analytical = evaluate(params, attack_rounds)?;
     if analytical.required_guesses == 0 {
         return Some(MonteCarloResult {
@@ -79,7 +84,12 @@ pub fn simulate(params: &AttackParams, attack_rounds: u64, windows: u64, seed: u
         let p = successes as f64 / windows as f64;
         params.refresh_window_ns as f64 / 1e9 / p
     };
-    Some(MonteCarloResult { windows_simulated: windows, successes, expected_time_seconds, analytical })
+    Some(MonteCarloResult {
+        windows_simulated: windows,
+        successes,
+        expected_time_seconds,
+        analytical,
+    })
 }
 
 #[cfg(test)]

@@ -53,11 +53,8 @@ pub fn evaluate(params: &AttackParams, banks: u64) -> Option<MultiBankOutcome> {
     let per_bank = best_attack(&per_bank_params)?;
     // The attack succeeds when any one bank succeeds.
     let p_any = 1.0 - (1.0 - per_bank.window_success_probability).powi(banks as i32);
-    let expected_time_seconds = if p_any > 0.0 {
-        params.refresh_window_ns as f64 / 1e9 / p_any
-    } else {
-        f64::INFINITY
-    };
+    let expected_time_seconds =
+        if p_any > 0.0 { params.refresh_window_ns as f64 / 1e9 / p_any } else { f64::INFINITY };
     Some(MultiBankOutcome { banks, per_bank, expected_time_seconds })
 }
 

@@ -54,7 +54,12 @@ pub fn evaluate(params: &AttackParams, k_swaps: u64) -> OutlierOutcome {
         let tail = tail.max(0.0);
         days[idx] = if tail > 0.0 { window_days / tail } else { f64::INFINITY };
     }
-    OutlierOutcome { t_s: ts, hammerable_rows: hammerable, expected_outliers, days_until_m_outliers: days }
+    OutlierOutcome {
+        t_s: ts,
+        hammerable_rows: hammerable,
+        expected_outliers,
+        days_until_m_outliers: days,
+    }
 }
 
 /// Figure 13's y-axis: time until `m` simultaneous outlier rows appear, for
@@ -77,7 +82,11 @@ mod tests {
         // Section V-B: at TS = 1200 the attacker can hammer about 1134 rows.
         let params = AttackParams::srs(3600, 3); // TS = 1200
         let o = evaluate(&params, 3);
-        assert!(o.hammerable_rows > 1_000 && o.hammerable_rows < 1_200, "rows = {}", o.hammerable_rows);
+        assert!(
+            o.hammerable_rows > 1_000 && o.hammerable_rows < 1_200,
+            "rows = {}",
+            o.hammerable_rows
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! performance of RRS as TRH varies.
 
 use srs_attack::birthday;
-use srs_bench::{figure_config, figure_workloads, format_days, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_days, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{mean_normalized, run_parallel};
+use srs_sim::{mean_normalized, results_for};
 
 fn main() {
     // (a) Security: untargeted attack time-to-break.
@@ -23,14 +23,17 @@ fn main() {
         &rows,
     );
 
-    // (b) Performance: RRS normalized to the unprotected baseline.
-    let workloads = figure_workloads();
-    let mut rows = Vec::new();
-    for &t_rh in &[4800u64, 2400, 1200] {
-        let config = figure_config(DefenseKind::Rrs { immediate_unswap: true }, t_rh);
-        let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-        let results = run_parallel(jobs, worker_threads());
-        rows.push(vec![format!("TRH={t_rh}"), format_norm(mean_normalized(&results))]);
-    }
+    // (b) Performance: RRS normalized to the unprotected baseline, one
+    // scenario grid over the threshold axis.
+    let rrs = DefenseKind::Rrs { immediate_unswap: true };
+    let thresholds = [4800u64, 2400, 1200];
+    let results = figure_experiment(vec![rrs], thresholds.to_vec()).run();
+    let rows: Vec<Vec<String>> = thresholds
+        .iter()
+        .map(|&t_rh| {
+            let group = results_for(&results, rrs, t_rh);
+            vec![format!("TRH={t_rh}"), format_norm(mean_normalized(&group))]
+        })
+        .collect();
     print_table("Figure 1b: RRS normalized performance vs TRH", &["", "normalized IPC"], &rows);
 }

@@ -1,24 +1,30 @@
 //! Figure 4 — RRS with and without immediate unswap operations, normalized
 //! to the unprotected baseline.
 
-use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{mean_normalized, run_parallel, suite_averages};
+use srs_sim::{mean_normalized, results_for, suite_averages};
 
 fn main() {
-    let workloads = figure_workloads();
+    let thresholds = [1200u64, 2400, 4800];
+    let variants = [("Unswap", true), ("No Unswap", false)]
+        .map(|(label, immediate)| (label, DefenseKind::Rrs { immediate_unswap: immediate }));
+
+    // One scenario grid covering both RRS variants and every threshold.
+    let results =
+        figure_experiment(variants.iter().map(|&(_, kind)| kind).collect(), thresholds.to_vec())
+            .run();
+
     let mut rows = Vec::new();
-    for (label, immediate) in [("Unswap", true), ("No Unswap", false)] {
-        for &t_rh in &[1200u64, 2400, 4800] {
-            let config = figure_config(DefenseKind::Rrs { immediate_unswap: immediate }, t_rh);
-            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-            let results = run_parallel(jobs, worker_threads());
-            let mut row = vec![format!("{label} (TRH={t_rh})"), format_norm(mean_normalized(&results))];
-            let per_suite = suite_averages(&results);
+    for (label, kind) in variants {
+        for &t_rh in &thresholds {
+            let group = results_for(&results, kind, t_rh);
+            let mut row =
+                vec![format!("{label} (TRH={t_rh})"), format_norm(mean_normalized(&group))];
             row.push(
-                per_suite
+                suite_averages(&group)
                     .iter()
-                    .map(|(s, v)| format!("{s}={}", format_norm(*v)))
+                    .map(|suite| format!("{}={}", suite.label, format_norm(suite.mean)))
                     .collect::<Vec<_>>()
                     .join(" "),
             );

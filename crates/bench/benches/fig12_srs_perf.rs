@@ -1,19 +1,27 @@
 //! Figure 12 — normalized performance of SRS and RRS across TRH values.
 
-use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{run_parallel, suite_averages};
+use srs_sim::{results_for, suite_averages};
 
 fn main() {
-    let workloads = figure_workloads();
+    let defenses =
+        [("RRS", DefenseKind::Rrs { immediate_unswap: true }), ("SRS", DefenseKind::Srs)];
+    let thresholds = [1200u64, 2400, 4800];
+    let results =
+        figure_experiment(defenses.iter().map(|&(_, kind)| kind).collect(), thresholds.to_vec())
+            .run();
+
     let mut rows = Vec::new();
-    for (label, kind) in [("RRS", DefenseKind::Rrs { immediate_unswap: true }), ("SRS", DefenseKind::Srs)] {
-        for &t_rh in &[1200u64, 2400, 4800] {
-            let config = figure_config(kind, t_rh);
-            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-            let results = run_parallel(jobs, worker_threads());
-            for (suite, value) in suite_averages(&results) {
-                rows.push(vec![format!("{label} (TRH={t_rh})"), suite, format_norm(value)]);
+    for (label, kind) in defenses {
+        for &t_rh in &thresholds {
+            let group = results_for(&results, kind, t_rh);
+            for suite in suite_averages(&group) {
+                rows.push(vec![
+                    format!("{label} (TRH={t_rh})"),
+                    suite.label,
+                    format_norm(suite.mean),
+                ]);
             }
         }
     }

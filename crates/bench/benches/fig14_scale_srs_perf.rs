@@ -1,24 +1,21 @@
 //! Figure 14 — normalized performance of Scale-SRS and RRS at TRH = 1200,
 //! per workload (hot-row workloads) and per suite.
 
-use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{run_parallel, suite_averages, NormalizedResult};
-
-fn run(kind: DefenseKind) -> Vec<NormalizedResult> {
-    let config = figure_config(kind, 1200);
-    let jobs = figure_workloads().iter().map(|w| (config.clone(), w.clone())).collect();
-    run_parallel(jobs, worker_threads())
-}
+use srs_sim::{results_for, suite_averages};
 
 fn main() {
-    let rrs = run(DefenseKind::Rrs { immediate_unswap: true });
-    let scale = run(DefenseKind::ScaleSrs);
+    let rrs = DefenseKind::Rrs { immediate_unswap: true };
+    let scale = DefenseKind::ScaleSrs;
+    let results = figure_experiment(vec![rrs, scale], vec![1200]).run();
+    let rrs_results = results_for(&results, rrs, 1200);
+    let scale_results = results_for(&results, scale, 1200);
 
     // Per-workload detail for workloads with hot rows (what the paper plots).
     let mut rows = Vec::new();
-    for r in &rrs {
-        let s = scale.iter().find(|s| s.workload == r.workload);
+    for r in &rrs_results {
+        let s = scale_results.iter().find(|s| s.workload == r.workload);
         rows.push(vec![
             r.workload.clone(),
             format_norm(r.normalized_performance),
@@ -34,9 +31,9 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, results) in [("RRS", &rrs), ("Scale-SRS", &scale)] {
-        for (suite, value) in suite_averages(results) {
-            rows.push(vec![label.to_string(), suite, format_norm(value)]);
+    for (label, group) in [("RRS", &rrs_results), ("Scale-SRS", &scale_results)] {
+        for suite in suite_averages(group) {
+            rows.push(vec![label.to_string(), suite.label, format_norm(suite.mean)]);
         }
     }
     print_table(

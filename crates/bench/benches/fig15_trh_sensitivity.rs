@@ -1,23 +1,25 @@
 //! Figure 15 — sensitivity of Scale-SRS and RRS to the Row Hammer threshold
 //! (512 .. 4800) with the Misra-Gries tracker.
 
-use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{mean_normalized, run_parallel};
+use srs_sim::{mean_normalized, results_for};
 
 fn main() {
-    let workloads = figure_workloads();
-    let mut rows = Vec::new();
-    for &t_rh in &[512u64, 1200, 2400, 4800] {
-        let mut row = vec![format!("TRH={t_rh}")];
-        for kind in [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::ScaleSrs] {
-            let config = figure_config(kind, t_rh);
-            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-            let results = run_parallel(jobs, worker_threads());
-            row.push(format_norm(mean_normalized(&results)));
-        }
-        rows.push(row);
-    }
+    let defenses = [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::ScaleSrs];
+    let thresholds = [512u64, 1200, 2400, 4800];
+    let results = figure_experiment(defenses.to_vec(), thresholds.to_vec()).run();
+
+    let rows: Vec<Vec<String>> = thresholds
+        .iter()
+        .map(|&t_rh| {
+            let mut row = vec![format!("TRH={t_rh}")];
+            for kind in defenses {
+                row.push(format_norm(mean_normalized(&results_for(&results, kind, t_rh))));
+            }
+            row
+        })
+        .collect();
     print_table(
         "Figure 15: normalized performance vs TRH (Misra-Gries tracker)",
         &["threshold", "RRS", "Scale-SRS"],

@@ -1,25 +1,28 @@
 //! Figure 16 — the same TRH sensitivity as Figure 15, but with the Hydra
 //! tracker (whose memory-resident counters add DRAM traffic).
 
-use srs_bench::{figure_config, figure_workloads, format_norm, print_table, worker_threads};
+use srs_bench::{figure_experiment, format_norm, print_table};
 use srs_core::DefenseKind;
-use srs_sim::{mean_normalized, run_parallel};
+use srs_sim::{mean_normalized, results_for};
 use srs_trackers::TrackerKind;
 
 fn main() {
-    let workloads = figure_workloads();
-    let mut rows = Vec::new();
-    for &t_rh in &[512u64, 1200, 2400, 4800] {
-        let mut row = vec![format!("TRH={t_rh}")];
-        for kind in [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::ScaleSrs] {
-            let mut config = figure_config(kind, t_rh);
-            config.tracker = TrackerKind::Hydra;
-            let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-            let results = run_parallel(jobs, worker_threads());
-            row.push(format_norm(mean_normalized(&results)));
-        }
-        rows.push(row);
-    }
+    let defenses = [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::ScaleSrs];
+    let thresholds = [512u64, 1200, 2400, 4800];
+    let results = figure_experiment(defenses.to_vec(), thresholds.to_vec())
+        .with_trackers(vec![TrackerKind::Hydra])
+        .run();
+
+    let rows: Vec<Vec<String>> = thresholds
+        .iter()
+        .map(|&t_rh| {
+            let mut row = vec![format!("TRH={t_rh}")];
+            for kind in defenses {
+                row.push(format_norm(mean_normalized(&results_for(&results, kind, t_rh))));
+            }
+            row
+        })
+        .collect();
     print_table(
         "Figure 16: normalized performance vs TRH (Hydra tracker)",
         &["threshold", "RRS", "Scale-SRS"],

@@ -10,14 +10,35 @@ fn main() {
         vec!["Cores (OoO)".to_string(), c.cores.to_string()],
         vec!["Processor clock speed".to_string(), format!("{} GHz", c.core.clock_ghz)],
         vec!["ROB size".to_string(), c.core.rob_size.to_string()],
-        vec!["Fetch and Retire width".to_string(), format!("{} / {}", c.core.fetch_width, c.core.retire_width)],
+        vec![
+            "Fetch and Retire width".to_string(),
+            format!("{} / {}", c.core.fetch_width, c.core.retire_width),
+        ],
         vec!["Memory size".to_string(), format!("{} GB DDR4", c.dram.capacity_bytes() >> 30)],
-        vec!["tRCD-tRP-tCAS".to_string(), format!("{}-{}-{} ns", c.dram.timing.t_rcd, c.dram.timing.t_rp, c.dram.timing.t_cas)],
-        vec!["tRC, tRFC, tREFI".to_string(), format!("{} ns, {} ns, {} ns", c.dram.timing.t_rc, c.dram.timing.t_rfc, c.dram.timing.t_refi)],
-        vec!["Banks x Ranks x Channels".to_string(), format!("{} x {} x {}", c.dram.banks_per_rank, c.dram.ranks_per_channel, c.dram.channels)],
+        vec![
+            "tRCD-tRP-tCAS".to_string(),
+            format!("{}-{}-{} ns", c.dram.timing.t_rcd, c.dram.timing.t_rp, c.dram.timing.t_cas),
+        ],
+        vec![
+            "tRC, tRFC, tREFI".to_string(),
+            format!(
+                "{} ns, {} ns, {} ns",
+                c.dram.timing.t_rc, c.dram.timing.t_rfc, c.dram.timing.t_refi
+            ),
+        ],
+        vec![
+            "Banks x Ranks x Channels".to_string(),
+            format!(
+                "{} x {} x {}",
+                c.dram.banks_per_rank, c.dram.ranks_per_channel, c.dram.channels
+            ),
+        ],
         vec!["Rows per bank".to_string(), format!("{}K", c.dram.rows_per_bank / 1024)],
         vec!["Size of row".to_string(), format!("{} KB", c.dram.row_size_bytes / 1024)],
-        vec!["ACT_max per 64ms window".to_string(), format!("{:.2} M", c.dram.max_activations_per_window() as f64 / 1e6)],
+        vec![
+            "ACT_max per 64ms window".to_string(),
+            format!("{:.2} M", c.dram.max_activations_per_window() as f64 / 1e6),
+        ],
     ];
     print_table("Table III: baseline system configuration", &["parameter", "value"], &rows);
 }

@@ -9,7 +9,13 @@ fn kib(bits: u64) -> String {
     format!("{:.1} KB", bits as f64 / 8.0 / 1024.0)
 }
 
-fn report_rows(label: &str, t_rh: u64, kind: DefenseKind, swap_rate: u64, rows: &mut Vec<Vec<String>>) {
+fn report_rows(
+    label: &str,
+    t_rh: u64,
+    kind: DefenseKind,
+    swap_rate: u64,
+    rows: &mut Vec<Vec<String>>,
+) {
     let config = MitigationConfig::paper_default(t_rh, swap_rate);
     let s: StorageReport = storage_for(kind, &config);
     rows.push(vec![

@@ -1,26 +1,25 @@
 //! Table V — extra power consumption per channel (TRH = 4800).
 
-use srs_bench::{figure_config, figure_workloads, print_table, worker_threads};
+use srs_bench::{figure_experiment, print_table};
 use srs_core::{power_for, DefenseKind, MitigationConfig, SramPowerModel};
-use srs_sim::run_parallel;
+use srs_sim::results_for;
 
 fn main() {
     let model = SramPowerModel::default();
-    let workloads = figure_workloads();
-    let mut rows = Vec::new();
-    for (label, kind, swap_rate) in [
+    let designs = [
         ("RRS", DefenseKind::Rrs { immediate_unswap: true }, 6u64),
         ("Scale-SRS", DefenseKind::ScaleSrs, 3),
-    ] {
-        // Measure the swap-traffic fraction from simulation.
-        let config = figure_config(kind, 4800);
-        let jobs = workloads.iter().map(|w| (config.clone(), w.clone())).collect();
-        let results = run_parallel(jobs, worker_threads());
-        let swap_fraction = results
-            .iter()
-            .map(|r| r.detail.swap_traffic_fraction())
-            .sum::<f64>()
-            / results.len().max(1) as f64;
+    ];
+    // Measure the swap-traffic fraction from one scenario grid over both
+    // designs.
+    let results =
+        figure_experiment(designs.iter().map(|&(_, kind, _)| kind).collect(), vec![4800]).run();
+
+    let mut rows = Vec::new();
+    for (label, kind, swap_rate) in designs {
+        let group = results_for(&results, kind, 4800);
+        let swap_fraction = group.iter().map(|r| r.detail.swap_traffic_fraction()).sum::<f64>()
+            / group.len().max(1) as f64;
         let mitigation = MitigationConfig::paper_default(4800, swap_rate);
         let power = power_for(kind, &mitigation, &model, 2.0e7, swap_fraction);
         rows.push(vec![

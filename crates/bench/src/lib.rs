@@ -11,19 +11,22 @@
 #![warn(missing_docs)]
 
 use srs_core::DefenseKind;
-use srs_sim::SystemConfig;
+use srs_sim::{Experiment, SystemConfig};
 use srs_workloads::{all_workloads, NamedWorkload};
 
 /// Whether the harness should run the full (slow) configuration.
 #[must_use]
 pub fn full_mode() -> bool {
-    std::env::var("SRS_BENCH_FULL").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var("SRS_BENCH_FULL")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
-/// Number of worker threads for simulation sweeps.
+/// Number of worker threads for simulation sweeps (the experiment engine's
+/// default budget; one policy, defined in `srs_sim`).
 #[must_use]
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+    srs_sim::default_threads()
 }
 
 /// The workloads a performance figure sweeps: every workload in full mode, a
@@ -36,8 +39,18 @@ pub fn figure_workloads() -> Vec<NamedWorkload> {
         return all;
     }
     let keep = [
-        "gups", "gcc", "hmmer", "bzip2", "zeusmp", "astar", "sphinx3", "xz_17", "libquantum", "mcf",
-        "blackscholes", "mix2",
+        "gups",
+        "gcc",
+        "hmmer",
+        "bzip2",
+        "zeusmp",
+        "astar",
+        "sphinx3",
+        "xz_17",
+        "libquantum",
+        "mcf",
+        "blackscholes",
+        "mix2",
     ];
     all.into_iter().filter(|w| keep.contains(&w.name)).collect()
 }
@@ -53,6 +66,20 @@ pub fn figure_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
     }
 }
 
+/// The scenario grid a performance figure sweeps: the given defenses and
+/// thresholds over [`figure_workloads`], with the mode-appropriate
+/// configuration (the engine's default worker-thread budget applies).
+/// Figures add further axes (e.g. a tracker) with the [`Experiment`]
+/// builder methods.
+#[must_use]
+pub fn figure_experiment(defenses: Vec<DefenseKind>, thresholds: Vec<u64>) -> Experiment {
+    Experiment::new()
+        .with_defenses(defenses)
+        .with_thresholds(thresholds)
+        .with_workloads(figure_workloads())
+        .with_config_fn(figure_config)
+}
+
 /// Print a table with a title, header row and data rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -64,8 +91,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:>width$}", width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
     println!("{}", "-".repeat(header_line.join("  ").len()));
     for row in rows {

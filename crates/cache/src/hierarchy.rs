@@ -195,7 +195,11 @@ mod tests {
             l1: CacheConfig { size_bytes: 1024, ways: 2, line_size: 64 },
             l2: CacheConfig { size_bytes: 4096, ways: 4, line_size: 64 },
             llc: CacheConfig { size_bytes: 16 * 1024, ways: 4, line_size: 64 },
-            pin_buffer: PinBufferConfig { entries: 4, row_size_bytes: 1024, ..PinBufferConfig::default() },
+            pin_buffer: PinBufferConfig {
+                entries: 4,
+                row_size_bytes: 1024,
+                ..PinBufferConfig::default()
+            },
         })
     }
 

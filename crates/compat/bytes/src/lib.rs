@@ -1,0 +1,248 @@
+//! Offline shim for `bytes`.
+//!
+//! Provides cheaply-cloneable immutable byte buffers (`Bytes`), a growable
+//! builder (`BytesMut`), and the big-endian `Buf`/`BufMut` cursor methods
+//! that the trace binary codec uses. `Bytes` shares one `Arc<[u8]>`
+//! allocation across clones and slices, like the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { data: Arc::from(&[][..]), start: 0, end: 0 }
+    }
+
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-slice of the buffer sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self { data: Arc::from(v.into_boxed_slice()), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read cursor over a byte buffer; integers are big-endian, matching the
+/// real `bytes` crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consume and return a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+
+    /// Consume and return a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+
+    /// Consume `len` bytes and return them as a `Bytes`.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(&self.data[self.start..self.start + 4]);
+        self.start += 4;
+        u32::from_be_bytes(bytes)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow");
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_be_bytes(bytes)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Write cursor appending to a growable buffer; integers are big-endian.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer that freezes into a [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"hi");
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.copy_to_bytes(2).to_vec(), b"hi");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_data_and_bound_check() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(b.len(), 5);
+        let nested = s.slice(1..2);
+        assert_eq!(nested.to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn empty_and_equality() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1, 2]), Bytes::from(vec![1, 2]).slice(0..2));
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the `bench_function` / `criterion_group!` / `criterion_main!`
+//! surface the micro-benchmarks use. Instead of criterion's statistical
+//! machinery it times adaptively-sized batches (doubling until the batch
+//! takes long enough to swamp timer overhead) and prints the mean ns/iter —
+//! enough to compare hot-path revisions of the simulator locally.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    min_batch_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { min_batch_time: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Time `f` and print a `name ... ns/iter` line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 1_000, elapsed: Duration::ZERO };
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= self.min_batch_time || bencher.iters >= 1 << 24 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!("{name:<40} {ns_per_iter:>12.1} ns/iter ({} iters)", bencher.iters);
+        self
+    }
+}
+
+/// Runs the measured closure a batch of iterations at a time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure one batch of calls to `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declare a function that runs a group of benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion { min_batch_time: Duration::from_micros(10) };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        assert!(calls >= 1_000);
+    }
+}

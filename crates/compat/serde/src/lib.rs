@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach a crate registry, so this crate
+//! provides the sliver of serde the workspace actually exercises: the
+//! `Serialize` / `Deserialize` trait names (as empty marker traits) and the
+//! matching derives. The workspace derives the traits on its result and
+//! config types so that a future PR can swap in real serde (and gain JSON
+//! output) without touching any call site — only this shim goes away.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,53 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! expand to empty marker-trait impls (the shim `serde` traits carry no
+//! methods). The derive input is scanned token-by-token — no `syn`/`quote`
+//! dependency — which is sufficient because every derived type in this
+//! workspace is a plain non-generic struct or enum.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a derive input, returning `None` when the type
+/// is generic (the shim then emits no impl at all, which is fine because the
+/// marker traits are never used as bounds).
+fn non_generic_type_name(input: &TokenStream) -> Option<String> {
+    let mut iter = input.clone().into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return match iter.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => None,
+                        _ => Some(name.to_string()),
+                    };
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derive the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derive the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}

@@ -64,7 +64,9 @@ impl MitigationAction {
     #[must_use]
     pub fn bank(&self) -> usize {
         match self {
-            MitigationAction::RowOperation { bank, .. } | MitigationAction::PinRow { bank, .. } => *bank,
+            MitigationAction::RowOperation { bank, .. } | MitigationAction::PinRow { bank, .. } => {
+                *bank
+            }
         }
     }
 

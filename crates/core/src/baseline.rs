@@ -33,7 +33,12 @@ impl RowSwapDefense for NoMitigation {
         row
     }
 
-    fn on_mitigation_trigger(&mut self, _bank: usize, _row: u64, _now_ns: u64) -> Vec<MitigationAction> {
+    fn on_mitigation_trigger(
+        &mut self,
+        _bank: usize,
+        _row: u64,
+        _now_ns: u64,
+    ) -> Vec<MitigationAction> {
         Vec::new()
     }
 

@@ -72,7 +72,12 @@ pub trait RowSwapDefense {
     /// `bank` crossed the swap threshold. Returns the mitigation actions
     /// (row movements, counter accesses, pin requests) the memory system
     /// must perform.
-    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction>;
+    fn on_mitigation_trigger(
+        &mut self,
+        bank: usize,
+        row: u64,
+        now_ns: u64,
+    ) -> Vec<MitigationAction>;
 
     /// Called periodically (at least once per ~100 µs of simulated time) so
     /// the defense can schedule lazy work such as SRS place-back operations.

@@ -58,7 +58,7 @@ pub use rit::{BankRit, RitConfig, RowIndirectionTable, SwapRecord};
 pub use rrs::RandomizedRowSwap;
 pub use scale_srs::ScaleSrs;
 pub use srs::SecureRowSwap;
-pub use storage::{storage_for, rrs_to_scale_srs_ratio, StorageReport};
+pub use storage::{rrs_to_scale_srs_ratio, storage_for, StorageReport};
 
 /// Instantiate a defense of the given kind.
 ///
@@ -77,7 +77,10 @@ pub use storage::{storage_for, rrs_to_scale_srs_ratio, StorageReport};
 /// assert_eq!(defense.name(), "srs");
 /// ```
 #[must_use]
-pub fn build_defense(kind: DefenseKind, config: MitigationConfig) -> Box<dyn RowSwapDefense + Send> {
+pub fn build_defense(
+    kind: DefenseKind,
+    config: MitigationConfig,
+) -> Box<dyn RowSwapDefense + Send> {
     match kind {
         DefenseKind::Baseline => Box::new(NoMitigation::new(config)),
         DefenseKind::Rrs { immediate_unswap } => {

@@ -188,7 +188,12 @@ impl BankRit {
         }
         self.set_mapping(row, target_location, epoch);
         self.set_mapping(displaced, from, epoch);
-        Some(SwapRecord { row, from_location: from, to_location: target_location, displaced_row: displaced })
+        Some(SwapRecord {
+            row,
+            from_location: from,
+            to_location: target_location,
+            displaced_row: displaced,
+        })
     }
 
     /// Unswap logical `row`, restoring it (and whatever occupies its home)
@@ -206,7 +211,12 @@ impl BankRit {
         // `row` vacated (daisy-chain step of the place-back procedure).
         self.set_mapping(row, row, epoch);
         self.set_mapping(occupant_of_home, from, epoch);
-        Some(SwapRecord { row, from_location: from, to_location: row, displaced_row: occupant_of_home })
+        Some(SwapRecord {
+            row,
+            from_location: from,
+            to_location: row,
+            displaced_row: occupant_of_home,
+        })
     }
 
     /// Remove every mapping (end-of-simulation or bulk unswap accounting).

@@ -125,7 +125,12 @@ impl RowSwapDefense for RandomizedRowSwap {
         self.rit.bank(bank).translate(row)
     }
 
-    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+    fn on_mitigation_trigger(
+        &mut self,
+        bank: usize,
+        row: u64,
+        now_ns: u64,
+    ) -> Vec<MitigationAction> {
         let mut actions = Vec::new();
         self.make_room(bank, now_ns, &mut actions);
         let already_swapped = self.rit.bank(bank).is_remapped(row);
@@ -268,10 +273,8 @@ mod tests {
 
     #[test]
     fn no_unswap_variant_accumulates_and_spikes_at_window_end() {
-        let mut d = RandomizedRowSwap::with_unswap_policy(
-            MitigationConfig::paper_default(4800, 6),
-            false,
-        );
+        let mut d =
+            RandomizedRowSwap::with_unswap_policy(MitigationConfig::paper_default(4800, 6), false);
         for i in 0..5 {
             d.on_mitigation_trigger(0, 1000 + i, 0);
         }

@@ -74,7 +74,12 @@ impl RowSwapDefense for ScaleSrs {
         self.inner.translate(bank, row)
     }
 
-    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+    fn on_mitigation_trigger(
+        &mut self,
+        bank: usize,
+        row: u64,
+        now_ns: u64,
+    ) -> Vec<MitigationAction> {
         if self.pinned.contains(&(bank, row)) {
             // A pinned row no longer reaches DRAM; any residual trigger
             // (e.g. racing with the pin installation) needs no further work.
@@ -133,7 +138,8 @@ mod tests {
         let mut pin_seen = false;
         for i in 0..3 {
             let actions = d.on_mitigation_trigger(0, 9, i);
-            pin_seen |= actions.iter().any(|a| matches!(a, MitigationAction::PinRow { bank: 0, row: 9 }));
+            pin_seen |=
+                actions.iter().any(|a| matches!(a, MitigationAction::PinRow { bank: 0, row: 9 }));
         }
         assert!(pin_seen, "third swap of the same row must request a pin");
         assert_eq!(d.pins_requested(), 1);
@@ -207,7 +213,9 @@ mod tests {
             place_backs += d
                 .on_tick(now)
                 .iter()
-                .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. }))
+                .filter(|a| {
+                    matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. })
+                })
                 .count();
         }
         assert!(place_backs >= 5);

@@ -219,7 +219,12 @@ impl RowSwapDefense for SecureRowSwap {
         self.rit.bank(bank).translate(row)
     }
 
-    fn on_mitigation_trigger(&mut self, bank: usize, row: u64, now_ns: u64) -> Vec<MitigationAction> {
+    fn on_mitigation_trigger(
+        &mut self,
+        bank: usize,
+        row: u64,
+        now_ns: u64,
+    ) -> Vec<MitigationAction> {
         self.swap_only_trigger(bank, row, now_ns).0
     }
 
@@ -275,7 +280,10 @@ mod tests {
         for i in 1..50u64 {
             let actions = d.on_mitigation_trigger(0, home, i * 1_000_000);
             for a in &actions {
-                if let MitigationAction::RowOperation { kind: RowOpKind::Swap, activations, .. } = a {
+                if let MitigationAction::RowOperation {
+                    kind: RowOpKind::Swap, activations, ..
+                } = a
+                {
                     assert!(
                         !activations.contains(&home),
                         "swap #{i} must not activate the aggressor's home"
@@ -306,11 +314,16 @@ mod tests {
         let actions = d.on_mitigation_trigger(0, 42, 0);
         let counter_ops: Vec<_> = actions
             .iter()
-            .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::CounterAccess, .. }))
+            .filter(|a| {
+                matches!(a, MitigationAction::RowOperation { kind: RowOpKind::CounterAccess, .. })
+            })
             .collect();
         assert_eq!(counter_ops.len(), 1);
         if let MitigationAction::RowOperation { activations, .. } = counter_ops[0] {
-            assert!(activations[0] >= d.config().rows_per_bank, "counter rows live outside the data rows");
+            assert!(
+                activations[0] >= d.config().rows_per_bank,
+                "counter rows live outside the data rows"
+            );
         }
     }
 
@@ -329,7 +342,9 @@ mod tests {
             place_backs += d
                 .on_tick(now)
                 .iter()
-                .filter(|a| matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. }))
+                .filter(|a| {
+                    matches!(a, MitigationAction::RowOperation { kind: RowOpKind::PlaceBack, .. })
+                })
                 .count();
         }
         assert!(place_backs > 0);

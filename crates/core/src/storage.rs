@@ -105,7 +105,8 @@ pub fn storage_for(kind: DefenseKind, config: &MitigationConfig) -> StorageRepor
 pub fn rrs_to_scale_srs_ratio(t_rh: u64) -> f64 {
     let rrs_cfg = MitigationConfig::paper_default(t_rh, 6);
     let scale_cfg = MitigationConfig::paper_default(t_rh, 3);
-    let rrs = storage_for(DefenseKind::Rrs { immediate_unswap: true }, &rrs_cfg).total_bits() as f64;
+    let rrs =
+        storage_for(DefenseKind::Rrs { immediate_unswap: true }, &rrs_cfg).total_bits() as f64;
     let scale = storage_for(DefenseKind::ScaleSrs, &scale_cfg).total_bits() as f64;
     rrs / scale
 }
@@ -159,10 +160,15 @@ mod tests {
     fn rrs_total_within_2x_of_paper_points() {
         for point in PAPER_STORAGE_POINTS {
             let cfg = MitigationConfig::paper_default(point.t_rh, 6);
-            let model = storage_for(DefenseKind::Rrs { immediate_unswap: true }, &cfg).total_bits() / 8;
+            let model =
+                storage_for(DefenseKind::Rrs { immediate_unswap: true }, &cfg).total_bits() / 8;
             let paper = point.rrs_total_bytes;
             let ratio = model as f64 / paper as f64;
-            assert!(ratio > 0.3 && ratio < 3.0, "TRH {}: model {model} vs paper {paper}", point.t_rh);
+            assert!(
+                ratio > 0.3 && ratio < 3.0,
+                "TRH {}: model {model} vs paper {paper}",
+                point.t_rh
+            );
         }
     }
 

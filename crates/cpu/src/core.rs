@@ -169,7 +169,8 @@ impl TraceCore {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
-            self.outstanding.push(OutstandingRead { token, blocks_at_ns: now + self.runahead_ns() });
+            self.outstanding
+                .push(OutstandingRead { token, blocks_at_ns: now + self.runahead_ns() });
         }
         Some(MemoryIssue { token, addr: record.addr, is_write })
     }
@@ -240,7 +241,12 @@ mod tests {
 
     #[test]
     fn core_blocks_once_runahead_is_exhausted() {
-        let mut c = core(1_000_000);
+        // An explicit single-read trace keeps the test independent of the
+        // synthetic generator's read/write ordering.
+        let trace =
+            Trace::new("read", vec![TraceRecord { nonmem_insts: 0, op: MemOp::Read, addr: 0 }]);
+        let config = CoreConfig { target_instructions: 1_000_000, ..CoreConfig::default() };
+        let mut c = TraceCore::new(config, trace);
         let issue = c.try_issue(0).unwrap();
         let runahead = c.runahead_ns();
         // Shortly after issuing, the core is still ready...
@@ -271,8 +277,7 @@ mod tests {
 
     #[test]
     fn mlp_is_bounded_by_max_outstanding() {
-        let mut cfg = CoreConfig::default();
-        cfg.max_outstanding_misses = 2;
+        let cfg = CoreConfig { max_outstanding_misses: 2, ..CoreConfig::default() };
         let trace = WorkloadSpec::gups(1 << 20).generate(100, 9);
         let mut c = TraceCore::new(cfg, trace);
         let mut now = 0;

@@ -12,7 +12,9 @@ use crate::config::DramConfig;
 use crate::error::DramError;
 
 /// A physical byte address as seen by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -57,7 +59,9 @@ impl std::fmt::Display for PhysAddr {
 pub type RowId = u64;
 
 /// A global bank identifier, flattening channel, rank and bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BankId(usize);
 
 impl BankId {

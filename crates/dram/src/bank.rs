@@ -38,7 +38,12 @@ impl Bank {
     /// Create an idle, precharged bank.
     #[must_use]
     pub fn new() -> Self {
-        Self { state: BankState::Precharged, busy_until_ns: 0, activations_in_window: 0, total_activations: 0 }
+        Self {
+            state: BankState::Precharged,
+            busy_until_ns: 0,
+            activations_in_window: 0,
+            total_activations: 0,
+        }
     }
 
     /// Current row-buffer state.

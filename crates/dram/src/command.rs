@@ -7,7 +7,9 @@ use crate::Nanos;
 
 /// Identifier handed back when a request is enqueued, used to match
 /// completions to requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -36,13 +38,26 @@ pub struct MemRequest {
     pub core: usize,
     /// Time at which the request arrived at the memory controller.
     pub arrival_ns: Nanos,
+    /// The row address *as issued by the system*, before any row-swap
+    /// defense remapped it to a different chip location. Carried through so
+    /// the [`ActivationEvent`] stream can report activations in the address
+    /// space the aggressor trackers reason about. `None` when the issuer
+    /// performs no remapping.
+    pub logical_row: Option<RowId>,
 }
 
 impl MemRequest {
     /// Create a new demand request.
     #[must_use]
     pub fn new(addr: PhysAddr, kind: AccessKind, core: usize, arrival_ns: Nanos) -> Self {
-        Self { addr, kind, core, arrival_ns }
+        Self { addr, kind, core, arrival_ns, logical_row: None }
+    }
+
+    /// Tag the request with the pre-remap (logical) row address.
+    #[must_use]
+    pub fn with_logical_row(mut self, row: RowId) -> Self {
+        self.logical_row = Some(row);
+        self
     }
 }
 
@@ -79,6 +94,10 @@ pub struct ActivationEvent {
     pub bank: BankId,
     /// The physical row (chip location) that was activated.
     pub row: RowId,
+    /// The row address as issued by the system (equal to [`Self::row`] when
+    /// the request carried no remap tag, and for maintenance activations,
+    /// which operate directly on chip locations).
+    pub logical_row: RowId,
     /// Time of the activation.
     pub at_ns: Nanos,
     /// `true` if the activation was issued on behalf of a maintenance
@@ -138,7 +157,12 @@ impl std::fmt::Display for MaintenanceKind {
 impl MaintenanceOp {
     /// Create a new maintenance operation.
     #[must_use]
-    pub fn new(bank: BankId, duration_ns: Nanos, activations: Vec<RowId>, label: MaintenanceKind) -> Self {
+    pub fn new(
+        bank: BankId,
+        duration_ns: Nanos,
+        activations: Vec<RowId>,
+        label: MaintenanceKind,
+    ) -> Self {
         Self { bank, duration_ns, activations, label }
     }
 }
@@ -150,14 +174,24 @@ mod tests {
     #[test]
     fn completed_access_latency() {
         let req = MemRequest::new(PhysAddr::new(64), AccessKind::Read, 0, 100);
-        let done = CompletedAccess { request_id: RequestId(1), request: req, finish_ns: 160, row_hit: false };
+        let done = CompletedAccess {
+            request_id: RequestId(1),
+            request: req,
+            finish_ns: 160,
+            row_hit: false,
+        };
         assert_eq!(done.latency_ns(), 60);
     }
 
     #[test]
     fn latency_saturates_rather_than_underflows() {
         let req = MemRequest::new(PhysAddr::new(64), AccessKind::Write, 0, 500);
-        let done = CompletedAccess { request_id: RequestId(2), request: req, finish_ns: 400, row_hit: true };
+        let done = CompletedAccess {
+            request_id: RequestId(2),
+            request: req,
+            finish_ns: 400,
+            row_hit: true,
+        };
         assert_eq!(done.latency_ns(), 0);
     }
 

@@ -275,15 +275,13 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_banks() {
-        let mut c = DramConfig::default();
-        c.banks_per_rank = 0;
+        let c = DramConfig { banks_per_rank: 0, ..DramConfig::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_misaligned_line() {
-        let mut c = DramConfig::default();
-        c.line_size_bytes = 48;
+        let c = DramConfig { line_size_bytes: 48, ..DramConfig::default() };
         assert!(c.validate().is_err());
     }
 

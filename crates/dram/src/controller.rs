@@ -10,6 +10,7 @@ use crate::command::{
 };
 use crate::config::{DramConfig, PagePolicy};
 use crate::error::DramError;
+use crate::sink::{AccessSink, ActivationSink, EventCollector};
 use crate::stats::ControllerStats;
 use crate::Nanos;
 
@@ -26,9 +27,15 @@ struct PendingRequest {
 /// The controller owns one [`Bank`] model and one transaction queue per
 /// global bank, a per-channel data bus, and a per-rank refresh schedule.
 /// Demand requests are scheduled FR-FCFS (row hits first under the open-page
-/// policy, otherwise first-come-first-served), maintenance operations take
-/// priority over demand requests of the same bank, and every `ACT` issued is
-/// logged as an [`ActivationEvent`] that the caller drains.
+/// policy, otherwise first-come-first-served) and maintenance operations
+/// take priority over demand requests of the same bank.
+///
+/// Events stream out rather than buffering up: every `ACT` issued is pushed
+/// into the caller's [`ActivationSink`] the moment it happens, and demand
+/// completions wait in a small per-bank queue (finish times are monotone
+/// within a bank) until simulated time passes them, at which point
+/// [`MemoryController::tick_into`] pushes them into the caller's
+/// [`AccessSink`]. Nothing is drained or re-scanned per epoch.
 #[derive(Debug)]
 pub struct MemoryController {
     config: DramConfig,
@@ -39,8 +46,7 @@ pub struct MemoryController {
     bus_free_ns: Vec<Nanos>,
     next_refresh_ns: Vec<Nanos>,
     next_window_ns: Nanos,
-    activation_log: Vec<ActivationEvent>,
-    completed: Vec<CompletedAccess>,
+    completions: Vec<VecDeque<CompletedAccess>>,
     stats: ControllerStats,
     next_request_id: u64,
 }
@@ -76,8 +82,7 @@ impl MemoryController {
             bus_free_ns: vec![0; config.channels],
             next_refresh_ns: vec![config.timing.t_refi; total_ranks],
             next_window_ns: config.refresh_window_ns,
-            activation_log: Vec::new(),
-            completed: Vec::new(),
+            completions: vec![VecDeque::new(); total_banks],
             stats: ControllerStats::default(),
             next_request_id: 0,
             mapper,
@@ -121,6 +126,13 @@ impl MemoryController {
         self.total_queued() == 0 && self.maintenance.iter().all(VecDeque::is_empty)
     }
 
+    /// Demand accesses that have been scheduled but whose finish time has
+    /// not been reached by any `tick_into` call yet.
+    #[must_use]
+    pub fn pending_completions(&self) -> usize {
+        self.completions.iter().map(VecDeque::len).sum()
+    }
+
     /// Enqueue a demand request.
     ///
     /// # Errors
@@ -161,11 +173,6 @@ impl MemoryController {
         Ok(())
     }
 
-    /// Drain the activation events logged since the last call.
-    pub fn drain_activations(&mut self) -> Vec<ActivationEvent> {
-        std::mem::take(&mut self.activation_log)
-    }
-
     /// Time until which a bank is busy — useful for backpressure decisions.
     #[must_use]
     pub fn bank_busy_until(&self, bank: BankId) -> Nanos {
@@ -173,34 +180,59 @@ impl MemoryController {
     }
 
     /// Advance the controller to time `now`, scheduling any work that can
-    /// start at or before `now`, and return demand accesses that have
-    /// completed by `now`.
-    pub fn tick(&mut self, now: Nanos) -> Vec<CompletedAccess> {
+    /// start at or before `now`. Every activation issued while scheduling is
+    /// pushed into `sink` as it happens, and every demand access whose
+    /// finish time has been reached is delivered through `sink`.
+    pub fn tick_into(&mut self, now: Nanos, sink: &mut (impl ActivationSink + AccessSink)) {
         self.handle_window_rollover(now);
         self.handle_refresh(now);
         for bank_idx in 0..self.banks.len() {
-            self.schedule_bank(bank_idx, now);
+            self.schedule_bank(bank_idx, now, sink);
         }
-        let (done, still_pending): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.completed).into_iter().partition(|c| c.finish_ns <= now);
-        self.completed = still_pending;
-        done
+        for queue in &mut self.completions {
+            while queue.front().is_some_and(|c| c.finish_ns <= now) {
+                let done = queue.pop_front().expect("front was just checked");
+                sink.on_access(&done);
+            }
+        }
     }
 
-    /// Advance until all queued demand and maintenance work has completed,
-    /// returning the completions and the final time. Useful in tests and for
-    /// draining attack traces that are not paced by a CPU model.
-    pub fn drain(&mut self, mut now: Nanos, step_ns: Nanos) -> (Vec<CompletedAccess>, Nanos) {
+    /// Convenience wrapper over [`MemoryController::tick_into`] that
+    /// materializes the completions into a `Vec` (and discards activations).
+    /// Prefer `tick_into` in simulation loops.
+    pub fn tick(&mut self, now: Nanos) -> Vec<CompletedAccess> {
+        let mut collector = EventCollector::new();
+        self.tick_into(now, &mut collector);
+        collector.completions
+    }
+
+    /// Advance until all queued demand and maintenance work has completed
+    /// and every completion has been delivered through `sink`, returning the
+    /// final time. Useful in tests and for draining attack traces that are
+    /// not paced by a CPU model.
+    pub fn drain_into(
+        &mut self,
+        mut now: Nanos,
+        step_ns: Nanos,
+        sink: &mut (impl ActivationSink + AccessSink),
+    ) -> Nanos {
         let step = step_ns.max(1);
-        let mut all = Vec::new();
         loop {
-            all.extend(self.tick(now));
-            if self.is_idle() && self.completed.is_empty() {
+            self.tick_into(now, sink);
+            if self.is_idle() && self.pending_completions() == 0 {
                 break;
             }
             now += step;
         }
-        (all, now)
+        now
+    }
+
+    /// Convenience wrapper over [`MemoryController::drain_into`] returning
+    /// the completions as a `Vec`.
+    pub fn drain(&mut self, now: Nanos, step_ns: Nanos) -> (Vec<CompletedAccess>, Nanos) {
+        let mut collector = EventCollector::new();
+        let end = self.drain_into(now, step_ns, &mut collector);
+        (collector.completions, end)
     }
 
     fn handle_window_rollover(&mut self, now: Nanos) {
@@ -231,19 +263,19 @@ impl MemoryController {
         }
     }
 
-    fn schedule_bank(&mut self, bank_idx: usize, now: Nanos) {
+    fn schedule_bank(&mut self, bank_idx: usize, now: Nanos, sink: &mut dyn ActivationSink) {
         loop {
             if !self.banks[bank_idx].is_free_at(now) {
                 return;
             }
             // Maintenance has priority.
             if let Some(op) = self.maintenance[bank_idx].pop_front() {
-                self.execute_maintenance(bank_idx, &op, now);
+                self.execute_maintenance(bank_idx, &op, now, sink);
                 continue;
             }
             let Some(pos) = self.pick_request(bank_idx) else { return };
             let pending = self.queues[bank_idx].remove(pos).expect("index valid");
-            self.execute_demand(bank_idx, pending, now);
+            self.execute_demand(bank_idx, pending, now, sink);
         }
     }
 
@@ -264,7 +296,13 @@ impl MemoryController {
         Some(0)
     }
 
-    fn execute_maintenance(&mut self, bank_idx: usize, op: &MaintenanceOp, now: Nanos) {
+    fn execute_maintenance(
+        &mut self,
+        bank_idx: usize,
+        op: &MaintenanceOp,
+        now: Nanos,
+        sink: &mut dyn ActivationSink,
+    ) {
         let start = self.banks[bank_idx].busy_until().max(now);
         let finish = start + op.duration_ns;
         self.banks[bank_idx].occupy_until(finish);
@@ -274,9 +312,10 @@ impl MemoryController {
         for &row in &op.activations {
             self.banks[bank_idx].activate(row);
             self.banks[bank_idx].precharge();
-            self.activation_log.push(ActivationEvent {
+            sink.on_activation(&ActivationEvent {
                 bank: BankId::new(bank_idx),
                 row,
+                logical_row: row,
                 at_ns: start,
                 maintenance: true,
             });
@@ -284,18 +323,27 @@ impl MemoryController {
         self.stats.record_maintenance(op.label, op.duration_ns, op.activations.len() as u64);
     }
 
-    fn execute_demand(&mut self, bank_idx: usize, pending: PendingRequest, now: Nanos) {
+    fn execute_demand(
+        &mut self,
+        bank_idx: usize,
+        pending: PendingRequest,
+        now: Nanos,
+        sink: &mut dyn ActivationSink,
+    ) {
         let timing = self.config.timing;
         let channel = bank_idx / (self.config.ranks_per_channel * self.config.banks_per_rank);
         let bank_ready = self.banks[bank_idx].busy_until().max(now).max(pending.request.arrival_ns);
 
-        let (row_hit, service_latency) = match (self.config.page_policy, self.banks[bank_idx].open_row()) {
-            (PagePolicy::OpenPage, Some(open)) if open == pending.row => (true, timing.row_hit_latency()),
-            (PagePolicy::OpenPage, Some(_)) => (false, timing.row_conflict_latency()),
-            (PagePolicy::OpenPage, None) | (PagePolicy::ClosedPage, _) => {
-                (false, timing.row_closed_latency())
-            }
-        };
+        let (row_hit, service_latency) =
+            match (self.config.page_policy, self.banks[bank_idx].open_row()) {
+                (PagePolicy::OpenPage, Some(open)) if open == pending.row => {
+                    (true, timing.row_hit_latency())
+                }
+                (PagePolicy::OpenPage, Some(_)) => (false, timing.row_conflict_latency()),
+                (PagePolicy::OpenPage, None) | (PagePolicy::ClosedPage, _) => {
+                    (false, timing.row_closed_latency())
+                }
+            };
 
         // The data burst must also win the channel bus.
         let bus_ready = self.bus_free_ns[channel];
@@ -309,9 +357,10 @@ impl MemoryController {
 
         if !row_hit {
             self.banks[bank_idx].activate(pending.row);
-            self.activation_log.push(ActivationEvent {
+            sink.on_activation(&ActivationEvent {
                 bank: BankId::new(bank_idx),
                 row: pending.row,
+                logical_row: pending.request.logical_row.unwrap_or(pending.row),
                 at_ns: start,
                 maintenance: false,
             });
@@ -334,7 +383,18 @@ impl MemoryController {
             row_hit,
         };
         self.stats.total_demand_latency_ns += done.latency_ns();
-        self.completed.push(done);
+        // Within a bank, finish times are monotone (the next access starts
+        // at or after the previous occupy time), so push_back keeps the
+        // queue sorted; the ordered insert below is a safety net should a
+        // future scheduling change break that property.
+        let queue = &mut self.completions[bank_idx];
+        match queue.back() {
+            Some(last) if last.finish_ns > done.finish_ns => {
+                let pos = queue.partition_point(|c| c.finish_ns <= done.finish_ns);
+                queue.insert(pos, done);
+            }
+            _ => queue.push_back(done),
+        }
     }
 }
 
@@ -344,7 +404,13 @@ mod tests {
     use crate::command::MaintenanceKind;
 
     fn small_config() -> DramConfig {
-        DramConfig { channels: 1, banks_per_rank: 2, rows_per_bank: 1024, queue_capacity: 8, ..DramConfig::default() }
+        DramConfig {
+            channels: 1,
+            banks_per_rank: 2,
+            rows_per_bank: 1024,
+            queue_capacity: 8,
+            ..DramConfig::default()
+        }
     }
 
     fn addr_for(mc: &MemoryController, bank: usize, row: u64) -> PhysAddr {
@@ -416,23 +482,60 @@ mod tests {
     }
 
     #[test]
-    fn maintenance_blocks_bank_and_logs_latent_activations() {
+    fn maintenance_blocks_bank_and_streams_latent_activations() {
         let mut mc = MemoryController::new(small_config());
         let swap_ns = mc.config().swap_latency_ns();
-        mc.enqueue_maintenance(MaintenanceOp::new(BankId::new(0), swap_ns, vec![10, 20], MaintenanceKind::Swap))
-            .unwrap();
+        mc.enqueue_maintenance(MaintenanceOp::new(
+            BankId::new(0),
+            swap_ns,
+            vec![10, 20],
+            MaintenanceKind::Swap,
+        ))
+        .unwrap();
         let addr = addr_for(&mc, 0, 10);
         mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
-        let (done, _) = mc.drain(0, 50);
+        let mut events = EventCollector::new();
+        mc.drain_into(0, 50, &mut events);
         // The demand access waits for the swap to finish.
-        assert!(done[0].latency_ns() >= swap_ns);
-        let acts = mc.drain_activations();
-        let maint: Vec<_> = acts.iter().filter(|a| a.maintenance).collect();
+        assert!(events.completions[0].latency_ns() >= swap_ns);
+        let maint: Vec<_> = events.activations.iter().filter(|a| a.maintenance).collect();
         assert_eq!(maint.len(), 2);
         assert_eq!(maint[0].row, 10);
         assert_eq!(maint[1].row, 20);
         assert_eq!(mc.stats().maintenance_count(MaintenanceKind::Swap), 1);
         assert_eq!(mc.stats().maintenance_activations, 2);
+    }
+
+    #[test]
+    fn activation_stream_reports_logical_rows() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 17);
+        // The issuer remapped logical row 3 to physical row 17.
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0).with_logical_row(3)).unwrap();
+        let mut events = EventCollector::new();
+        mc.drain_into(0, 5, &mut events);
+        assert_eq!(events.activations.len(), 1);
+        assert_eq!(events.activations[0].row, 17);
+        assert_eq!(events.activations[0].logical_row, 3);
+        assert!(!events.activations[0].maintenance);
+    }
+
+    #[test]
+    fn completions_stream_once_and_in_finish_order() {
+        let mut mc = MemoryController::new(small_config());
+        for row in 0..4 {
+            let addr = addr_for(&mc, 0, row);
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        }
+        let mut events = EventCollector::new();
+        let end = mc.drain_into(0, 5, &mut events);
+        assert_eq!(events.completions.len(), 4);
+        assert!(events.completions.windows(2).all(|w| w[0].finish_ns <= w[1].finish_ns));
+        assert_eq!(mc.pending_completions(), 0);
+        // Ticking past the end produces nothing further.
+        let mut more = EventCollector::new();
+        mc.tick_into(end + 1_000, &mut more);
+        assert!(more.completions.is_empty());
     }
 
     #[test]

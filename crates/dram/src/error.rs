@@ -70,6 +70,9 @@ mod tests {
 
     #[test]
     fn queue_full_display() {
-        assert_eq!(DramError::QueueFull { bank: 3 }.to_string(), "transaction queue full for bank 3");
+        assert_eq!(
+            DramError::QueueFull { bank: 3 }.to_string(),
+            "transaction queue full for bank 3"
+        );
     }
 }

@@ -19,20 +19,22 @@
 //! ## Example
 //!
 //! ```
-//! use srs_dram::{DramConfig, MemoryController, MemRequest, AccessKind, PhysAddr};
+//! use srs_dram::{AccessKind, DramConfig, EventCollector, MemRequest, MemoryController, PhysAddr};
 //!
 //! let config = DramConfig::default();
 //! let mut mc = MemoryController::new(config);
 //! let req = MemRequest::new(PhysAddr::new(0x4000), AccessKind::Read, 0, 0);
 //! let id = mc.enqueue(req).expect("queue accepts request");
-//! // Advance time until the request completes.
-//! let mut done = Vec::new();
+//! // Advance time until the request completes; activations and completions
+//! // stream into the sink as they happen.
+//! let mut events = EventCollector::new();
 //! let mut now = 0;
-//! while done.is_empty() {
+//! while events.completions.is_empty() {
 //!     now += 10;
-//!     done.extend(mc.tick(now));
+//!     mc.tick_into(now, &mut events);
 //! }
-//! assert_eq!(done[0].request_id, id);
+//! assert_eq!(events.completions[0].request_id, id);
+//! assert_eq!(events.activations.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,14 +46,19 @@ pub mod command;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod sink;
 pub mod stats;
 
 pub use address::{AddressMapper, BankId, DramAddress, PhysAddr, RowId};
 pub use bank::{Bank, BankState};
-pub use command::{AccessKind, ActivationEvent, CompletedAccess, MaintenanceKind, MaintenanceOp, MemRequest, RequestId};
+pub use command::{
+    AccessKind, ActivationEvent, CompletedAccess, MaintenanceKind, MaintenanceOp, MemRequest,
+    RequestId,
+};
 pub use config::{DramConfig, DramTiming, PagePolicy};
 pub use controller::MemoryController;
 pub use error::DramError;
+pub use sink::{AccessSink, ActivationSink, EventCollector, NullSink};
 pub use stats::ControllerStats;
 
 /// Nanoseconds, the time base used throughout the memory model.

@@ -30,9 +30,16 @@
 pub mod config;
 pub mod metrics;
 pub mod runner;
+pub mod scenario;
 pub mod system;
 
 pub use config::SystemConfig;
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};
-pub use runner::{run_normalized, run_parallel, run_workload, suite_averages};
+pub use runner::{
+    normalize_against, parallel_map_ordered, run_normalized, run_parallel, run_workload,
+    suite_averages, SuiteRow,
+};
+pub use scenario::{
+    default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult,
+};
 pub use system::System;

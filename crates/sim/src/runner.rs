@@ -2,6 +2,7 @@
 //! execution of many simulations.
 
 use crossbeam::channel;
+use serde::{Deserialize, Serialize};
 use srs_core::DefenseKind;
 use srs_workloads::{NamedWorkload, Suite};
 
@@ -25,33 +26,53 @@ pub fn run_normalized(config: &SystemConfig, workload: &NamedWorkload) -> Normal
     baseline_config.defense = DefenseKind::Baseline;
     let baseline = run_workload(&baseline_config, workload);
     let defended = run_workload(config, workload);
-    // Normalized performance is capped at 1.0: with the dense synthetic
-    // traces, Scale-SRS's LLC pinning of extremely hot rows can outweigh its
-    // swap cost and beat the unprotected baseline, which the paper's real
-    // traces do not exhibit (see EXPERIMENTS.md).
-    let normalized = if baseline.total_ipc() > 0.0 {
-        (defended.total_ipc() / baseline.total_ipc()).min(1.0)
-    } else {
-        1.0
-    };
+    normalize_against(defended, baseline.total_ipc(), config.t_rh)
+}
+
+/// Normalize a defended run against an already-computed baseline IPC (the
+/// scenario engine computes each distinct baseline once and shares it across
+/// the defense axis).
+///
+/// Normalized performance is capped at 1.0: with the dense synthetic traces,
+/// Scale-SRS's LLC pinning of extremely hot rows can outweigh its swap cost
+/// and beat the unprotected baseline, which the paper's real traces do not
+/// exhibit (see EXPERIMENTS.md).
+#[must_use]
+pub fn normalize_against(defended: SimResult, baseline_ipc: f64, t_rh: u64) -> NormalizedResult {
+    let normalized =
+        if baseline_ipc > 0.0 { (defended.total_ipc() / baseline_ipc).min(1.0) } else { 1.0 };
     NormalizedResult {
-        workload: workload.name.to_string(),
+        workload: defended.workload.clone(),
         defense: defended.defense.clone(),
-        t_rh: config.t_rh,
+        t_rh,
         normalized_performance: normalized,
         detail: defended,
     }
 }
 
-/// Run a set of (configuration, workload) jobs across `threads` worker
-/// threads and return the normalized results in completion order.
+/// Run `f` over every item on a pool of `threads` workers, returning the
+/// outputs **in submission order** regardless of completion order.
+///
+/// Each job is tagged with its index before it enters the work queue and the
+/// collector writes results into their tagged slot, so two runs of the same
+/// job list produce identically ordered output even though fast jobs finish
+/// before slow ones. This is the execution primitive behind
+/// [`run_parallel`] and [`crate::scenario::Experiment::run`].
 #[must_use]
-pub fn run_parallel(jobs: Vec<(SystemConfig, NamedWorkload)>, threads: usize) -> Vec<NormalizedResult> {
+pub fn parallel_map_ordered<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
     let threads = threads.max(1);
-    let (job_tx, job_rx) = channel::unbounded::<(SystemConfig, NamedWorkload)>();
-    let (result_tx, result_rx) = channel::unbounded::<NormalizedResult>();
-    let total = jobs.len();
-    for job in jobs {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let total = items.len();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, O)>();
+    for job in items.into_iter().enumerate() {
         job_tx.send(job).expect("queue open");
     }
     drop(job_tx);
@@ -60,39 +81,90 @@ pub fn run_parallel(jobs: Vec<(SystemConfig, NamedWorkload)>, threads: usize) ->
         for _ in 0..threads {
             let job_rx = job_rx.clone();
             let result_tx = result_tx.clone();
+            let f = &f;
             scope.spawn(move || {
-                while let Ok((config, workload)) = job_rx.recv() {
-                    let result = run_normalized(&config, &workload);
-                    if result_tx.send(result).is_err() {
+                while let Ok((index, item)) = job_rx.recv() {
+                    if result_tx.send((index, f(item))).is_err() {
                         break;
                     }
                 }
             });
         }
         drop(result_tx);
-        result_rx.iter().take(total).collect()
+        let mut slots: Vec<Option<O>> = (0..total).map(|_| None).collect();
+        for (index, output) in result_rx.iter() {
+            slots[index] = Some(output);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                // A missing slot means the worker running that job panicked
+                // (its sender dropped without reporting); point at the real
+                // failure rather than a generic unwrap message.
+                slot.unwrap_or_else(|| {
+                    panic!(
+                        "worker panicked while executing job {index}; see the panic output above"
+                    )
+                })
+            })
+            .collect()
     })
+}
+
+/// Run a set of (configuration, workload) jobs across `threads` worker
+/// threads and return the normalized results in **submission order**, so
+/// sweeps are reproducible run-to-run.
+#[must_use]
+pub fn run_parallel(
+    jobs: Vec<(SystemConfig, NamedWorkload)>,
+    threads: usize,
+) -> Vec<NormalizedResult> {
+    parallel_map_ordered(jobs, threads, |(config, workload)| run_normalized(&config, &workload))
+}
+
+/// One row of a suite-average table: a suite (or the overall `"ALL"` row),
+/// its mean normalized performance, and how many per-workload results the
+/// mean aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteRow {
+    /// Suite label, or the stable `"ALL"` for the overall mean.
+    pub label: String,
+    /// Arithmetic mean of the normalized performance of the row's results.
+    pub mean: f64,
+    /// Number of per-workload results aggregated into the mean.
+    pub count: usize,
 }
 
 /// Average normalized performance per suite plus the overall mean, from a
 /// set of per-workload results (the grouped bars of Figures 12, 14-16).
+///
+/// The final row is always labelled `"ALL"`; the number of aggregated
+/// results is reported in [`SuiteRow::count`] rather than baked into the
+/// label, so downstream code can match on the label across sweeps of
+/// different sizes.
 #[must_use]
-pub fn suite_averages(results: &[NormalizedResult]) -> Vec<(String, f64)> {
+pub fn suite_averages(results: &[NormalizedResult]) -> Vec<SuiteRow> {
     let workloads = srs_workloads::all_workloads();
     let mut rows = Vec::new();
     for suite in Suite::all() {
         let names: Vec<&str> =
             workloads.iter().filter(|w| w.suite == *suite).map(|w| w.name).collect();
-        let subset: Vec<NormalizedResult> = results
-            .iter()
-            .filter(|r| names.contains(&r.workload.as_str()))
-            .cloned()
-            .collect();
+        let subset: Vec<NormalizedResult> =
+            results.iter().filter(|r| names.contains(&r.workload.as_str())).cloned().collect();
         if !subset.is_empty() {
-            rows.push((suite.label().to_string(), mean_normalized(&subset)));
+            rows.push(SuiteRow {
+                label: suite.label().to_string(),
+                mean: mean_normalized(&subset),
+                count: subset.len(),
+            });
         }
     }
-    rows.push((format!("ALL-{}", results.len()), mean_normalized(results)));
+    rows.push(SuiteRow {
+        label: "ALL".to_string(),
+        mean: mean_normalized(results),
+        count: results.len(),
+    });
     rows
 }
 
@@ -118,7 +190,11 @@ mod tests {
     #[test]
     fn normalized_baseline_is_one() {
         let result = run_normalized(&tiny(DefenseKind::Baseline), &workload("gups"));
-        assert!((result.normalized_performance - 1.0).abs() < 0.06, "norm = {}", result.normalized_performance);
+        assert!(
+            (result.normalized_performance - 1.0).abs() < 0.06,
+            "norm = {}",
+            result.normalized_performance
+        );
     }
 
     #[test]
@@ -139,10 +215,45 @@ mod tests {
     }
 
     #[test]
-    fn suite_averages_include_overall_row() {
+    fn parallel_runner_preserves_submission_order() {
+        // Mix fast and slow defenses so completion order differs from
+        // submission order, then check results come back as submitted.
+        let names = ["gups", "gcc", "mcf", "astar"];
+        let jobs: Vec<(SystemConfig, NamedWorkload)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let kind = if i % 2 == 0 { DefenseKind::Baseline } else { DefenseKind::ScaleSrs };
+                (tiny(kind), workload(name))
+            })
+            .collect();
+        let first = run_parallel(jobs.clone(), 4);
+        let second = run_parallel(jobs, 4);
+        let order: Vec<&str> = first.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(order, names.to_vec(), "results must follow submission order");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.defense, b.defense);
+            assert!((a.normalized_performance - b.normalized_performance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_map_ordered_handles_empty_and_excess_threads() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_ordered(empty, 8, |x: u32| x).is_empty());
+        let doubled = parallel_map_ordered(vec![1u32, 2, 3], 64, |x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn suite_averages_include_stable_overall_row() {
         let results = vec![run_normalized(&tiny(DefenseKind::Baseline), &workload("gups"))];
         let rows = suite_averages(&results);
-        assert!(rows.iter().any(|(label, _)| label == "GUPS"));
-        assert!(rows.iter().any(|(label, _)| label.starts_with("ALL-")));
+        assert!(rows.iter().any(|row| row.label == "GUPS"));
+        let all = rows.last().expect("ALL row present");
+        assert_eq!(all.label, "ALL");
+        assert_eq!(all.count, 1);
+        assert!(all.mean > 0.0);
     }
 }

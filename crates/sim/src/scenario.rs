@@ -1,0 +1,522 @@
+//! Declarative, scenario-driven experiment grids.
+//!
+//! Every performance figure of the paper is a sweep over the same axes:
+//! which defenses, which workloads, which Row Hammer thresholds, sometimes
+//! which tracker, core count or seed. Before this module, each bench and
+//! example hand-rolled those nested loops; an [`Experiment`] instead
+//! *declares* the grid and [`Experiment::run`] executes every cell on a
+//! worker pool, returning results in a deterministic, submission-ordered
+//! sequence (see [`Experiment::scenarios`] for the enumeration order).
+//!
+//! ```
+//! use srs_core::DefenseKind;
+//! use srs_sim::scenario::Experiment;
+//! use srs_sim::SystemConfig;
+//! use srs_workloads::workloads_in;
+//!
+//! fn tiny(defense: DefenseKind, t_rh: u64) -> srs_sim::SystemConfig {
+//!     let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+//!     config.cores = 1;
+//!     config.core.target_instructions = 2_000;
+//!     config.trace_records_per_core = 1_000;
+//!     config.max_sim_ns = 2_000_000;
+//!     config
+//! }
+//!
+//! let results = Experiment::new()
+//!     .with_defenses(vec![DefenseKind::Baseline, DefenseKind::ScaleSrs])
+//!     .with_workloads(workloads_in(srs_workloads::Suite::Gups))
+//!     .with_config_fn(tiny)
+//!     .run();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].scenario.defense, DefenseKind::Baseline);
+//! ```
+
+use srs_core::DefenseKind;
+use srs_trackers::TrackerKind;
+use srs_workloads::{all_workloads, NamedWorkload};
+
+use crate::config::SystemConfig;
+use crate::metrics::{NormalizedResult, SimResult};
+use crate::runner::{normalize_against, parallel_map_ordered, run_workload};
+
+/// Builds the base [`SystemConfig`] for one (defense, threshold) cell; a
+/// plain function pointer so an [`Experiment`] stays `Clone + Send`.
+pub type ConfigFn = fn(DefenseKind, u64) -> SystemConfig;
+
+/// One cell of an experiment grid: everything needed to reproduce a single
+/// simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Submission index of this scenario in the grid enumeration; results
+    /// come back such that `results[i].scenario.index == i`.
+    pub index: usize,
+    /// The defense under test.
+    pub defense: DefenseKind,
+    /// Row Hammer threshold.
+    pub t_rh: u64,
+    /// Aggressor tracker.
+    pub tracker: TrackerKind,
+    /// Core-count override, or `None` for the base configuration's value.
+    pub cores: Option<usize>,
+    /// Seed override, or `None` for the base configuration's value.
+    pub seed: Option<u64>,
+    /// The workload to run.
+    pub workload: NamedWorkload,
+}
+
+/// The outcome of one scenario: the scenario descriptor plus the
+/// baseline-normalized simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The grid cell that produced this result.
+    pub scenario: Scenario,
+    /// The normalized simulation result.
+    pub result: NormalizedResult,
+}
+
+impl ScenarioResult {
+    /// Normalized performance of the run (1.0 means no slowdown).
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        self.result.normalized_performance
+    }
+}
+
+/// A declarative experiment grid: defenses × trackers × thresholds × core
+/// counts × seeds × workloads, plus the worker-thread budget that
+/// [`Experiment::run`] uses to execute it.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    defenses: Vec<DefenseKind>,
+    workloads: Vec<NamedWorkload>,
+    thresholds: Vec<u64>,
+    trackers: Vec<TrackerKind>,
+    core_counts: Vec<usize>,
+    seeds: Vec<u64>,
+    threads: usize,
+    config_fn: ConfigFn,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Experiment {
+    /// A grid with the paper's defaults: Scale-SRS, every workload,
+    /// TRH = 1200, the Misra-Gries tracker, the base configuration's core
+    /// count and seed, and the quick (`scaled_for_speed`) configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            defenses: vec![DefenseKind::ScaleSrs],
+            workloads: all_workloads(),
+            thresholds: vec![1200],
+            trackers: vec![TrackerKind::MisraGries],
+            core_counts: Vec::new(),
+            seeds: Vec::new(),
+            threads: default_threads(),
+            config_fn: SystemConfig::scaled_for_speed,
+        }
+    }
+
+    /// Sweep these defenses.
+    #[must_use]
+    pub fn with_defenses(mut self, defenses: Vec<DefenseKind>) -> Self {
+        self.defenses = defenses;
+        self
+    }
+
+    /// Sweep these workloads.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: Vec<NamedWorkload>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Sweep these Row Hammer thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: Vec<u64>) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sweep these aggressor trackers.
+    #[must_use]
+    pub fn with_trackers(mut self, trackers: Vec<TrackerKind>) -> Self {
+        self.trackers = trackers;
+        self
+    }
+
+    /// Sweep these core counts (an empty list keeps the base
+    /// configuration's core count, as a single-cell axis).
+    #[must_use]
+    pub fn with_core_counts(mut self, core_counts: Vec<usize>) -> Self {
+        self.core_counts = core_counts;
+        self
+    }
+
+    /// Sweep these seeds (an empty list keeps the base configuration's
+    /// seed, as a single-cell axis).
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Execute on this many worker threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Build base configurations with this function instead of
+    /// [`SystemConfig::scaled_for_speed`] (e.g. the paper-sized
+    /// configuration, or a test-sized one).
+    #[must_use]
+    pub fn with_config_fn(mut self, config_fn: ConfigFn) -> Self {
+        self.config_fn = config_fn;
+        self
+    }
+
+    /// Number of grid cells this experiment will run.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.defenses.len()
+            * self.trackers.len()
+            * self.thresholds.len()
+            * self.core_counts.len().max(1)
+            * self.seeds.len().max(1)
+            * self.workloads.len()
+    }
+
+    /// Enumerate every cell of the grid, in the fixed order results are
+    /// returned: defense (slowest-varying) → tracker → threshold → core
+    /// count → seed → workload (fastest-varying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required axis (defenses, trackers, thresholds or
+    /// workloads) is empty: unlike the optional core-count/seed axes, which
+    /// fall back to the base configuration, an empty required axis would
+    /// silently produce a zero-job grid whose downstream aggregates all
+    /// read 1.000.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(!self.defenses.is_empty(), "experiment has no defenses to sweep");
+        assert!(!self.trackers.is_empty(), "experiment has no trackers to sweep");
+        assert!(!self.thresholds.is_empty(), "experiment has no thresholds to sweep");
+        assert!(!self.workloads.is_empty(), "experiment has no workloads to sweep");
+        let core_axis: Vec<Option<usize>> = if self.core_counts.is_empty() {
+            vec![None]
+        } else {
+            self.core_counts.iter().map(|&c| Some(c)).collect()
+        };
+        let seed_axis: Vec<Option<u64>> = if self.seeds.is_empty() {
+            vec![None]
+        } else {
+            self.seeds.iter().map(|&s| Some(s)).collect()
+        };
+        let mut scenarios = Vec::with_capacity(self.job_count());
+        for &defense in &self.defenses {
+            for &tracker in &self.trackers {
+                for &t_rh in &self.thresholds {
+                    for &cores in &core_axis {
+                        for &seed in &seed_axis {
+                            for workload in &self.workloads {
+                                scenarios.push(Scenario {
+                                    index: scenarios.len(),
+                                    defense,
+                                    t_rh,
+                                    tracker,
+                                    cores,
+                                    seed,
+                                    workload: workload.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// The full configuration for one scenario: the base configuration from
+    /// the config function with the scenario's axis values applied.
+    #[must_use]
+    pub fn config_for(&self, scenario: &Scenario) -> SystemConfig {
+        let mut config = (self.config_fn)(scenario.defense, scenario.t_rh);
+        config.tracker = scenario.tracker;
+        if let Some(cores) = scenario.cores {
+            config.cores = cores;
+        }
+        if let Some(seed) = scenario.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Run every cell of the grid on the worker pool and return the results
+    /// in submission order: `results[i].scenario.index == i`, with the
+    /// ordering documented on [`Experiment::scenarios`]. Two runs of the
+    /// same experiment produce identical result sequences.
+    ///
+    /// The unprotected baseline each cell is normalized against does not
+    /// depend on the defense axis, so each *distinct* baseline (unique
+    /// baseline configuration × workload) is simulated once and shared
+    /// across every defense that needs it — a multi-defense sweep does not
+    /// pay for duplicate baseline runs.
+    #[must_use]
+    pub fn run(&self) -> Vec<ScenarioResult> {
+        let scenarios = self.scenarios();
+
+        // Phase 1: deduplicate and run the baselines. Keyed by the actual
+        // baseline configuration (not just the axis values), so a config_fn
+        // that varies non-defense fields per defense still gets distinct
+        // baselines.
+        let mut baseline_jobs: Vec<(SystemConfig, NamedWorkload)> = Vec::new();
+        let mut baseline_of: Vec<usize> = Vec::with_capacity(scenarios.len());
+        for scenario in &scenarios {
+            let mut baseline_config = self.config_for(scenario);
+            baseline_config.defense = DefenseKind::Baseline;
+            let key = baseline_jobs
+                .iter()
+                .position(|(c, w)| w.name == scenario.workload.name && *c == baseline_config)
+                .unwrap_or_else(|| {
+                    baseline_jobs.push((baseline_config, scenario.workload.clone()));
+                    baseline_jobs.len() - 1
+                });
+            baseline_of.push(key);
+        }
+        let baselines: Vec<SimResult> =
+            parallel_map_ordered(baseline_jobs, self.threads, |(config, workload)| {
+                run_workload(&config, &workload)
+            });
+
+        // Phase 2: the defended runs, normalized against their shared
+        // baseline. A cell whose defense *is* the baseline was already
+        // simulated in phase 1 (its configuration is the baseline
+        // configuration), so its result is reused rather than re-run.
+        let jobs: Vec<(Scenario, SystemConfig, f64, Option<SimResult>)> = scenarios
+            .into_iter()
+            .zip(&baseline_of)
+            .map(|(s, &key)| {
+                let config = self.config_for(&s);
+                let reuse = (s.defense == DefenseKind::Baseline).then(|| baselines[key].clone());
+                (s, config, baselines[key].total_ipc(), reuse)
+            })
+            .collect();
+        parallel_map_ordered(jobs, self.threads, |(scenario, config, baseline_ipc, reuse)| {
+            let defended = reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
+            let result = normalize_against(defended, baseline_ipc, config.t_rh);
+            ScenarioResult { scenario, result }
+        })
+    }
+}
+
+/// The normalized results of the cells matching a defense and threshold —
+/// the per-figure grouping the benches print (pass to
+/// [`crate::runner::suite_averages`]).
+///
+/// The group is meant to be averaged, so it must correspond to *one*
+/// configuration: if the matching cells span more than one tracker, seed or
+/// core count (an experiment built with several values on those axes), this
+/// panics rather than silently averaging unrelated runs — filter with
+/// [`results_where`] on every varying axis instead.
+///
+/// # Panics
+///
+/// Panics if nothing matches (the grid never ran that defense/threshold —
+/// averaging the empty group would silently print 1.000), or if the
+/// matching results mix trackers, seeds or core counts.
+#[must_use]
+pub fn results_for(
+    results: &[ScenarioResult],
+    defense: DefenseKind,
+    t_rh: u64,
+) -> Vec<NormalizedResult> {
+    let matching: Vec<&ScenarioResult> = results
+        .iter()
+        .filter(|r| r.scenario.defense == defense && r.scenario.t_rh == t_rh)
+        .collect();
+    assert!(
+        !matching.is_empty(),
+        "results_for({defense}, {t_rh}) matched no cells — that defense/threshold \
+         combination was not part of the experiment grid"
+    );
+    if let Some(first) = matching.first() {
+        for r in &matching {
+            assert!(
+                r.scenario.tracker == first.scenario.tracker
+                    && r.scenario.seed == first.scenario.seed
+                    && r.scenario.cores == first.scenario.cores,
+                "results_for({defense}, {t_rh}) matched cells from more than one \
+                 tracker/seed/core-count configuration; group with results_where \
+                 on every varying axis before averaging"
+            );
+        }
+    }
+    matching.into_iter().map(|r| r.result.clone()).collect()
+}
+
+/// The normalized results of the cells matching an arbitrary scenario
+/// predicate, for grids that sweep axes beyond defense and threshold.
+#[must_use]
+pub fn results_where(
+    results: &[ScenarioResult],
+    predicate: impl Fn(&Scenario) -> bool,
+) -> Vec<NormalizedResult> {
+    results.iter().filter(|r| predicate(&r.scenario)).map(|r| r.result.clone()).collect()
+}
+
+/// The worker-thread budget experiments use unless overridden with
+/// [`Experiment::with_threads`]: the machine's available parallelism,
+/// capped at 8 (simulation jobs are memory-bound; more workers thrash).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_workloads::Suite;
+
+    fn tiny(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+        let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+        config.cores = 1;
+        config.core.target_instructions = 2_000;
+        config.trace_records_per_core = 1_000;
+        config.dram.refresh_window_ns = 500_000;
+        config.max_sim_ns = 2_000_000;
+        config
+    }
+
+    fn two_workloads() -> Vec<NamedWorkload> {
+        all_workloads().into_iter().filter(|w| w.name == "gups" || w.name == "gcc").collect()
+    }
+
+    #[test]
+    fn grid_enumeration_is_defense_major_workload_minor() {
+        let experiment = Experiment::new()
+            .with_defenses(vec![DefenseKind::Baseline, DefenseKind::Srs])
+            .with_thresholds(vec![1200, 2400])
+            .with_workloads(two_workloads());
+        assert_eq!(experiment.job_count(), 8);
+        let scenarios = experiment.scenarios();
+        assert_eq!(scenarios.len(), 8);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        assert_eq!(scenarios[0].defense, DefenseKind::Baseline);
+        assert_eq!(scenarios[0].t_rh, 1200);
+        // Workloads vary fastest, thresholds next, defenses slowest.
+        assert_ne!(scenarios[0].workload.name, scenarios[1].workload.name);
+        assert_eq!(scenarios[2].t_rh, 2400);
+        assert_eq!(scenarios[4].defense, DefenseKind::Srs);
+    }
+
+    #[test]
+    fn axis_overrides_reach_the_configuration() {
+        let experiment = Experiment::new()
+            .with_workloads(two_workloads())
+            .with_core_counts(vec![2])
+            .with_seeds(vec![99])
+            .with_trackers(vec![TrackerKind::Hydra])
+            .with_config_fn(tiny);
+        let scenarios = experiment.scenarios();
+        let config = experiment.config_for(&scenarios[0]);
+        assert_eq!(config.cores, 2);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.tracker, TrackerKind::Hydra);
+    }
+
+    #[test]
+    fn empty_axes_fall_back_to_base_config() {
+        let experiment = Experiment::new().with_workloads(two_workloads()).with_config_fn(tiny);
+        let scenarios = experiment.scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].cores, None);
+        let config = experiment.config_for(&scenarios[0]);
+        assert_eq!(config.cores, tiny(DefenseKind::ScaleSrs, 1200).cores);
+    }
+
+    #[test]
+    fn results_for_selects_one_cell_group() {
+        let experiment = Experiment::new()
+            .with_defenses(vec![DefenseKind::Baseline, DefenseKind::ScaleSrs])
+            .with_workloads(workloads(Suite::Gups))
+            .with_config_fn(tiny)
+            .with_threads(2);
+        let results = experiment.run();
+        assert_eq!(results.len(), 2);
+        let scale = results_for(&results, DefenseKind::ScaleSrs, 1200);
+        assert_eq!(scale.len(), 1);
+        assert_eq!(scale[0].defense, "scale-srs");
+    }
+
+    fn workloads(suite: Suite) -> Vec<NamedWorkload> {
+        all_workloads().into_iter().filter(|w| w.suite == suite).collect()
+    }
+
+    #[test]
+    fn shared_baselines_match_per_cell_normalization() {
+        // The engine computes each distinct baseline once; the results must
+        // be bit-identical to normalizing every cell independently.
+        let experiment = Experiment::new()
+            .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
+            .with_workloads(two_workloads())
+            .with_config_fn(tiny)
+            .with_threads(2);
+        let results = experiment.run();
+        for r in &results {
+            let config = experiment.config_for(&r.scenario);
+            let direct = crate::runner::run_normalized(&config, &r.scenario.workload);
+            assert_eq!(r.result.normalized_performance, direct.normalized_performance);
+            assert_eq!(r.result.detail.swaps, direct.detail.swaps);
+        }
+    }
+
+    #[test]
+    fn empty_required_axis_is_rejected() {
+        let experiment = Experiment::new().with_defenses(Vec::new());
+        assert!(std::panic::catch_unwind(|| experiment.scenarios()).is_err());
+        let experiment = Experiment::new().with_workloads(Vec::new());
+        assert!(std::panic::catch_unwind(|| experiment.scenarios()).is_err());
+    }
+
+    #[test]
+    fn results_for_rejects_absent_groups() {
+        let experiment =
+            Experiment::new().with_workloads(two_workloads()).with_config_fn(tiny).with_threads(2);
+        let results = experiment.run();
+        // The grid ran Scale-SRS at 1200 only; asking for RRS must be loud,
+        // not an empty group that averages to a fake 1.000.
+        let absent = std::panic::catch_unwind(|| {
+            results_for(&results, DefenseKind::Rrs { immediate_unswap: true }, 1200)
+        });
+        assert!(absent.is_err());
+    }
+
+    #[test]
+    fn results_for_rejects_mixed_axes_and_results_where_selects_them() {
+        let experiment = Experiment::new()
+            .with_workloads(workloads(Suite::Gups))
+            .with_trackers(vec![TrackerKind::MisraGries, TrackerKind::Hydra])
+            .with_config_fn(tiny)
+            .with_threads(2);
+        let results = experiment.run();
+        assert_eq!(results.len(), 2);
+        // Grouping by (defense, t_rh) alone would average two trackers.
+        let grouped =
+            std::panic::catch_unwind(|| results_for(&results, DefenseKind::ScaleSrs, 1200));
+        assert!(grouped.is_err(), "mixed-tracker group must be rejected");
+        // The predicate form selects one tracker's cells cleanly.
+        let hydra = results_where(&results, |s| s.tracker == TrackerKind::Hydra);
+        assert_eq!(hydra.len(), 1);
+    }
+}

@@ -12,10 +12,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
 use srs_cpu::{AccessToken, CoreStatus, TraceCore};
 use srs_dram::{
-    AccessKind, BankId, DramAddress, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController,
-    PhysAddr, RequestId,
+    AccessKind, AccessSink, ActivationEvent, ActivationSink, BankId, CompletedAccess, DramAddress,
+    DramTiming, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController, PhysAddr, RequestId,
 };
-use srs_trackers::{AggressorTracker, HydraConfig, HydraTracker, MisraGriesConfig, MisraGriesTracker, TrackerKind};
+use srs_trackers::{
+    AggressorTracker, HydraConfig, HydraTracker, MisraGriesConfig, MisraGriesTracker, TrackerKind,
+};
 use srs_workloads::Trace;
 
 use crate::config::SystemConfig;
@@ -42,21 +44,78 @@ pub struct System {
     pending: HashMap<RequestId, (usize, AccessToken)>,
     deferred: VecDeque<DeferredAccess>,
     next_window_ns: u64,
-    row_activations: HashMap<(usize, u64), u64>,
+    /// Per-bank shards of per-logical-row activation counts for the current
+    /// refresh window. Sharding by bank keeps each map small and lets the
+    /// window rollover reset state bank by bank without a global rebuild.
+    bank_activations: Vec<HashMap<u64, u64>>,
     max_row_activations: u64,
     rows_pinned: u64,
     pinned_hits: u64,
+}
+
+/// The streaming observer wired into the controller for one tick: it feeds
+/// the aggressor tracker from the activation stream, completes core reads
+/// from the completion stream, and queues the mitigation work the tick
+/// produced (applied by the caller once the controller borrow ends).
+struct TickObserver<'a> {
+    tracker: &'a mut (dyn AggressorTracker + Send),
+    defense: &'a mut (dyn RowSwapDefense + Send),
+    cores: &'a mut [TraceCore],
+    pending: &'a mut HashMap<RequestId, (usize, AccessToken)>,
+    bank_activations: &'a mut [HashMap<u64, u64>],
+    max_row_activations: &'a mut u64,
+    timing: DramTiming,
+    now: u64,
+    actions: Vec<MitigationAction>,
+    counter_ops: Vec<MaintenanceOp>,
+}
+
+impl ActivationSink for TickObserver<'_> {
+    fn on_activation(&mut self, event: &ActivationEvent) {
+        if event.maintenance {
+            // Mitigation-issued activations are charged by the attack models
+            // and statistics, not by the aggressor tracker (matching the
+            // hardware, where the mitigation's own row movements do not feed
+            // back into its tracker).
+            return;
+        }
+        let bank = event.bank.index();
+        let logical_row = event.logical_row;
+        let count = self.bank_activations[bank].entry(logical_row).or_insert(0);
+        *count += 1;
+        *self.max_row_activations = (*self.max_row_activations).max(*count);
+
+        let decision = self.tracker.record_activation(bank, logical_row);
+        if decision.extra_memory_accesses > 0 {
+            // Hydra's memory-resident counter table traffic.
+            self.counter_ops.push(MaintenanceOp::new(
+                event.bank,
+                decision.extra_memory_accesses * (self.timing.t_rc + self.timing.t_cas),
+                Vec::new(),
+                MaintenanceKind::CounterAccess,
+            ));
+        }
+        if decision.mitigate {
+            self.actions.extend(self.defense.on_mitigation_trigger(bank, logical_row, self.now));
+        }
+    }
+}
+
+impl AccessSink for TickObserver<'_> {
+    fn on_access(&mut self, done: &CompletedAccess) {
+        if let Some((core, token)) = self.pending.remove(&done.request_id) {
+            self.cores[core].complete_read(token, done.finish_ns.max(self.now));
+        }
+    }
 }
 
 fn build_tracker(config: &SystemConfig) -> Box<dyn AggressorTracker + Send> {
     let mitigation = config.mitigation_config();
     let ts = mitigation.swap_threshold();
     match config.tracker {
-        TrackerKind::MisraGries => Box::new(MisraGriesTracker::new(MisraGriesConfig::for_threshold(
-            ts,
-            mitigation.act_max_per_window,
-            mitigation.banks,
-        ))),
+        TrackerKind::MisraGries => Box::new(MisraGriesTracker::new(
+            MisraGriesConfig::for_threshold(ts, mitigation.act_max_per_window, mitigation.banks),
+        )),
         TrackerKind::Hydra => Box::new(HydraTracker::new(HydraConfig::for_threshold(
             ts,
             mitigation.banks,
@@ -95,6 +154,7 @@ impl System {
             })
             .collect();
         let window = config.dram.refresh_window_ns;
+        let total_banks = config.dram.total_banks();
         Self {
             workload: trace.name.clone(),
             core_finish_ns: vec![None; config.cores],
@@ -106,7 +166,7 @@ impl System {
             pending: HashMap::new(),
             deferred: VecDeque::new(),
             next_window_ns: window,
-            row_activations: HashMap::new(),
+            bank_activations: vec![HashMap::new(); total_banks],
             max_row_activations: 0,
             rows_pinned: 0,
             pinned_hits: 0,
@@ -128,13 +188,10 @@ impl System {
     fn remapped_address(&self, decoded: &DramAddress, bank: BankId) -> PhysAddr {
         let physical_row = self.defense.translate(bank.index(), decoded.row);
         if physical_row == decoded.row {
-            return self
-                .controller
-                .mapper()
-                .encode(decoded)
-                .unwrap_or(PhysAddr::new(0));
+            return self.controller.mapper().encode(decoded).unwrap_or(PhysAddr::new(0));
         }
-        let remapped = DramAddress { row: physical_row % self.config.dram.rows_per_bank, ..*decoded };
+        let remapped =
+            DramAddress { row: physical_row % self.config.dram.rows_per_bank, ..*decoded };
         self.controller.mapper().encode(&remapped).unwrap_or_else(|_| {
             self.controller.mapper().encode(decoded).unwrap_or(PhysAddr::new(0))
         })
@@ -161,7 +218,13 @@ impl System {
         }
     }
 
-    fn submit(&mut self, addr: PhysAddr, is_write: bool, origin: Option<(usize, AccessToken)>, now: u64) {
+    fn submit(
+        &mut self,
+        addr: PhysAddr,
+        is_write: bool,
+        origin: Option<(usize, AccessToken)>,
+        now: u64,
+    ) {
         let (bank, decoded) = self.decode(addr);
         let logical_row = decoded.row;
 
@@ -174,33 +237,13 @@ impl System {
             return;
         }
 
-        // Row Hammer accounting and tracking on the issued row address.
-        let count = self.row_activations.entry((bank.index(), logical_row)).or_insert(0);
-        *count += 1;
-        self.max_row_activations = self.max_row_activations.max(*count);
-        let decision = self.tracker.record_activation(bank.index(), logical_row);
-        if decision.extra_memory_accesses > 0 {
-            // Hydra's memory-resident counter table traffic.
-            let timing = &self.config.dram.timing;
-            let op = MaintenanceOp::new(
-                bank,
-                decision.extra_memory_accesses * (timing.t_rc + timing.t_cas),
-                Vec::new(),
-                MaintenanceKind::CounterAccess,
-            );
-            let _ = self.controller.enqueue_maintenance(op);
-        }
-        if decision.mitigate {
-            let actions = self.defense.on_mitigation_trigger(bank.index(), logical_row, now);
-            self.apply_actions(actions);
-            // The trigger may have pinned the row; the current access still
-            // proceeds to memory (the data is being migrated).
-        }
-
+        // Row Hammer accounting happens in-stream when the controller issues
+        // the ACT (see `TickObserver::on_activation`); the request only
+        // carries the logical row so the activation event can report it.
         let target = self.remapped_address(&decoded, bank);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
         let core_id = origin.map_or(0, |(core, _)| core);
-        let request = MemRequest::new(target, kind, core_id, now);
+        let request = MemRequest::new(target, kind, core_id, now).with_logical_row(logical_row);
         match self.controller.enqueue(request) {
             Ok(id) => {
                 if let Some(origin) = origin {
@@ -229,7 +272,9 @@ impl System {
             let actions = self.defense.on_new_window(boundary);
             self.apply_actions(actions);
             self.pinned_rows.clear();
-            self.row_activations.clear();
+            for shard in &mut self.bank_activations {
+                shard.clear();
+            }
             self.next_window_ns += self.config.dram.refresh_window_ns;
         }
     }
@@ -279,13 +324,26 @@ impl System {
                 }
             }
 
-            // Advance the memory controller and deliver completions.
-            for done in self.controller.tick(now) {
-                if let Some((core, token)) = self.pending.remove(&done.request_id) {
-                    self.cores[core].complete_read(token, done.finish_ns.max(now));
-                }
+            // Advance the memory controller; activations stream into the
+            // tracker/defense and completions into the cores as they happen.
+            let mut observer = TickObserver {
+                tracker: self.tracker.as_mut(),
+                defense: self.defense.as_mut(),
+                cores: &mut self.cores,
+                pending: &mut self.pending,
+                bank_activations: &mut self.bank_activations,
+                max_row_activations: &mut self.max_row_activations,
+                timing: self.config.dram.timing,
+                now,
+                actions: Vec::new(),
+                counter_ops: Vec::new(),
+            };
+            self.controller.tick_into(now, &mut observer);
+            let TickObserver { actions, counter_ops, .. } = observer;
+            for op in counter_ops {
+                let _ = self.controller.enqueue_maintenance(op);
             }
-            let _ = self.controller.drain_activations();
+            self.apply_actions(actions);
 
             // Lazy defense work (SRS place-back).
             let actions = self.defense.on_tick(now);
@@ -374,7 +432,9 @@ mod tests {
     fn defense_slows_down_hot_workloads_relative_to_baseline() {
         let trace = tiny_trace(3_000);
         let baseline = System::new(tiny_config(DefenseKind::Baseline, 1200), trace.clone()).run();
-        let rrs = System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace).run();
+        let rrs =
+            System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace)
+                .run();
         assert!(rrs.swaps > 0);
         assert!(
             rrs.total_ipc() <= baseline.total_ipc() * 1.02,

@@ -97,18 +97,12 @@ impl NamedWorkload {
     #[must_use]
     pub fn spec(&self) -> WorkloadSpec {
         let (read_fraction, mean_gap, footprint, pattern) = match self.profile {
-            Profile::HotRowHeavy => (
-                0.7,
-                3,
-                1u64 << 28,
-                AccessPattern::HotRows { hot_rows: 6, hot_fraction: 0.55 },
-            ),
-            Profile::Moderate => (
-                0.7,
-                8,
-                1u64 << 29,
-                AccessPattern::HotRows { hot_rows: 16, hot_fraction: 0.25 },
-            ),
+            Profile::HotRowHeavy => {
+                (0.7, 3, 1u64 << 28, AccessPattern::HotRows { hot_rows: 6, hot_fraction: 0.55 })
+            }
+            Profile::Moderate => {
+                (0.7, 8, 1u64 << 29, AccessPattern::HotRows { hot_rows: 16, hot_fraction: 0.25 })
+            }
             Profile::Streaming => (0.75, 6, 1u64 << 30, AccessPattern::Streaming { stride: 64 }),
             Profile::Light => (0.8, 40, 1u64 << 22, AccessPattern::RowBurst { burst: 16 }),
             Profile::Random => (0.5, 2, 1u64 << 30, AccessPattern::Uniform),
@@ -233,8 +227,7 @@ pub fn all_workloads() -> Vec<NamedWorkload> {
     ];
     v.extend(parsec.iter().map(|(n, p)| NamedWorkload { name: n, suite: Parsec, profile: *p }));
     // BIOBENCH (2).
-    let bio: &[(&'static str, Profile)] =
-        &[("mummer", Moderate), ("tigr", HotRowHeavy)];
+    let bio: &[(&'static str, Profile)] = &[("mummer", Moderate), ("tigr", HotRowHeavy)];
     v.extend(bio.iter().map(|(n, p)| NamedWorkload { name: n, suite: Biobench, profile: *p }));
     // MIX (6).
     let mix: &[(&'static str, Profile)] = &[

@@ -84,7 +84,10 @@ impl WorkloadSpec {
         // Pre-pick the hot row bases so they are stable across the trace.
         let hot_bases: Vec<u64> = match self.pattern {
             AccessPattern::HotRows { hot_rows, .. } => (0..hot_rows.max(1))
-                .map(|_| rng.random_range(0..footprint / row_bytes.min(footprint).max(1)).saturating_mul(row_bytes))
+                .map(|_| {
+                    rng.random_range(0..footprint / row_bytes.min(footprint).max(1))
+                        .saturating_mul(row_bytes)
+                })
                 .collect(),
             _ => Vec::new(),
         };
@@ -112,12 +115,9 @@ impl WorkloadSpec {
                     ((burst_base + (burst.max(1) - burst_left) * 64) % footprint) & !63
                 }
             };
-            let gap = if self.mean_gap == 0 {
-                0
-            } else {
-                rng.random_range(0..=2 * self.mean_gap)
-            };
-            let op = if rng.random::<f64>() < self.read_fraction { MemOp::Read } else { MemOp::Write };
+            let gap = if self.mean_gap == 0 { 0 } else { rng.random_range(0..=2 * self.mean_gap) };
+            let op =
+                if rng.random::<f64>() < self.read_fraction { MemOp::Read } else { MemOp::Write };
             out.push(TraceRecord { nonmem_insts: gap, op, addr: self.base_addr + offset });
         }
         Trace::new(self.name.clone(), out)
@@ -128,7 +128,13 @@ impl WorkloadSpec {
 /// activations of one row interleaved with filler accesses, the building
 /// block of the Juggernaut demonstration traces.
 #[must_use]
-pub fn hammer_trace(name: &str, target_addr: u64, hammer_count: usize, filler_footprint: u64, seed: u64) -> Trace {
+pub fn hammer_trace(
+    name: &str,
+    target_addr: u64,
+    hammer_count: usize,
+    filler_footprint: u64,
+    seed: u64,
+) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::with_capacity(hammer_count * 2);
     for _ in 0..hammer_count {
@@ -223,7 +229,8 @@ mod tests {
     #[test]
     fn mean_gap_controls_intensity() {
         let dense = WorkloadSpec { mean_gap: 1, ..WorkloadSpec::gups(1 << 20) }.generate(10_000, 2);
-        let sparse = WorkloadSpec { mean_gap: 50, ..WorkloadSpec::gups(1 << 20) }.generate(10_000, 2);
+        let sparse =
+            WorkloadSpec { mean_gap: 50, ..WorkloadSpec::gups(1 << 20) }.generate(10_000, 2);
         assert!(dense.mpki() > sparse.mpki());
     }
 }

@@ -51,7 +51,9 @@ fn swapping_defenses_swap_on_hot_workloads_and_baseline_does_not() {
 #[test]
 fn normalized_performance_is_sane_for_all_defenses() {
     let gcc = workload("gcc");
-    for kind in [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::Srs, DefenseKind::ScaleSrs] {
+    for kind in
+        [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::Srs, DefenseKind::ScaleSrs]
+    {
         let result = run_normalized(&tiny_config(kind, 1200), &gcc);
         assert!(
             result.normalized_performance > 0.5 && result.normalized_performance <= 1.05,
@@ -66,7 +68,9 @@ fn scale_srs_swaps_less_than_rrs_on_the_same_workload() {
     // Scale-SRS uses swap rate 3 (TS twice as large), so it should need at
     // most as many swaps as RRS at swap rate 6 on identical traffic.
     let trace = hammer_trace("hammer", 0x8000, 4_000, 1 << 26, 9);
-    let rrs = System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace.clone()).run();
+    let rrs =
+        System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace.clone())
+            .run();
     let scale = System::new(tiny_config(DefenseKind::ScaleSrs, 1200), trace).run();
     assert!(rrs.swaps > 0);
     assert!(scale.swaps <= rrs.swaps, "scale {} vs rrs {}", scale.swaps, rrs.swaps);

@@ -112,6 +112,36 @@ proptest! {
         prop_assert_eq!(back, trace);
     }
 
+    /// After any sequence of swaps and unswaps, `translate()` remains a
+    /// permutation whose inverse is `occupant()`: following a row to its
+    /// location and asking who lives there always leads straight back
+    /// (`occupant(translate(r)) == r` and `translate(occupant(r)) == r` for
+    /// every row), and no two rows ever share a location. This is the
+    /// "self-inverse pair" invariant the defenses rely on to undo any swap
+    /// history; note that `translate` composed with *itself* is only an
+    /// involution for non-chained swaps (a re-swap of an already-remapped
+    /// row legitimately creates a 3-cycle through the displaced rows).
+    #[test]
+    fn translate_is_a_self_inverse_permutation_with_occupant(
+        ops in proptest::collection::vec((0u64..48, 0u64..48, prop::bool::ANY), 1..150),
+    ) {
+        let mut rit = BankRit::new(256);
+        for (row, target, unswap) in ops {
+            if unswap {
+                rit.unswap(row, 0);
+            } else {
+                rit.swap_to(row, target, 0);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for row in 0u64..48 {
+            let location = rit.translate(row);
+            prop_assert!(seen.insert(location), "rows collide at location {}", location);
+            prop_assert_eq!(rit.occupant(location), row);
+            prop_assert_eq!(rit.translate(rit.occupant(row)), row);
+        }
+    }
+
     /// Scale-SRS translation never maps a row outside the bank, whatever the
     /// trigger sequence and threshold.
     #[test]

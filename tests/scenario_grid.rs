@@ -1,0 +1,97 @@
+//! Integration tests for the scenario-driven experiment engine: grids
+//! enumerate deterministically, execute in parallel, and return results in
+//! submission order regardless of per-job completion times.
+
+use scale_srs::core::DefenseKind;
+use scale_srs::sim::{Experiment, SystemConfig};
+use scale_srs::trackers::TrackerKind;
+use scale_srs::workloads::{all_workloads, NamedWorkload};
+
+/// A deliberately small configuration so each grid cell simulates quickly.
+fn tiny(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+    config.cores = 2;
+    config.core.target_instructions = 4_000;
+    config.trace_records_per_core = 1_500;
+    config.dram.refresh_window_ns = 500_000;
+    config.max_sim_ns = 3_000_000;
+    config
+}
+
+fn grid_workloads() -> Vec<NamedWorkload> {
+    all_workloads().into_iter().filter(|w| w.name == "gups" || w.name == "gcc").collect()
+}
+
+#[test]
+fn two_by_two_grid_yields_four_ordered_results() {
+    let experiment = Experiment::new()
+        .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
+        .with_workloads(grid_workloads())
+        .with_config_fn(tiny)
+        .with_threads(4);
+    assert_eq!(experiment.job_count(), 4);
+
+    let results = experiment.run();
+    assert_eq!(results.len(), 4);
+    // Results arrive in submission order: scenario i sits at position i.
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.scenario.index, i, "result {i} out of order");
+    }
+    // The grid enumerates defense-major, workload-minor.
+    let expected: Vec<(DefenseKind, &str)> = [DefenseKind::Srs, DefenseKind::ScaleSrs]
+        .into_iter()
+        .flat_map(|kind| grid_workloads().into_iter().map(move |w| (kind, w.name)))
+        .collect();
+    let got: Vec<(DefenseKind, &str)> =
+        results.iter().map(|r| (r.scenario.defense, r.scenario.workload.name)).collect();
+    assert_eq!(got, expected);
+    for r in &results {
+        assert!(r.normalized() > 0.0 && r.normalized() <= 1.0);
+        assert!(r.result.detail.instructions > 0);
+    }
+}
+
+#[test]
+fn grid_results_are_deterministic_across_runs() {
+    let experiment = Experiment::new()
+        .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
+        .with_workloads(grid_workloads())
+        .with_config_fn(tiny)
+        .with_threads(4);
+    let first = experiment.run();
+    let second = experiment.run();
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.scenario, b.scenario);
+        assert!(
+            (a.normalized() - b.normalized()).abs() < 1e-12,
+            "{} on {}: {} vs {}",
+            a.scenario.defense,
+            a.scenario.workload.name,
+            a.normalized(),
+            b.normalized()
+        );
+        assert_eq!(a.result.detail.swaps, b.result.detail.swaps);
+    }
+}
+
+#[test]
+fn additional_axes_multiply_the_grid_and_reach_the_config() {
+    let experiment = Experiment::new()
+        .with_defenses(vec![DefenseKind::ScaleSrs])
+        .with_workloads(grid_workloads())
+        .with_thresholds(vec![1200, 2400])
+        .with_seeds(vec![1, 2, 3])
+        .with_trackers(vec![TrackerKind::MisraGries, TrackerKind::Hydra])
+        .with_config_fn(tiny);
+    // 1 defense x 2 trackers x 2 thresholds x 3 seeds x 2 workloads.
+    assert_eq!(experiment.job_count(), 24);
+    let scenarios = experiment.scenarios();
+    assert_eq!(scenarios.len(), 24);
+    let with_seed_three = scenarios.iter().filter(|s| s.seed == Some(3)).count();
+    assert_eq!(with_seed_three, 8);
+    let config = experiment.config_for(&scenarios[0]);
+    assert_eq!(config.seed, 1);
+    assert_eq!(config.tracker, TrackerKind::MisraGries);
+    assert_eq!(config.t_rh, 1200);
+}

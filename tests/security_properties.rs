@@ -59,7 +59,8 @@ fn juggernaut_single_window_break_matches_equation_one() {
     let best = juggernaut::best_attack(&params).expect("feasible");
     assert!(best.single_window_break());
     // Verify against Equation 1 directly.
-    let needed_rounds = ((1200.0 - 2.0 * params.t_s as f64) / params.latent_per_round).ceil() as u64;
+    let needed_rounds =
+        ((1200.0 - 2.0 * params.t_s as f64) / params.latent_per_round).ceil() as u64;
     assert!(best.attack_rounds >= needed_rounds || best.required_guesses == 0);
 }
 
