@@ -1,0 +1,229 @@
+//! Simulator throughput benchmark: simulated-ns/sec and scenario-grid
+//! runs/sec on a fixed quickstart-scale grid, for both the event-driven
+//! time-skip engine (`System::run`) and the fixed-step reference engine
+//! (`System::run_fixed_step`).
+//!
+//! Every perf-focused change should leave a data point here: the harness
+//! writes `BENCH_throughput.json` at the workspace root with the measured
+//! numbers, so the repository carries a recorded trajectory of engine
+//! throughput over time (see `EXPERIMENTS.md`).
+//!
+//! Modes:
+//! * default — 5 measurement repetitions of the full grid (best-of taken);
+//! * `SRS_BENCH_SMOKE=1` — one repetition of a reduced grid, for CI.
+
+use std::time::Instant;
+
+use srs_core::DefenseKind;
+use srs_sim::{SimResult, System, SystemConfig};
+use srs_workloads::{all_workloads, hammer_trace, AccessPattern, Trace, WorkloadSpec};
+
+/// One cell of the throughput grid.
+struct Cell {
+    label: String,
+    config: SystemConfig,
+    trace: Trace,
+}
+
+/// The quickstart-scale configuration (mirrors `examples/quickstart.rs`).
+fn quick_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+    config.cores = 2;
+    config.core.target_instructions = 20_000;
+    config.trace_records_per_core = 6_000;
+    config.dram.refresh_window_ns = 1_000_000;
+    config.max_sim_ns = 10_000_000;
+    config
+}
+
+/// A compute-bound, low-MPKI workload (the paper's evaluation spans
+/// benchmarks like povray/gamess with MPKI well below 1, which the
+/// synthetic suite's profiles do not reach). These runs have long stretches
+/// with no memory event — the time-skip engine's best case.
+fn compute_trace(records: usize) -> Trace {
+    WorkloadSpec {
+        name: "compute".to_string(),
+        footprint_bytes: 1 << 26,
+        base_addr: 0,
+        read_fraction: 0.8,
+        mean_gap: 2_000,
+        pattern: AccessPattern::HotRows { hot_rows: 8, hot_fraction: 0.3 },
+    }
+    .generate(records, 17)
+}
+
+/// The fixed quickstart grid: the quickstart example's defense x workload
+/// cells, plus the attack scenario the quickstart demonstrates, plus a
+/// compute-bound cell — benign-dense, hammering and compute-bound runs in
+/// one sweep.
+fn grid(smoke: bool) -> Vec<Cell> {
+    let workloads: Vec<_> =
+        all_workloads().into_iter().filter(|w| w.name == "gups" || w.name == "gcc").collect();
+    let defenses: &[DefenseKind] = if smoke {
+        &[DefenseKind::ScaleSrs]
+    } else {
+        &[DefenseKind::Baseline, DefenseKind::Srs, DefenseKind::ScaleSrs]
+    };
+    let mut cells = Vec::new();
+    for &defense in defenses {
+        for w in &workloads {
+            let config = quick_config(defense, 1200);
+            let trace = w.spec().generate(config.trace_records_per_core, config.seed);
+            cells.push(Cell { label: format!("{defense}/{}", w.name), config, trace });
+        }
+        let config = quick_config(defense, 1200);
+        cells.push(Cell {
+            label: format!("{defense}/hammer"),
+            trace: hammer_trace("hammer", 0x10000, config.trace_records_per_core, 1 << 26, 5),
+            config,
+        });
+        let mut config = quick_config(defense, 1200);
+        // Low MPKI means few records carry many instructions; scale the
+        // instruction target so the cell simulates a comparable time span.
+        config.core.target_instructions = 2_000_000;
+        let records = config.trace_records_per_core;
+        cells.push(Cell {
+            label: format!("{defense}/compute"),
+            trace: compute_trace(records),
+            config,
+        });
+    }
+    cells
+}
+
+struct Measurement {
+    wall_seconds: f64,
+    simulated_ns: u64,
+    runs: usize,
+}
+
+/// Run the whole grid once under one engine.
+fn run_grid(cells: Vec<Cell>, event_driven: bool, verbose: bool) -> Measurement {
+    let runs = cells.len();
+    let mut simulated_ns = 0u64;
+    let start = Instant::now();
+    for cell in cells {
+        let cell_start = Instant::now();
+        let label = cell.label;
+        let system = System::new(cell.config, cell.trace);
+        let result: SimResult = if event_driven { system.run() } else { system.run_fixed_step() };
+        if verbose {
+            println!(
+                "    {label:<22} {:>8.2} ms wall, {:>9} sim-ns",
+                cell_start.elapsed().as_secs_f64() * 1e3,
+                result.elapsed_ns
+            );
+        }
+        simulated_ns += result.elapsed_ns;
+    }
+    Measurement { wall_seconds: start.elapsed().as_secs_f64(), simulated_ns, runs }
+}
+
+fn best_of(reps: usize, event_driven: bool, smoke: bool, verbose: bool) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for rep in 0..reps {
+        let m = run_grid(grid(smoke), event_driven, verbose && rep == 0);
+        if best.as_ref().is_none_or(|b| m.wall_seconds < b.wall_seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn json_entry(name: &str, m: &Measurement) -> String {
+    let sim_per_sec = m.simulated_ns as f64 / m.wall_seconds;
+    let runs_per_sec = m.runs as f64 / m.wall_seconds;
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"simulated_ns\": {},\n",
+            "    \"grid_runs\": {},\n",
+            "    \"simulated_ns_per_sec\": {:.0},\n",
+            "    \"grid_runs_per_sec\": {:.2}\n",
+            "  }}"
+        ),
+        name, m.wall_seconds, m.simulated_ns, m.runs, sim_per_sec, runs_per_sec
+    )
+}
+
+/// The pre-optimization simulator of this repository (fixed 25 ns stepping
+/// over every bank and core, per-core trace clone-and-rewrite, SipHash maps
+/// on the per-activation paths, `VecDeque::remove` FR-FCFS), measured once
+/// on this same grid when the event-driven engine landed. Protocol in
+/// EXPERIMENTS.md; comparable to live numbers only on similar hardware.
+const RECORDED_SEED_WALL_SECONDS: f64 = 0.0861;
+const RECORDED_SEED_SIMULATED_NS: u64 = 7_262_975;
+const RECORDED_SEED_RUNS: usize = 12;
+
+fn main() {
+    let smoke = std::env::var("SRS_BENCH_SMOKE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    let verbose = std::env::var("SRS_BENCH_VERBOSE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    let reps = if smoke { 1 } else { 5 };
+
+    println!(
+        "== Simulator throughput (fixed quickstart grid{}) ==",
+        if smoke { ", smoke" } else { "" }
+    );
+    let fixed = best_of(reps, false, smoke, verbose);
+    let event = best_of(reps, true, smoke, verbose);
+    let speedup = fixed.wall_seconds / event.wall_seconds;
+    let vs_seed = RECORDED_SEED_WALL_SECONDS / event.wall_seconds;
+    for (name, m) in [("fixed_step", &fixed), ("event_driven", &event)] {
+        println!(
+            "{name:>13}: {:>8.1} ms wall | {:>6.1} Msim-ns/s | {:>6.1} runs/s",
+            m.wall_seconds * 1e3,
+            m.simulated_ns as f64 / m.wall_seconds / 1e6,
+            m.runs as f64 / m.wall_seconds,
+        );
+    }
+    println!("{:>13}: {speedup:.2}x event-driven vs fixed-step (same code base)", "speedup");
+    if !smoke {
+        println!(
+            "{:>13}: {vs_seed:.2}x event-driven vs the recorded pre-PR baseline ({:.1} ms)",
+            "vs baseline",
+            RECORDED_SEED_WALL_SECONDS * 1e3
+        );
+    }
+
+    let seed = Measurement {
+        wall_seconds: RECORDED_SEED_WALL_SECONDS,
+        simulated_ns: RECORDED_SEED_SIMULATED_NS,
+        runs: RECORDED_SEED_RUNS,
+    };
+    // The recorded baseline covers the *full* grid; comparing it against a
+    // smoke run's reduced grid would inflate the ratio by the grid-size
+    // difference, so the baseline section only appears in full mode.
+    let baseline_fields = if smoke {
+        String::new()
+    } else {
+        format!(
+            "{},\n  \"event_vs_recorded_baseline_speedup\": {:.3},\n",
+            json_entry("recorded_pre_pr_baseline", &seed),
+            vs_seed
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n{}{},\n{},\n",
+            "  \"event_vs_fixed_speedup\": {:.3},\n",
+            "  \"smoke\": {}\n}}\n"
+        ),
+        baseline_fields,
+        json_entry("fixed_step", &fixed),
+        json_entry("event_driven", &event),
+        speedup,
+        smoke,
+    );
+    // Cargo runs bench binaries from the package directory; anchor the
+    // artifact at the workspace root regardless.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_throughput.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_throughput.json: {e}"),
+    }
+}

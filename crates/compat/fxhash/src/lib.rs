@@ -1,0 +1,147 @@
+//! Offline shim for `fxhash`.
+//!
+//! Implements the Fx multiply-rotate hash (the non-cryptographic hasher the
+//! Rust compiler uses for its internal tables) and the `FxHashMap` /
+//! `FxHashSet` aliases. Unlike `std`'s SipHash `RandomState`, `FxHasher`
+//! carries **no per-instance random seed**: two maps built in different
+//! processes — or two simulator engines built in the same process — hash
+//! identically, which the simulator relies on for run-to-run determinism on
+//! its per-activation hot paths.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx seed (the golden-ratio-derived constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Every written word is folded in with a rotate-xor-multiply step. Do not
+/// use where an attacker chooses the keys: the simulator's keys are row
+/// indices and request ids it generates itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; a zero-sized, seedless `BuildHasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the deterministic Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single hashable value with the Fx hasher (parity with the
+/// crates.io `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let a = hash64(&0xDEAD_BEEFu64);
+        let b = hash64(&0xDEAD_BEEFu64);
+        assert_eq!(a, b);
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+    }
+
+    #[test]
+    fn maps_with_same_inserts_iterate_identically() {
+        let build = |keys: &[u64]| -> Vec<u64> {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for &k in keys {
+                m.insert(k, k * 2);
+            }
+            m.keys().copied().collect()
+        };
+        let keys: Vec<u64> = (0..1_000).map(|i| i * 37 % 997).collect();
+        assert_eq!(build(&keys), build(&keys), "iteration order must be reproducible");
+    }
+
+    #[test]
+    fn byte_writes_cover_tail_chunks() {
+        let mut h = FxHasher::default();
+        h.write(b"0123456789abc");
+        let long = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"0123456789abd");
+        assert_ne!(long, h2.finish());
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: FxHashSet<(usize, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+}

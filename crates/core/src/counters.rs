@@ -9,7 +9,7 @@
 //! reset. Reading and updating a counter happens on every swap and costs one
 //! access to a dedicated counter row.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +30,7 @@ pub struct SwapCounters {
     rows_per_bank: u64,
     row_size_bytes: u64,
     epoch_register: u64,
-    counters: HashMap<u64, (u64, u64)>, // physical row -> (epoch_id, count)
+    counters: FxHashMap<u64, (u64, u64)>, // physical row -> (epoch_id, count)
     counter_row_accesses: u64,
 }
 
@@ -43,7 +43,7 @@ impl SwapCounters {
             rows_per_bank,
             row_size_bytes,
             epoch_register: 0,
-            counters: HashMap::new(),
+            counters: FxHashMap::default(),
             counter_row_accesses: 0,
         }
     }

@@ -83,6 +83,18 @@ pub trait RowSwapDefense {
     /// the defense can schedule lazy work such as SRS place-back operations.
     fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction>;
 
+    /// The next time at which [`RowSwapDefense::on_tick`] has scheduled
+    /// work to emit, or `None` if the defense is idle until the next
+    /// mitigation trigger or window boundary.
+    ///
+    /// Event-driven simulators use this to skip straight to the defense's
+    /// next deadline instead of polling `on_tick` every few nanoseconds; a
+    /// defense with timed lazy work (SRS place-back) must report it here or
+    /// a time-skipping caller may run the work late.
+    fn next_action_ns(&self) -> Option<u64> {
+        None
+    }
+
     /// Called at every refresh-window (64 ms) boundary.
     fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction>;
 

@@ -19,7 +19,7 @@
 //! architecturally visible properties: a bounded entry count and the
 //! guarantee that an insertion below capacity always succeeds.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -82,9 +82,9 @@ pub struct SwapRecord {
 /// The per-bank Row Indirection Table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BankRit {
-    forward: HashMap<u64, u64>,
-    reverse: HashMap<u64, u64>,
-    epoch_of: HashMap<u64, u64>,
+    forward: FxHashMap<u64, u64>,
+    reverse: FxHashMap<u64, u64>,
+    epoch_of: FxHashMap<u64, u64>,
     capacity: usize,
 }
 
@@ -93,9 +93,9 @@ impl BankRit {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
-            forward: HashMap::new(),
-            reverse: HashMap::new(),
-            epoch_of: HashMap::new(),
+            forward: FxHashMap::default(),
+            reverse: FxHashMap::default(),
+            epoch_of: FxHashMap::default(),
             capacity,
         }
     }

@@ -12,7 +12,7 @@
 //!    the rest of the refresh window through the pin-buffer, so they stop
 //!    producing DRAM activations entirely.
 
-use std::collections::HashSet;
+use fxhash::FxHashSet;
 
 use crate::actions::MitigationAction;
 use crate::config::MitigationConfig;
@@ -24,7 +24,7 @@ use crate::storage::{storage_for, StorageReport};
 #[derive(Debug)]
 pub struct ScaleSrs {
     inner: SecureRowSwap,
-    pinned: HashSet<(usize, u64)>,
+    pinned: FxHashSet<(usize, u64)>,
     pins_requested: u64,
 }
 
@@ -33,7 +33,7 @@ impl ScaleSrs {
     /// normally be 3 (use [`MitigationConfig::paper_default`]`(t_rh, 3)`).
     #[must_use]
     pub fn new(config: MitigationConfig) -> Self {
-        Self { inner: SecureRowSwap::new(config), pinned: HashSet::new(), pins_requested: 0 }
+        Self { inner: SecureRowSwap::new(config), pinned: FxHashSet::default(), pins_requested: 0 }
     }
 
     /// The statistics of the underlying SRS machinery.
@@ -50,7 +50,7 @@ impl ScaleSrs {
 
     /// Rows currently pinned in the LLC (bank, logical row).
     #[must_use]
-    pub fn pinned_rows(&self) -> &HashSet<(usize, u64)> {
+    pub fn pinned_rows(&self) -> &FxHashSet<(usize, u64)> {
         &self.pinned
     }
 
@@ -95,6 +95,10 @@ impl RowSwapDefense for ScaleSrs {
 
     fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction> {
         self.inner.tick_placeback(now_ns)
+    }
+
+    fn next_action_ns(&self) -> Option<u64> {
+        self.inner.next_action_ns()
     }
 
     fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction> {

@@ -43,6 +43,9 @@ pub struct SecureRowSwap {
     rit: RowIndirectionTable,
     counters: Vec<SwapCounters>,
     placeback_queue: Vec<VecDeque<u64>>,
+    /// Cached total length of `placeback_queue` (read every simulator tick
+    /// through [`RowSwapDefense::next_action_ns`]).
+    placeback_pending: usize,
     next_placeback_ns: u64,
     placeback_interval_ns: u64,
     rng: StdRng,
@@ -62,6 +65,7 @@ impl SecureRowSwap {
                 .map(|_| SwapCounters::new(config.rows_per_bank, row_bytes))
                 .collect(),
             placeback_queue: vec![VecDeque::new(); config.banks],
+            placeback_pending: 0,
             next_placeback_ns: 0,
             placeback_interval_ns: config.refresh_window_ns,
             rng: StdRng::seed_from_u64(config.rng_seed ^ 0x5125),
@@ -152,6 +156,7 @@ impl SecureRowSwap {
     fn placeback_step(&mut self) -> Option<MitigationAction> {
         for bank in 0..self.placeback_queue.len() {
             while let Some(row) = self.placeback_queue[bank].pop_front() {
+                self.placeback_pending -= 1;
                 if let Some(rec) = self.rit.bank_mut(bank).unswap(row, self.epoch) {
                     self.stats.place_backs += 1;
                     return Some(MitigationAction::RowOperation {
@@ -193,6 +198,7 @@ impl SecureRowSwap {
             total_stale += stale.len();
             self.placeback_queue[bank] = stale.into();
         }
+        self.placeback_pending = total_stale;
         // Spread the evictions evenly across the window (Section IV-D).
         self.placeback_interval_ns =
             self.config.refresh_window_ns / (total_stale.max(1) as u64 + 1);
@@ -202,7 +208,11 @@ impl SecureRowSwap {
     /// Number of mappings waiting to be placed back.
     #[must_use]
     pub fn pending_place_backs(&self) -> usize {
-        self.placeback_queue.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.placeback_pending,
+            self.placeback_queue.iter().map(VecDeque::len).sum::<usize>()
+        );
+        self.placeback_pending
     }
 }
 
@@ -230,6 +240,13 @@ impl RowSwapDefense for SecureRowSwap {
 
     fn on_tick(&mut self, now_ns: u64) -> Vec<MitigationAction> {
         self.tick_placeback(now_ns)
+    }
+
+    fn next_action_ns(&self) -> Option<u64> {
+        // With an empty queue the deadline only reschedules itself relative
+        // to the caller's clock, which is unobservable: the queue can only
+        // refill at a window boundary, and that resets the deadline anyway.
+        (self.pending_place_backs() > 0).then_some(self.next_placeback_ns)
     }
 
     fn on_new_window(&mut self, now_ns: u64) -> Vec<MitigationAction> {

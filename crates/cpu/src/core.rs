@@ -7,10 +7,12 @@
 //! instructions, after which it stalls until the read returns. Writes retire
 //! through a write buffer and never stall the core.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::config::CoreConfig;
-use srs_workloads::{MemOp, Trace};
+use srs_workloads::{MemOp, Trace, TraceRecord};
 
 /// A unique identifier for an in-flight memory access issued by a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -59,10 +61,28 @@ pub struct CoreStats {
 }
 
 /// A single trace-driven core.
+///
+/// The trace records are held behind an `Arc` so that rate-mode simulations
+/// (the same workload on every core) share one immutable copy instead of
+/// cloning the record vector per core; the per-core address-space offset is
+/// applied at issue time.
 #[derive(Debug, Clone)]
 pub struct TraceCore {
     config: CoreConfig,
-    trace: Trace,
+    /// Cached [`TraceCore::runahead_ns`] (constant per configuration; it is
+    /// added to every issued read's block point).
+    runahead_ns: u64,
+    /// Cached `retire_width * clock_ghz` — the per-issue charge is a single
+    /// f64 division by this product instead of two chained divisions.
+    retire_per_ns: f64,
+    /// Memo of the last (instruction count, charge) pair: trace records
+    /// repeat a handful of small instruction counts, so the division (and
+    /// `ceil` libcall) is skipped on nearly every issue.
+    last_charge: (u64, u64),
+    records: Arc<[TraceRecord]>,
+    /// Added (wrapping) to every record address at issue time, giving each
+    /// core a private copy of the workload's address space in rate mode.
+    addr_offset: u64,
     position: usize,
     laps: u64,
     ready_at_ns: u64,
@@ -76,9 +96,24 @@ impl TraceCore {
     /// until [`CoreConfig::target_instructions`] have retired.
     #[must_use]
     pub fn new(config: CoreConfig, trace: Trace) -> Self {
+        Self::shared(config, trace.records.into(), 0)
+    }
+
+    /// Create a core that executes a shared, immutable record slice, offset
+    /// into its own address-space copy. `TraceCore::shared(c, records, 0)`
+    /// behaves exactly like [`TraceCore::new`] on the originating trace.
+    #[must_use]
+    pub fn shared(config: CoreConfig, records: Arc<[TraceRecord]>, addr_offset: u64) -> Self {
+        let cycles = f64::from(config.rob_size) / f64::from(config.retire_width.max(1));
+        let runahead_ns = config.cycles_to_ns(cycles);
+        let retire_per_ns = f64::from(config.retire_width.max(1)) * config.clock_ghz;
         Self {
             config,
-            trace,
+            runahead_ns,
+            retire_per_ns,
+            last_charge: (0, 1),
+            records,
+            addr_offset,
             position: 0,
             laps: 0,
             ready_at_ns: 0,
@@ -103,7 +138,8 @@ impl TraceCore {
     /// Whether the core has reached its instruction target.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.stats.retired_instructions >= self.config.target_instructions || self.trace.is_empty()
+        self.stats.retired_instructions >= self.config.target_instructions
+            || self.records.is_empty()
     }
 
     /// Instructions retired so far.
@@ -122,8 +158,7 @@ impl TraceCore {
     /// ROB fills and the core must stall, in nanoseconds.
     #[must_use]
     pub fn runahead_ns(&self) -> u64 {
-        let cycles = f64::from(self.config.rob_size) / f64::from(self.config.retire_width.max(1));
-        self.config.cycles_to_ns(cycles)
+        self.runahead_ns
     }
 
     /// What the core wants to do at time `now`.
@@ -151,16 +186,22 @@ impl TraceCore {
             CoreStatus::ReadyAt(t) if t <= now => {}
             _ => return None,
         }
-        let record = self.trace.records[self.position];
+        let record = self.records[self.position];
         self.position += 1;
-        if self.position >= self.trace.len() {
+        if self.position >= self.records.len() {
             self.position = 0;
             self.laps += 1;
         }
         let insts = record.instructions();
         self.stats.retired_instructions += insts;
-        let cycles = insts as f64 / f64::from(self.config.retire_width.max(1));
-        self.ready_at_ns = self.ready_at_ns.max(now) + self.config.cycles_to_ns(cycles).max(1);
+        let charge_ns = if self.last_charge.0 == insts {
+            self.last_charge.1
+        } else {
+            let charge = ((insts as f64 / self.retire_per_ns).ceil() as u64).max(1);
+            self.last_charge = (insts, charge);
+            charge
+        };
+        self.ready_at_ns = self.ready_at_ns.max(now) + charge_ns;
 
         let token = AccessToken(self.next_token);
         self.next_token += 1;
@@ -169,10 +210,35 @@ impl TraceCore {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
-            self.outstanding
-                .push(OutstandingRead { token, blocks_at_ns: now + self.runahead_ns() });
+            self.outstanding.push(OutstandingRead { token, blocks_at_ns: now + self.runahead_ns });
         }
-        Some(MemoryIssue { token, addr: record.addr, is_write })
+        Some(MemoryIssue { token, addr: record.addr.wrapping_add(self.addr_offset), is_write })
+    }
+
+    /// The earliest time at which this core could issue its next memory
+    /// operation *without any external event*, or `None` if only a read
+    /// completion can unblock it (or it is finished).
+    ///
+    /// This is the core's half of the event-driven time-skip engine: if the
+    /// result is `Some(t)` (which may be `<= now`, meaning "as soon as the
+    /// caller next looks"), nothing about the core changes before `t`; if
+    /// it is `None`, the core is inert until [`TraceCore::complete_read`]
+    /// is called from a memory-completion event.
+    #[must_use]
+    pub fn next_ready_ns(&self, now: u64) -> Option<u64> {
+        if self.is_finished() || self.outstanding.len() >= self.config.max_outstanding_misses {
+            return None;
+        }
+        if let Some(oldest) = self.outstanding.first() {
+            // Blocking is monotone in time (`status` compares the oldest
+            // read's block point against max(now, ready_at)): if the core
+            // is blocked at the earliest instant it could otherwise issue,
+            // it stays blocked until the read completes.
+            if oldest.blocks_at_ns <= self.ready_at_ns.max(now) {
+                return None;
+            }
+        }
+        Some(self.ready_at_ns)
     }
 
     /// Report that the read identified by `token` completed at `now`.
@@ -273,6 +339,53 @@ mod tests {
         }
         assert!(c.retired_instructions() >= 500);
         assert_eq!(c.status(now), CoreStatus::Finished);
+    }
+
+    #[test]
+    fn next_ready_tracks_issue_and_blocking() {
+        let trace = Trace::new(
+            "t",
+            vec![
+                TraceRecord { nonmem_insts: 0, op: MemOp::Read, addr: 0 },
+                TraceRecord { nonmem_insts: 0, op: MemOp::Read, addr: 1 << 20 },
+            ],
+        );
+        let config = CoreConfig { target_instructions: 1_000_000, ..CoreConfig::default() };
+        let mut c = TraceCore::new(config, trace);
+        assert_eq!(c.next_ready_ns(0), Some(0), "fresh core is ready immediately");
+        let issue = c.try_issue(0).unwrap();
+        let ready = c.next_ready_ns(0).expect("still within the run-ahead window");
+        assert!(ready >= 1);
+        // Far past the run-ahead window the oldest read blocks the core: no
+        // self-generated event remains.
+        assert_eq!(c.next_ready_ns(c.runahead_ns() + 1_000), None);
+        c.complete_read(issue.token, c.runahead_ns() + 2_000);
+        assert!(c.next_ready_ns(c.runahead_ns() + 2_000).is_some());
+    }
+
+    #[test]
+    fn shared_records_with_offset_match_a_rewritten_trace() {
+        let base = WorkloadSpec::gups(1 << 20).generate(200, 7);
+        let offset = 1u64 << 33;
+        let mut rewritten = base.clone();
+        for r in &mut rewritten.records {
+            r.addr = r.addr.wrapping_add(offset);
+        }
+        let config = CoreConfig { target_instructions: 400, ..CoreConfig::default() };
+        let records: std::sync::Arc<[TraceRecord]> = base.records.into();
+        let mut shared = TraceCore::shared(config, records, offset);
+        let mut cloned = TraceCore::new(config, rewritten);
+        let mut now = 0;
+        while !(shared.is_finished() && cloned.is_finished()) {
+            let a = shared.try_issue(now);
+            let b = cloned.try_issue(now);
+            assert_eq!(a, b, "offset-at-issue must equal a pre-rewritten trace");
+            if let Some(issue) = a {
+                shared.complete_read(issue.token, now + 40);
+                cloned.complete_read(issue.token, now + 40);
+            }
+            now += 10;
+        }
     }
 
     #[test]

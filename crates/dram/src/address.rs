@@ -114,6 +114,43 @@ impl DramAddress {
     }
 }
 
+/// A divisor with a precomputed power-of-two fast path.
+///
+/// Address decoding runs twice per simulated memory operation, and every
+/// realistic DRAM geometry (Table III included) is a power of two in all
+/// dimensions — a shift-and-mask beats the div/mod chain by an order of
+/// magnitude. Non-power-of-two geometries keep the exact div/mod semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct PowDiv {
+    divisor: u64,
+    shift: u32,
+    pow2: bool,
+}
+
+impl PowDiv {
+    pub(crate) fn new(divisor: u64) -> Self {
+        Self { divisor, shift: divisor.trailing_zeros(), pow2: divisor.is_power_of_two() }
+    }
+
+    #[inline]
+    pub(crate) fn div(self, v: u64) -> u64 {
+        if self.pow2 {
+            v >> self.shift
+        } else {
+            v / self.divisor
+        }
+    }
+
+    #[inline]
+    pub(crate) fn rem(self, v: u64) -> u64 {
+        if self.pow2 {
+            v & (self.divisor - 1)
+        } else {
+            v % self.divisor
+        }
+    }
+}
+
 /// Maps physical addresses to DRAM coordinates and back.
 ///
 /// Bit layout, from least significant to most significant:
@@ -125,13 +162,27 @@ impl DramAddress {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AddressMapper {
     config: DramConfig,
+    line: PowDiv,
+    lines_per_row: PowDiv,
+    channels: PowDiv,
+    banks_per_rank: PowDiv,
+    ranks_per_channel: PowDiv,
+    rows_per_bank: PowDiv,
 }
 
 impl AddressMapper {
     /// Create a mapper for the given configuration.
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
-        Self { config }
+        Self {
+            line: PowDiv::new(config.line_size_bytes),
+            lines_per_row: PowDiv::new(config.lines_per_row()),
+            channels: PowDiv::new(config.channels as u64),
+            banks_per_rank: PowDiv::new(config.banks_per_rank as u64),
+            ranks_per_channel: PowDiv::new(config.ranks_per_channel as u64),
+            rows_per_bank: PowDiv::new(config.rows_per_bank),
+            config,
+        }
     }
 
     /// The configuration this mapper was built from.
@@ -147,17 +198,16 @@ impl AddressMapper {
     /// address and keeps synthetic trace generation simple.
     #[must_use]
     pub fn decode(&self, addr: PhysAddr) -> DramAddress {
-        let c = &self.config;
-        let mut v = addr.value() / c.line_size_bytes;
-        let column = v % c.lines_per_row();
-        v /= c.lines_per_row();
-        let channel = (v % c.channels as u64) as usize;
-        v /= c.channels as u64;
-        let bank = (v % c.banks_per_rank as u64) as usize;
-        v /= c.banks_per_rank as u64;
-        let rank = (v % c.ranks_per_channel as u64) as usize;
-        v /= c.ranks_per_channel as u64;
-        let row = v % c.rows_per_bank;
+        let mut v = self.line.div(addr.value());
+        let column = self.lines_per_row.rem(v);
+        v = self.lines_per_row.div(v);
+        let channel = self.channels.rem(v) as usize;
+        v = self.channels.div(v);
+        let bank = self.banks_per_rank.rem(v) as usize;
+        v = self.banks_per_rank.div(v);
+        let rank = self.ranks_per_channel.rem(v) as usize;
+        v = self.ranks_per_channel.div(v);
+        let row = self.rows_per_bank.rem(v);
         DramAddress { channel, rank, bank, row, column }
     }
 

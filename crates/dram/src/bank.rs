@@ -54,6 +54,7 @@ impl Bank {
 
     /// The row currently open in the row buffer, if any.
     #[must_use]
+    #[inline]
     pub fn open_row(&self) -> Option<RowId> {
         match self.state {
             BankState::Open(r) => Some(r),
@@ -63,23 +64,27 @@ impl Bank {
 
     /// Time until which the bank is occupied.
     #[must_use]
+    #[inline]
     pub fn busy_until(&self) -> Nanos {
         self.busy_until_ns
     }
 
     /// Whether the bank can start a new operation at `now`.
     #[must_use]
+    #[inline]
     pub fn is_free_at(&self, now: Nanos) -> bool {
         self.busy_until_ns <= now
     }
 
     /// Occupy the bank until `until`, without changing row-buffer state
     /// (used for refresh and maintenance).
+    #[inline]
     pub fn occupy_until(&mut self, until: Nanos) {
         self.busy_until_ns = self.busy_until_ns.max(until);
     }
 
     /// Record an activation of `row`, marking it open.
+    #[inline]
     pub fn activate(&mut self, row: RowId) {
         self.state = BankState::Open(row);
         self.activations_in_window += 1;
@@ -87,6 +92,7 @@ impl Bank {
     }
 
     /// Precharge the bank (close any open row).
+    #[inline]
     pub fn precharge(&mut self) {
         self.state = BankState::Precharged;
     }

@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use crate::address::{AddressMapper, BankId, PhysAddr, RowId};
+use crate::address::{AddressMapper, BankId, PhysAddr, PowDiv, RowId};
 use crate::bank::Bank;
 use crate::command::{
     AccessKind, ActivationEvent, CompletedAccess, MaintenanceOp, MemRequest, RequestId,
@@ -20,6 +20,94 @@ struct PendingRequest {
     id: RequestId,
     request: MemRequest,
     row: RowId,
+}
+
+/// A per-bank FR-FCFS transaction queue.
+///
+/// FR-FCFS removes from the *middle* of the queue on row hits, and the
+/// relative order of the remaining requests must be preserved (it is the
+/// FCFS tiebreak). A plain `VecDeque::remove` preserves order by shuffling
+/// up to half the queue per removal; this queue instead leaves a tombstone
+/// (`None`) in place — O(1) — and reclaims tombstones when they reach the
+/// front, plus an amortized compaction pass when they outnumber live
+/// entries.
+#[derive(Debug, Clone, Default)]
+struct BankQueue {
+    slots: VecDeque<Option<PendingRequest>>,
+    live: usize,
+}
+
+impl BankQueue {
+    /// Number of live (schedulable) requests.
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn push_back(&mut self, pending: PendingRequest) {
+        self.slots.push_back(Some(pending));
+        self.live += 1;
+    }
+
+    /// Live requests in FCFS order, with their slot positions.
+    fn iter_live(&self) -> impl Iterator<Item = (usize, &PendingRequest)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| slot.as_ref().map(|p| (i, p)))
+    }
+
+    /// The slot position of the oldest live request.
+    fn front_pos(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_some)
+    }
+
+    /// Remove and return the request at slot `pos`, leaving a tombstone if
+    /// it is not at the front.
+    fn take_at(&mut self, pos: usize) -> Option<PendingRequest> {
+        let taken = self.slots.get_mut(pos)?.take()?;
+        self.live -= 1;
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+        }
+        // Keep tombstones from dominating the scan: once they outnumber the
+        // live entries, compact in one order-preserving pass (amortized O(1)
+        // per removal, since a pass of length n needs n/2 prior removals).
+        if self.slots.len() > 2 * self.live + 4 {
+            self.slots.retain(Option::is_some);
+        }
+        Some(taken)
+    }
+}
+
+/// A dense bit set over bank indices, used to track which banks currently
+/// have work queued or completions undelivered.
+///
+/// The simulator ticks the controller millions of times; sweeping every
+/// bank's queues on every tick costs more than the actual scheduling. The
+/// controller instead keeps these sets incrementally up to date so a tick
+/// only touches banks with something to do. Iteration is in ascending bank
+/// order — the same order the full sweep used — because bank order is
+/// observable through the shared channel bus.
+#[derive(Debug, Clone, Default)]
+struct BankSet {
+    words: Vec<u64>,
+}
+
+impl BankSet {
+    fn new(banks: usize) -> Self {
+        Self { words: vec![0; banks.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn insert(&mut self, bank: usize) {
+        self.words[bank / 64] |= 1 << (bank % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, bank: usize) {
+        self.words[bank / 64] &= !(1 << (bank % 64));
+    }
 }
 
 /// A transaction-level DDR4 memory controller.
@@ -41,12 +129,32 @@ pub struct MemoryController {
     config: DramConfig,
     mapper: AddressMapper,
     banks: Vec<Bank>,
-    queues: Vec<VecDeque<PendingRequest>>,
+    queues: Vec<BankQueue>,
     maintenance: Vec<VecDeque<MaintenanceOp>>,
     bus_free_ns: Vec<Nanos>,
     next_refresh_ns: Vec<Nanos>,
     next_window_ns: Nanos,
     completions: Vec<VecDeque<CompletedAccess>>,
+    /// Banks with queued demand or maintenance work: set on enqueue,
+    /// cleared by the scheduling visit that drains the bank, so ticks can
+    /// skip every unset bank.
+    work_banks: BankSet,
+    /// Banks with undelivered completions.
+    done_banks: BankSet,
+    /// Exact count of queued demand requests plus maintenance operations
+    /// (the original `is_idle` definition, kept O(1)).
+    outstanding_work: usize,
+    /// Banks per channel, as a division with a power-of-two fast path (the
+    /// channel lookup runs once per scheduled access).
+    banks_per_channel: PowDiv,
+    /// Dense mirror of each bank's busy-until time, updated alongside every
+    /// occupancy change. The per-tick ready mask reads this contiguous
+    /// array instead of striding through the banks.
+    busy_mirror: Vec<Nanos>,
+    /// Running minimum of the controller's next event time, recomputed from
+    /// scratch on every [`MemoryController::tick_into`] and lowered by
+    /// enqueues in between; see [`MemoryController::next_event_ns`].
+    next_event_hint: Nanos,
     stats: ControllerStats,
     next_request_id: u64,
 }
@@ -77,12 +185,20 @@ impl MemoryController {
         let mapper = AddressMapper::new(config.clone());
         Ok(Self {
             banks: vec![Bank::new(); total_banks],
-            queues: vec![VecDeque::new(); total_banks],
+            queues: vec![BankQueue::default(); total_banks],
             maintenance: vec![VecDeque::new(); total_banks],
             bus_free_ns: vec![0; config.channels],
             next_refresh_ns: vec![config.timing.t_refi; total_ranks],
             next_window_ns: config.refresh_window_ns,
             completions: vec![VecDeque::new(); total_banks],
+            work_banks: BankSet::new(total_banks),
+            done_banks: BankSet::new(total_banks),
+            outstanding_work: 0,
+            banks_per_channel: PowDiv::new(
+                (config.ranks_per_channel * config.banks_per_rank) as u64,
+            ),
+            busy_mirror: vec![0; total_banks],
+            next_event_hint: config.timing.t_refi.min(config.refresh_window_ns),
             stats: ControllerStats::default(),
             next_request_id: 0,
             mapper,
@@ -111,19 +227,19 @@ impl MemoryController {
     /// Number of requests currently queued for the given bank.
     #[must_use]
     pub fn queue_depth(&self, bank: BankId) -> usize {
-        self.queues.get(bank.index()).map_or(0, VecDeque::len)
+        self.queues.get(bank.index()).map_or(0, BankQueue::len)
     }
 
     /// Total requests queued across all banks.
     #[must_use]
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queues.iter().map(BankQueue::len).sum()
     }
 
     /// Whether the controller has any outstanding demand or maintenance work.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.total_queued() == 0 && self.maintenance.iter().all(VecDeque::is_empty)
+        self.outstanding_work == 0
     }
 
     /// Demand accesses that have been scheduled but whose finish time has
@@ -141,13 +257,42 @@ impl MemoryController {
     /// reached [`DramConfig::queue_capacity`].
     pub fn enqueue(&mut self, request: MemRequest) -> Result<RequestId, DramError> {
         let (bank, row) = self.mapper.bank_and_row(request.addr);
-        let queue = &mut self.queues[bank.index()];
+        self.enqueue_at(bank, row, request)
+    }
+
+    /// Enqueue a demand request whose destination the caller has already
+    /// decoded — issuers that decode the address anyway (for row-swap
+    /// translation) use this to avoid a second decode. `bank` and `row`
+    /// must match what [`AddressMapper::bank_and_row`] would return for
+    /// `request.addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::QueueFull`] if the destination bank's queue has
+    /// reached [`DramConfig::queue_capacity`], or
+    /// [`DramError::BankOutOfRange`] for an invalid bank.
+    pub fn enqueue_at(
+        &mut self,
+        bank: BankId,
+        row: RowId,
+        request: MemRequest,
+    ) -> Result<RequestId, DramError> {
+        let idx = bank.index();
+        if idx >= self.queues.len() {
+            return Err(DramError::BankOutOfRange { bank: idx, total_banks: self.queues.len() });
+        }
+        let queue = &mut self.queues[idx];
         if queue.len() >= self.config.queue_capacity {
-            return Err(DramError::QueueFull { bank: bank.index() });
+            return Err(DramError::QueueFull { bank: idx });
         }
         let id = RequestId(self.next_request_id);
         self.next_request_id += 1;
         queue.push_back(PendingRequest { id, request, row });
+        self.work_banks.insert(idx);
+        self.outstanding_work += 1;
+        // The bank becomes schedulable once free (possibly immediately; the
+        // clamp in `next_event_ns` turns a past time into "next tick").
+        self.next_event_hint = self.next_event_hint.min(self.banks[idx].busy_until());
         Ok(id)
     }
 
@@ -155,6 +300,12 @@ impl MemoryController {
     #[must_use]
     pub fn can_accept(&self, addr: PhysAddr) -> bool {
         let (bank, _) = self.mapper.bank_and_row(addr);
+        self.can_accept_bank(bank)
+    }
+
+    /// Whether the given bank can accept another request.
+    #[must_use]
+    pub fn can_accept_bank(&self, bank: BankId) -> bool {
         self.queues[bank.index()].len() < self.config.queue_capacity
     }
 
@@ -170,6 +321,9 @@ impl MemoryController {
             return Err(DramError::BankOutOfRange { bank: idx, total_banks: self.banks.len() });
         }
         self.maintenance[idx].push_back(op);
+        self.work_banks.insert(idx);
+        self.outstanding_work += 1;
+        self.next_event_hint = self.next_event_hint.min(self.banks[idx].busy_until());
         Ok(())
     }
 
@@ -179,6 +333,36 @@ impl MemoryController {
         self.banks[bank.index()].busy_until()
     }
 
+    /// The earliest time strictly after `now` at which this controller has
+    /// something to do.
+    ///
+    /// This is the controller's half of the event-driven time-skip engine:
+    /// after a [`MemoryController::tick_into`] at `now`, *nothing* in the
+    /// controller changes state at any time before the returned instant, so
+    /// a caller may jump its clock straight there. The minimum is taken
+    /// over:
+    ///
+    /// * per-bank busy-until times of banks with queued demand or
+    ///   maintenance work (the moment the bank can schedule again);
+    /// * the finish time at the front of each per-bank completion queue
+    ///   (the moment a completion becomes deliverable);
+    /// * the next per-rank refresh deadline;
+    /// * the next refresh-window rollover.
+    ///
+    /// A fully drained controller still reports the next refresh/rollover
+    /// deadline (those recur forever), so the result is always defined.
+    ///
+    /// O(1): [`MemoryController::tick_into`] recomputes the underlying hint
+    /// during its scheduling sweep (the busy times are already in hand
+    /// there), and the enqueue paths lower it in between; this method only
+    /// clamps the hint into the future. The hint never runs late (a missed
+    /// event would change simulation results); at worst an enqueue to an
+    /// already-free bank reports "next tick" once.
+    #[must_use]
+    pub fn next_event_ns(&self, now: Nanos) -> Nanos {
+        self.next_event_hint.max(now + 1)
+    }
+
     /// Advance the controller to time `now`, scheduling any work that can
     /// start at or before `now`. Every activation issued while scheduling is
     /// pushed into `sink` as it happens, and every demand access whose
@@ -186,15 +370,50 @@ impl MemoryController {
     pub fn tick_into(&mut self, now: Nanos, sink: &mut (impl ActivationSink + AccessSink)) {
         self.handle_window_rollover(now);
         self.handle_refresh(now);
-        for bank_idx in 0..self.banks.len() {
-            self.schedule_bank(bank_idx, now, sink);
-        }
-        for queue in &mut self.completions {
-            while queue.front().is_some_and(|c| c.finish_ns <= now) {
-                let done = queue.pop_front().expect("front was just checked");
-                sink.on_access(&done);
+        let mut hint = self.next_window_ns;
+        // Scheduling sweep, in ascending bank order (bank order is
+        // observable through the shared channel bus): only banks with work
+        // need a look — free ones schedule, busy ones just contribute
+        // their wake-up time to the next-event hint.
+        for word_idx in 0..self.work_banks.words.len() {
+            let base = word_idx * 64;
+            let mut bits = self.work_banks.words[word_idx];
+            while bits != 0 {
+                let bank_idx = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.busy_mirror[bank_idx] <= now {
+                    self.schedule_bank(bank_idx, now, sink);
+                    if self.work_banks.words[word_idx] & (1 << (bank_idx - base)) == 0 {
+                        continue;
+                    }
+                    // Work remains behind the bank's new busy time.
+                }
+                hint = hint.min(self.busy_mirror[bank_idx]);
             }
         }
+        // Completion delivery, with the next undeliverable finish time (per
+        // bank, the front: finish times are kept sorted) joining the hint.
+        for word_idx in 0..self.done_banks.words.len() {
+            let base = word_idx * 64;
+            let mut bits = self.done_banks.words[word_idx];
+            while bits != 0 {
+                let bank_idx = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let queue = &mut self.completions[bank_idx];
+                while queue.front().is_some_and(|c| c.finish_ns <= now) {
+                    let done = queue.pop_front().expect("front was just checked");
+                    sink.on_access(&done);
+                }
+                match self.completions[bank_idx].front() {
+                    Some(pending) => hint = hint.min(pending.finish_ns),
+                    None => self.done_banks.remove(bank_idx),
+                }
+            }
+        }
+        for &refresh in &self.next_refresh_ns {
+            hint = hint.min(refresh);
+        }
+        self.next_event_hint = hint;
     }
 
     /// Convenience wrapper over [`MemoryController::tick_into`] that
@@ -255,6 +474,7 @@ impl MemoryController {
                 for b in start_bank..start_bank + banks_per_rank {
                     let until = self.banks[b].busy_until().max(*next) + t_rfc;
                     self.banks[b].occupy_until(until);
+                    self.busy_mirror[b] = self.banks[b].busy_until();
                     self.banks[b].precharge();
                 }
                 self.stats.refreshes += 1;
@@ -263,24 +483,32 @@ impl MemoryController {
         }
     }
 
-    fn schedule_bank(&mut self, bank_idx: usize, now: Nanos, sink: &mut dyn ActivationSink) {
+    fn schedule_bank(&mut self, bank_idx: usize, now: Nanos, sink: &mut impl ActivationSink) {
         loop {
             if !self.banks[bank_idx].is_free_at(now) {
-                return;
+                break;
             }
             // Maintenance has priority.
             if let Some(op) = self.maintenance[bank_idx].pop_front() {
+                self.outstanding_work -= 1;
                 self.execute_maintenance(bank_idx, &op, now, sink);
                 continue;
             }
-            let Some(pos) = self.pick_request(bank_idx) else { return };
-            let pending = self.queues[bank_idx].remove(pos).expect("index valid");
+            let Some(pos) = self.pick_request(bank_idx) else { break };
+            let pending = self.queues[bank_idx].take_at(pos).expect("index valid");
+            self.outstanding_work -= 1;
             self.execute_demand(bank_idx, pending, now, sink);
+        }
+        if self.queues[bank_idx].is_empty() && self.maintenance[bank_idx].is_empty() {
+            // Drained on every path (including "became busy mid-loop"), so
+            // the work bits stay exact and drained-but-busy banks do not
+            // keep waking the event engine at their busy-until times.
+            self.work_banks.remove(bank_idx);
         }
     }
 
     /// FR-FCFS: prefer the oldest request that hits the open row; otherwise
-    /// the oldest request.
+    /// the oldest request. Returns a slot position for [`BankQueue::take_at`].
     fn pick_request(&self, bank_idx: usize) -> Option<usize> {
         let queue = &self.queues[bank_idx];
         if queue.is_empty() {
@@ -288,12 +516,12 @@ impl MemoryController {
         }
         if self.config.page_policy == PagePolicy::OpenPage {
             if let Some(open) = self.banks[bank_idx].open_row() {
-                if let Some(pos) = queue.iter().position(|p| p.row == open) {
+                if let Some((pos, _)) = queue.iter_live().find(|(_, p)| p.row == open) {
                     return Some(pos);
                 }
             }
         }
-        Some(0)
+        queue.front_pos()
     }
 
     fn execute_maintenance(
@@ -301,11 +529,12 @@ impl MemoryController {
         bank_idx: usize,
         op: &MaintenanceOp,
         now: Nanos,
-        sink: &mut dyn ActivationSink,
+        sink: &mut impl ActivationSink,
     ) {
         let start = self.banks[bank_idx].busy_until().max(now);
         let finish = start + op.duration_ns;
         self.banks[bank_idx].occupy_until(finish);
+        self.busy_mirror[bank_idx] = self.banks[bank_idx].busy_until();
         // Maintenance leaves the bank precharged (row movements end with a
         // precharge of the last written row).
         self.banks[bank_idx].precharge();
@@ -328,10 +557,10 @@ impl MemoryController {
         bank_idx: usize,
         pending: PendingRequest,
         now: Nanos,
-        sink: &mut dyn ActivationSink,
+        sink: &mut impl ActivationSink,
     ) {
         let timing = self.config.timing;
-        let channel = bank_idx / (self.config.ranks_per_channel * self.config.banks_per_rank);
+        let channel = self.banks_per_channel.div(bank_idx as u64) as usize;
         let bank_ready = self.banks[bank_idx].busy_until().max(now).max(pending.request.arrival_ns);
 
         let (row_hit, service_latency) =
@@ -354,6 +583,7 @@ impl MemoryController {
         // Row-cycle time lower-bounds back-to-back activations in a bank.
         let occupy_until = if row_hit { finish } else { finish.max(start + timing.t_rc) };
         self.banks[bank_idx].occupy_until(occupy_until);
+        self.busy_mirror[bank_idx] = self.banks[bank_idx].busy_until();
 
         if !row_hit {
             self.banks[bank_idx].activate(pending.row);
@@ -395,6 +625,7 @@ impl MemoryController {
             }
             _ => queue.push_back(done),
         }
+        self.done_banks.insert(bank_idx);
     }
 }
 
@@ -575,6 +806,103 @@ mod tests {
         let t = mc.config().timing;
         let max_finish = done.iter().map(|d| d.finish_ns).max().unwrap();
         assert!(max_finish <= t.row_closed_latency() + t.t_burst);
+    }
+
+    #[test]
+    fn next_event_when_idle_is_the_refresh_deadline() {
+        let mc = MemoryController::new(small_config());
+        // Nothing queued: the only upcoming events are periodic maintenance,
+        // and the per-rank refresh (tREFI) comes long before the 64 ms
+        // window rollover.
+        assert_eq!(mc.next_event_ns(0), mc.config().timing.t_refi);
+        // The result is strictly in the future even when asked from a time
+        // at or past the deadline.
+        let refi = mc.config().timing.t_refi;
+        assert_eq!(mc.next_event_ns(refi), refi + 1);
+    }
+
+    #[test]
+    fn next_event_with_queued_demand_is_the_completion_time() {
+        let mut mc = MemoryController::new(small_config());
+        let addr = addr_for(&mc, 0, 5);
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        // Before any tick the bank is free with work queued: schedulable now.
+        assert_eq!(mc.next_event_ns(0), 1);
+        let mut events = EventCollector::new();
+        mc.tick_into(0, &mut events);
+        // The access is in flight; the next thing to happen is its
+        // completion becoming deliverable.
+        let expected = DramTimingHelper::closed_latency();
+        assert_eq!(mc.next_event_ns(0), expected);
+        // Deliver it; afterwards only refresh remains.
+        mc.tick_into(expected, &mut events);
+        assert_eq!(events.completions.len(), 1);
+        assert_eq!(mc.next_event_ns(expected), mc.config().timing.t_refi);
+    }
+
+    #[test]
+    fn next_event_with_maintenance_blocking_demand_is_the_bank_free_time() {
+        let mut mc = MemoryController::new(small_config());
+        let swap_ns = mc.config().swap_latency_ns();
+        mc.enqueue_maintenance(MaintenanceOp::new(
+            BankId::new(0),
+            swap_ns,
+            vec![],
+            MaintenanceKind::Swap,
+        ))
+        .unwrap();
+        let addr = addr_for(&mc, 0, 3);
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        let mut events = EventCollector::new();
+        mc.tick_into(0, &mut events);
+        // The swap occupies the bank; the queued demand request can only be
+        // scheduled once the bank frees at the swap's finish time.
+        assert_eq!(mc.next_event_ns(0), swap_ns);
+        assert_eq!(mc.bank_busy_until(BankId::new(0)), swap_ns);
+    }
+
+    #[test]
+    fn next_event_in_a_drained_system_is_refresh_dominated() {
+        let mut mc = MemoryController::new(small_config());
+        let t_refi = mc.config().timing.t_refi;
+        let addr = addr_for(&mc, 0, 5);
+        mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        let (_, end) = mc.drain(0, 5);
+        // Fully drained: every reported event from here on is a refresh
+        // deadline, until the window rollover overtakes them.
+        let mut now = end;
+        for _ in 0..4 {
+            let next = mc.next_event_ns(now);
+            assert_eq!(next % t_refi, 0, "expected a tREFI multiple, got {next}");
+            mc.tick(next);
+            now = next;
+        }
+        assert!(mc.stats().refreshes >= 4);
+    }
+
+    #[test]
+    fn frfcfs_row_hits_keep_fcfs_order_for_the_rest() {
+        // Open-page: rows 7,1,7,2,7 queued on one bank. The open-row hits
+        // (the 7s) are picked out of the middle; the remaining requests must
+        // still complete in 1-before-2 order.
+        let mut cfg = small_config();
+        cfg.page_policy = PagePolicy::OpenPage;
+        let mut mc = MemoryController::new(cfg);
+        // Open row 7 first.
+        mc.enqueue(MemRequest::new(addr_for(&mc, 0, 7), AccessKind::Read, 0, 0)).unwrap();
+        let mut events = EventCollector::new();
+        mc.tick_into(0, &mut events);
+        for row in [1, 7, 2, 7] {
+            mc.enqueue(MemRequest::new(addr_for(&mc, 0, row), AccessKind::Read, 0, 0)).unwrap();
+        }
+        mc.drain_into(0, 5, &mut events);
+        let rows: Vec<RowId> =
+            events.completions.iter().map(|c| mc.mapper().bank_and_row(c.request.addr).1).collect();
+        assert_eq!(rows[0], 7, "first access opens the row");
+        // Both hits on row 7 are served before the conflicting rows, and the
+        // conflicting rows keep their FCFS order.
+        assert_eq!(&rows[1..], &[7, 7, 1, 2]);
+        assert_eq!(mc.stats().row_hits, 2);
     }
 
     #[test]

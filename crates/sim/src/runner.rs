@@ -145,18 +145,32 @@ pub struct SuiteRow {
 /// different sizes.
 #[must_use]
 pub fn suite_averages(results: &[NormalizedResult]) -> Vec<SuiteRow> {
-    let workloads = srs_workloads::all_workloads();
-    let mut rows = Vec::new();
-    for suite in Suite::all() {
-        let names: Vec<&str> =
-            workloads.iter().filter(|w| w.suite == *suite).map(|w| w.name).collect();
-        let subset: Vec<NormalizedResult> =
-            results.iter().filter(|r| names.contains(&r.workload.as_str())).cloned().collect();
-        if !subset.is_empty() {
+    // One workload-name → suite index map built up front, then a single
+    // by-reference pass accumulating each suite's sum and count — no
+    // per-suite rescans of the result set and no cloning of the (large)
+    // `NormalizedResult` values. Per-suite results arrive in `results`
+    // order, so the floating-point accumulation order (and thus the means)
+    // match the previous filter-then-average implementation bit for bit.
+    let suites = Suite::all();
+    let suite_index: fxhash::FxHashMap<&'static str, usize> = srs_workloads::all_workloads()
+        .iter()
+        .filter_map(|w| suites.iter().position(|s| *s == w.suite).map(|i| (w.name, i)))
+        .collect();
+    let mut sums = vec![0.0f64; suites.len()];
+    let mut counts = vec![0usize; suites.len()];
+    for r in results {
+        if let Some(&i) = suite_index.get(r.workload.as_str()) {
+            sums[i] += r.normalized_performance;
+            counts[i] += 1;
+        }
+    }
+    let mut rows = Vec::with_capacity(suites.len() + 1);
+    for (i, suite) in suites.iter().enumerate() {
+        if counts[i] > 0 {
             rows.push(SuiteRow {
                 label: suite.label().to_string(),
-                mean: mean_normalized(&subset),
-                count: subset.len(),
+                mean: sums[i] / counts[i] as f64,
+                count: counts[i],
             });
         }
     }

@@ -7,8 +7,10 @@
 //! only where the defenses need it: rows pinned by Scale-SRS are served at
 //! LLC latency and stop producing DRAM activations.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
+use fxhash::{FxHashMap, FxHashSet};
 use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
 use srs_cpu::{AccessToken, CoreStatus, TraceCore};
 use srs_dram::{
@@ -18,7 +20,7 @@ use srs_dram::{
 use srs_trackers::{
     AggressorTracker, HydraConfig, HydraTracker, MisraGriesConfig, MisraGriesTracker, TrackerKind,
 };
-use srs_workloads::Trace;
+use srs_workloads::{Trace, TraceRecord};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimResult;
@@ -27,6 +29,9 @@ use crate::metrics::SimResult;
 #[derive(Debug, Clone, Copy)]
 struct DeferredAccess {
     addr: PhysAddr,
+    /// Destination bank (decoded once at defer time; retries only need the
+    /// bank to test for queue space).
+    bank: BankId,
     is_write: bool,
     origin: Option<(usize, AccessToken)>,
 }
@@ -40,14 +45,17 @@ pub struct System {
     controller: MemoryController,
     tracker: Box<dyn AggressorTracker + Send>,
     defense: Box<dyn RowSwapDefense + Send>,
-    pinned_rows: HashSet<(usize, u64)>,
-    pending: HashMap<RequestId, (usize, AccessToken)>,
+    pinned_rows: FxHashSet<(usize, u64)>,
+    pending: FxHashMap<RequestId, (usize, AccessToken)>,
     deferred: VecDeque<DeferredAccess>,
     next_window_ns: u64,
     /// Per-bank shards of per-logical-row activation counts for the current
     /// refresh window. Sharding by bank keeps each map small and lets the
     /// window rollover reset state bank by bank without a global rebuild.
-    bank_activations: Vec<HashMap<u64, u64>>,
+    /// Keyed with the deterministic Fx hasher: these maps (like `pending`
+    /// and `pinned_rows`) sit on the per-activation hot path, where SipHash
+    /// with a random per-map seed costs both time and reproducibility.
+    bank_activations: Vec<FxHashMap<u64, u64>>,
     max_row_activations: u64,
     rows_pinned: u64,
     pinned_hits: u64,
@@ -61,8 +69,8 @@ struct TickObserver<'a> {
     tracker: &'a mut (dyn AggressorTracker + Send),
     defense: &'a mut (dyn RowSwapDefense + Send),
     cores: &'a mut [TraceCore],
-    pending: &'a mut HashMap<RequestId, (usize, AccessToken)>,
-    bank_activations: &'a mut [HashMap<u64, u64>],
+    pending: &'a mut FxHashMap<RequestId, (usize, AccessToken)>,
+    bank_activations: &'a mut [FxHashMap<u64, u64>],
     max_row_activations: &'a mut u64,
     timing: DramTiming,
     now: u64,
@@ -133,6 +141,10 @@ fn maintenance_kind(kind: RowOpKind) -> MaintenanceKind {
     }
 }
 
+/// The fixed-step engine's tick, and the time grid both engines quantize
+/// state changes to (see `System::next_event_time`).
+const STEP_NS: u64 = 25;
+
 impl System {
     /// Build a system that runs `trace` on every core (rate mode, as in the
     /// paper's methodology).
@@ -141,17 +153,13 @@ impl System {
         let controller = MemoryController::new(config.dram.clone());
         let tracker = build_tracker(&config);
         let defense = build_defense(config.defense, config.mitigation_config());
+        // All cores execute one immutable copy of the records; each core's
+        // private address-space copy (so rate mode does not trivially share
+        // every row) is an offset applied at issue time, not a per-core
+        // rewritten clone of the whole trace.
+        let records: Arc<[TraceRecord]> = Arc::from(trace.records.as_slice());
         let cores: Vec<TraceCore> = (0..config.cores)
-            .map(|i| {
-                let mut t = trace.clone();
-                // Give each core a private copy offset into the address space
-                // so rate mode does not trivially share every row.
-                let offset = (i as u64) << 33;
-                for r in &mut t.records {
-                    r.addr = r.addr.wrapping_add(offset);
-                }
-                TraceCore::new(config.core, t)
-            })
+            .map(|i| TraceCore::shared(config.core, records.clone(), (i as u64) << 33))
             .collect();
         let window = config.dram.refresh_window_ns;
         let total_banks = config.dram.total_banks();
@@ -162,11 +170,17 @@ impl System {
             controller,
             tracker,
             defense,
-            pinned_rows: HashSet::new(),
-            pending: HashMap::new(),
+            pinned_rows: FxHashSet::default(),
+            pending: FxHashMap::with_capacity_and_hasher(
+                config.cores * config.core.max_outstanding_misses,
+                Default::default(),
+            ),
             deferred: VecDeque::new(),
             next_window_ns: window,
-            bank_activations: vec![HashMap::new(); total_banks],
+            bank_activations: vec![
+                FxHashMap::with_capacity_and_hasher(512, Default::default());
+                total_banks
+            ],
             max_row_activations: 0,
             rows_pinned: 0,
             pinned_hits: 0,
@@ -185,16 +199,31 @@ impl System {
         (d.bank_id(&self.config.dram), d)
     }
 
-    fn remapped_address(&self, decoded: &DramAddress, bank: BankId) -> PhysAddr {
+    /// The DRAM location a logical address currently maps to under the
+    /// defense's row indirection: the physical address plus the physical
+    /// row, ready for [`MemoryController::enqueue_at`].
+    fn remapped_address(
+        &self,
+        addr: PhysAddr,
+        decoded: &DramAddress,
+        bank: BankId,
+    ) -> (PhysAddr, u64) {
         let physical_row = self.defense.translate(bank.index(), decoded.row);
         if physical_row == decoded.row {
-            return self.controller.mapper().encode(decoded).unwrap_or(PhysAddr::new(0));
+            // Common case: the defense has not displaced this row, so the
+            // original address is already the right one — skip the
+            // encode round-trip entirely.
+            return (addr, decoded.row);
         }
         let remapped =
             DramAddress { row: physical_row % self.config.dram.rows_per_bank, ..*decoded };
-        self.controller.mapper().encode(&remapped).unwrap_or_else(|_| {
-            self.controller.mapper().encode(decoded).unwrap_or(PhysAddr::new(0))
-        })
+        match self.controller.mapper().encode(&remapped) {
+            Ok(target) => (target, remapped.row),
+            // Unreachable for a decoded coordinate (the row is reduced into
+            // range above), but fall back to the untranslated address
+            // rather than panicking inside the hot path.
+            Err(_) => (addr, decoded.row),
+        }
     }
 
     fn apply_actions(&mut self, actions: Vec<MitigationAction>) {
@@ -228,7 +257,9 @@ impl System {
         let (bank, decoded) = self.decode(addr);
         let logical_row = decoded.row;
 
-        if self.pinned_rows.contains(&(bank.index(), logical_row)) {
+        // The emptiness guard keeps the hash off the per-access path for
+        // every defense except an actively pinning Scale-SRS.
+        if !self.pinned_rows.is_empty() && self.pinned_rows.contains(&(bank.index(), logical_row)) {
             // The row lives in the LLC for the rest of the window.
             self.pinned_hits += 1;
             if let Some((core, token)) = origin {
@@ -240,24 +271,26 @@ impl System {
         // Row Hammer accounting happens in-stream when the controller issues
         // the ACT (see `TickObserver::on_activation`); the request only
         // carries the logical row so the activation event can report it.
-        let target = self.remapped_address(&decoded, bank);
+        // The remap never changes the bank, so the decode work above is
+        // shared with the controller via `enqueue_at`.
+        let (target, physical_row) = self.remapped_address(addr, &decoded, bank);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
         let core_id = origin.map_or(0, |(core, _)| core);
         let request = MemRequest::new(target, kind, core_id, now).with_logical_row(logical_row);
-        match self.controller.enqueue(request) {
+        match self.controller.enqueue_at(bank, physical_row, request) {
             Ok(id) => {
                 if let Some(origin) = origin {
                     self.pending.insert(id, origin);
                 }
             }
-            Err(_) => self.deferred.push_back(DeferredAccess { addr, is_write, origin }),
+            Err(_) => self.deferred.push_back(DeferredAccess { addr, bank, is_write, origin }),
         }
     }
 
     fn retry_deferred(&mut self, now: u64) {
         for _ in 0..self.deferred.len() {
             let Some(item) = self.deferred.pop_front() else { break };
-            if self.controller.can_accept(item.addr) {
+            if self.controller.can_accept_bank(item.bank) {
                 self.submit(item.addr, item.is_write, item.origin, now);
             } else {
                 self.deferred.push_back(item);
@@ -283,73 +316,203 @@ impl System {
         self.cores.iter().all(TraceCore::is_finished)
     }
 
+    /// Whether nothing remains to simulate: every core reached its target
+    /// and the memory system holds no outstanding work.
+    fn is_complete(&self) -> bool {
+        self.all_cores_finished()
+            && self.pending.is_empty()
+            && self.deferred.is_empty()
+            && self.controller.is_idle()
+    }
+
+    /// One simulation tick at time `now`: window rollover, deferred
+    /// retries, core issue, controller advancement (activations streaming
+    /// into the tracker/defense, completions into the cores) and lazy
+    /// defense work. Identical under both engines — they differ only in
+    /// which times they visit.
+    ///
+    /// `retry_deferred` runs only when the previous tick scheduled a demand
+    /// request: queue space appears no other way, so without one the retry
+    /// pass would be a full pop/push rotation that provably leaves the
+    /// deferred queue bit-identical — skipping it changes nothing but the
+    /// wall clock (congested runs carry hundreds of deferred accesses).
+    fn step_at(&mut self, now: u64, retry_deferred: bool) {
+        self.handle_window_rollover(now);
+        if retry_deferred {
+            self.retry_deferred(now);
+        }
+
+        // Let every core issue work available at this time. `try_issue`
+        // re-evaluates the core's status itself, so the loop only consults
+        // `status` on the not-issuable path to stamp finish times.
+        for core_idx in 0..self.cores.len() {
+            if self.deferred.len() > 512 {
+                break;
+            }
+            for _ in 0..8 {
+                if let Some(issue) = self.cores[core_idx].try_issue(now) {
+                    let origin = if issue.is_write { None } else { Some((core_idx, issue.token)) };
+                    self.submit(PhysAddr::new(issue.addr), issue.is_write, origin, now);
+                } else {
+                    if self.core_finish_ns[core_idx].is_none()
+                        && self.cores[core_idx].status(now) == CoreStatus::Finished
+                    {
+                        self.core_finish_ns[core_idx] = Some(now);
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Advance the memory controller; activations stream into the
+        // tracker/defense and completions into the cores as they happen.
+        let mut observer = TickObserver {
+            tracker: self.tracker.as_mut(),
+            defense: self.defense.as_mut(),
+            cores: &mut self.cores,
+            pending: &mut self.pending,
+            bank_activations: &mut self.bank_activations,
+            max_row_activations: &mut self.max_row_activations,
+            timing: self.config.dram.timing,
+            now,
+            actions: Vec::new(),
+            counter_ops: Vec::new(),
+        };
+        self.controller.tick_into(now, &mut observer);
+        let TickObserver { actions, counter_ops, .. } = observer;
+        for op in counter_ops {
+            let _ = self.controller.enqueue_maintenance(op);
+        }
+        if !actions.is_empty() {
+            self.apply_actions(actions);
+        }
+
+        // Lazy defense work (SRS place-back).
+        let actions = self.defense.on_tick(now);
+        if !actions.is_empty() {
+            self.apply_actions(actions);
+        }
+    }
+
+    /// The next grid-aligned time the event-driven engine must visit after
+    /// a tick at `now`.
+    ///
+    /// The fixed-step engine quantizes every state change to its `step_ns`
+    /// grid (a completion finishing at 137 ns is observed at the 150 ns
+    /// tick), so for bit-identical metrics the event-driven engine jumps to
+    /// the smallest **grid point at or after** the earliest next event —
+    /// exactly the tick at which the fixed-step engine would have seen it —
+    /// and skips the empty grid points in between. Candidate events:
+    ///
+    /// * the next refresh-window rollover (defense epoch work is stamped
+    ///   with the tick it runs at);
+    /// * everything the controller schedules: bank-free times of banks with
+    ///   queued work, deliverable completions, refresh deadlines
+    ///   ([`MemoryController::next_event_ns`]);
+    /// * each core's next self-generated ready time
+    ///   ([`TraceCore::next_ready_ns`]);
+    /// * the defense's next scheduled lazy action
+    ///   ([`RowSwapDefense::next_action_ns`]);
+    /// * the very next tick, whenever a deferred access might retry (the
+    ///   tick freed a queue slot — deferred retries are no-ops until one
+    ///   does), a finished core has not had its finish time recorded yet,
+    ///   or the run is complete (the loop exit condition is itself
+    ///   evaluated on the grid, so the final `elapsed_ns` matches too);
+    /// * the simulated-time cap, so the engines agree on the final tick
+    ///   even when every other event lies beyond it.
+    ///
+    /// `freed_queue_slot` reports whether the tick at `now` scheduled any
+    /// demand request (the only way controller queue space appears).
+    fn next_event_time(&self, now: u64, freed_queue_slot: bool) -> u64 {
+        // Dense fast path: every candidate is rounded up to the step grid,
+        // so once *any* candidate falls within one step the answer is
+        // exactly `now + STEP_NS` — and the controller's next event (an
+        // O(1) read) is within one step on almost every tick of a
+        // memory-saturated run. The remaining branches below return the
+        // same value in that case, just more slowly.
+        if self.controller.next_event_ns(now) <= now + STEP_NS {
+            return now + STEP_NS;
+        }
+        // One pass over the cores collects everything the decision needs:
+        // completion state, unstamped finish times, and the earliest
+        // self-generated ready time.
+        let mut all_finished = true;
+        let mut unrecorded_finish = false;
+        let mut core_next = u64::MAX;
+        for (core, finish) in self.cores.iter().zip(&self.core_finish_ns) {
+            if core.is_finished() {
+                unrecorded_finish |= finish.is_none();
+            } else {
+                all_finished = false;
+                if let Some(t) = core.next_ready_ns(now) {
+                    core_next = core_next.min(t);
+                }
+            }
+        }
+        let complete = all_finished
+            && self.pending.is_empty()
+            && self.deferred.is_empty()
+            && self.controller.is_idle();
+        if complete || unrecorded_finish {
+            return now + STEP_NS;
+        }
+        if !self.deferred.is_empty() && freed_queue_slot {
+            return now + STEP_NS;
+        }
+        let mut next = self.config.max_sim_ns.min(self.next_window_ns);
+        next = next.min(self.controller.next_event_ns(now));
+        if let Some(t) = self.defense.next_action_ns() {
+            next = next.min(t);
+        }
+        if self.deferred.len() <= 512 {
+            // Past the backpressure limit the issue loop does not run, so
+            // core readiness cannot produce an event; cores re-enter the
+            // candidate set through the queue-slot branch above.
+            next = next.min(core_next);
+        }
+        // One grid round-up at the end: the clamp and the ceiling are both
+        // monotone, so folding raw times first is equivalent to (and much
+        // cheaper than) rounding every candidate.
+        next.max(now + 1).div_ceil(STEP_NS) * STEP_NS
+    }
+
     /// Run the simulation to completion (all cores reach their instruction
     /// target, or the simulated-time cap is hit) and return the results.
-    pub fn run(mut self) -> SimResult {
-        let step_ns: u64 = 25;
+    ///
+    /// Uses the event-driven time-skip engine: simulated time jumps from
+    /// one grid-aligned event to the next instead of sweeping every bank
+    /// and core each 25 ns. Produces bit-identical results to
+    /// [`System::run_fixed_step`].
+    pub fn run(self) -> SimResult {
+        self.run_engine(true)
+    }
+
+    /// Run the simulation with the reference fixed-step engine, visiting
+    /// every 25 ns tick. Kept as the oracle the event-driven engine is
+    /// equivalence-tested against; prefer [`System::run`].
+    pub fn run_fixed_step(self) -> SimResult {
+        self.run_engine(false)
+    }
+
+    fn run_engine(mut self, event_driven: bool) -> SimResult {
         let mut now: u64 = 0;
+        let mut freed_queue_slot = false;
         loop {
             if now >= self.config.max_sim_ns {
                 break;
             }
-            if self.all_cores_finished()
-                && self.pending.is_empty()
-                && self.deferred.is_empty()
-                && self.controller.is_idle()
-            {
+            if self.is_complete() {
                 break;
             }
-            self.handle_window_rollover(now);
-            self.retry_deferred(now);
-
-            // Let every core issue work available at this time.
-            for core_idx in 0..self.cores.len() {
-                if self.deferred.len() > 512 {
-                    break;
-                }
-                for _ in 0..8 {
-                    match self.cores[core_idx].status(now) {
-                        CoreStatus::ReadyAt(t) if t <= now => {}
-                        CoreStatus::Finished => {
-                            if self.core_finish_ns[core_idx].is_none() {
-                                self.core_finish_ns[core_idx] = Some(now);
-                            }
-                            break;
-                        }
-                        _ => break,
-                    }
-                    let Some(issue) = self.cores[core_idx].try_issue(now) else { break };
-                    let origin = if issue.is_write { None } else { Some((core_idx, issue.token)) };
-                    self.submit(PhysAddr::new(issue.addr), issue.is_write, origin, now);
-                }
-            }
-
-            // Advance the memory controller; activations stream into the
-            // tracker/defense and completions into the cores as they happen.
-            let mut observer = TickObserver {
-                tracker: self.tracker.as_mut(),
-                defense: self.defense.as_mut(),
-                cores: &mut self.cores,
-                pending: &mut self.pending,
-                bank_activations: &mut self.bank_activations,
-                max_row_activations: &mut self.max_row_activations,
-                timing: self.config.dram.timing,
-                now,
-                actions: Vec::new(),
-                counter_ops: Vec::new(),
+            let demand_before = self.controller.stats().reads + self.controller.stats().writes;
+            self.step_at(now, freed_queue_slot);
+            let scheduled = self.controller.stats().reads + self.controller.stats().writes;
+            freed_queue_slot = scheduled != demand_before;
+            now = if event_driven {
+                self.next_event_time(now, freed_queue_slot)
+            } else {
+                now + STEP_NS
             };
-            self.controller.tick_into(now, &mut observer);
-            let TickObserver { actions, counter_ops, .. } = observer;
-            for op in counter_ops {
-                let _ = self.controller.enqueue_maintenance(op);
-            }
-            self.apply_actions(actions);
-
-            // Lazy defense work (SRS place-back).
-            let actions = self.defense.on_tick(now);
-            self.apply_actions(actions);
-
-            now += step_ns;
         }
 
         let elapsed = now.max(1);

@@ -5,8 +5,7 @@
 //! activations within a tracking epoch is guaranteed to be present — the
 //! classic Misra-Gries guarantee requires `entries ≥ ACT_max / TS`.
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::tracker::{AggressorTracker, TrackerDecision};
@@ -45,14 +44,25 @@ impl MisraGriesConfig {
 
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct BankTable {
-    entries: HashMap<u64, u64>,
+    entries: FxHashMap<u64, u64>,
     spillover: u64,
     capacity: usize,
+    /// A lower bound on the smallest counter in `entries`. Counters only
+    /// grow, so the bound can run stale-low (costing a scan that finds
+    /// nothing) but never stale-high; while it exceeds the spillover
+    /// counter, the eviction scan provably cannot find a victim and is
+    /// skipped — the common case for low-locality (GUPS-like) streams that
+    /// miss in a full table on every activation.
+    min_bound: u64,
 }
 
 impl BankTable {
     fn new(capacity: usize) -> Self {
-        Self { entries: HashMap::new(), spillover: 0, capacity }
+        // The table fills to exactly `capacity` live entries; reserving up
+        // front keeps rehashing (and its per-activation amortized cost) off
+        // the hot path.
+        let entries = FxHashMap::with_capacity_and_hasher(capacity, Default::default());
+        Self { entries, spillover: 0, capacity, min_bound: 0 }
     }
 
     /// Returns the row's new estimated count.
@@ -64,26 +74,34 @@ impl BankTable {
         if self.entries.len() < self.capacity {
             let start = self.spillover + 1;
             self.entries.insert(row, start);
+            self.min_bound = self.min_bound.min(start);
             return start;
         }
         // Replace an entry whose count equals the spillover counter, if any;
         // otherwise increment the spillover counter (all tracked rows keep
-        // their lead over untracked ones).
-        if let Some((&victim, _)) = self.entries.iter().find(|(_, &c)| c <= self.spillover) {
-            self.entries.remove(&victim);
-            let start = self.spillover + 1;
-            self.entries.insert(row, start);
-            start
-        } else {
-            self.spillover += 1;
-            self.spillover
+        // their lead over untracked ones). The bound check skips the scan
+        // whenever it cannot succeed.
+        if self.min_bound <= self.spillover {
+            if let Some((&victim, _)) = self.entries.iter().find(|(_, &c)| c <= self.spillover) {
+                self.entries.remove(&victim);
+                let start = self.spillover + 1;
+                self.entries.insert(row, start);
+                return start;
+            }
+            // The scan proved every counter exceeds the spillover level;
+            // remember the exact minimum so future misses skip the scan
+            // until the spillover counter catches up.
+            self.min_bound = self.entries.values().copied().min().unwrap_or(u64::MAX);
         }
+        self.spillover += 1;
+        self.spillover
     }
 
     fn reset_row(&mut self, row: u64) {
         // After a mitigation the row starts counting from the spillover
         // level again, mirroring Graphene's counter reset on a swap.
         self.entries.insert(row, self.spillover);
+        self.min_bound = self.min_bound.min(self.spillover);
     }
 }
 
@@ -140,6 +158,7 @@ impl AggressorTracker for MisraGriesTracker {
         for b in &mut self.banks {
             b.entries.clear();
             b.spillover = 0;
+            b.min_bound = 0;
         }
     }
 

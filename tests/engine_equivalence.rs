@@ -1,0 +1,93 @@
+//! The event-driven time-skip engine must be a pure optimization: on every
+//! cell of a scenario grid it has to produce **bit-identical** results to
+//! the reference fixed-step engine it replaced — same IPC, same activation
+//! counts, same swaps, same maximum per-row activation pressure.
+//!
+//! The grid deliberately crosses the behaviours with distinct event
+//! sources: the baseline (pure demand traffic), RRS (swap maintenance and
+//! bulk unswaps), SRS/Scale-SRS (timed lazy place-back, LLC pinning), both
+//! trackers (Hydra adds counter-table maintenance ops), and both a hot-row
+//! and a hammer workload.
+
+use scale_srs::core::DefenseKind;
+use scale_srs::sim::{SimResult, System, SystemConfig};
+use scale_srs::trackers::TrackerKind;
+use scale_srs::workloads::{hammer_trace, AccessPattern, Trace, WorkloadSpec};
+
+fn grid_config(defense: DefenseKind, tracker: TrackerKind, t_rh: u64) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+    config.tracker = tracker;
+    config.cores = 2;
+    config.core.target_instructions = 5_000;
+    config.trace_records_per_core = 2_000;
+    config.dram.refresh_window_ns = 400_000;
+    config.max_sim_ns = 3_000_000;
+    config
+}
+
+fn hot_trace(records: usize) -> Trace {
+    WorkloadSpec {
+        name: "equiv-hot".to_string(),
+        footprint_bytes: 1 << 24,
+        base_addr: 0,
+        read_fraction: 0.7,
+        mean_gap: 2,
+        pattern: AccessPattern::HotRows { hot_rows: 2, hot_fraction: 0.6 },
+    }
+    .generate(records, 11)
+}
+
+fn assert_identical(cell: &str, fixed: &SimResult, event: &SimResult) {
+    assert_eq!(fixed.elapsed_ns, event.elapsed_ns, "{cell}: elapsed_ns diverged");
+    assert_eq!(fixed.per_core_ipc, event.per_core_ipc, "{cell}: per-core IPC diverged");
+    assert_eq!(fixed.instructions, event.instructions, "{cell}: instructions diverged");
+    assert_eq!(fixed.controller, event.controller, "{cell}: controller stats diverged");
+    assert_eq!(fixed.swaps, event.swaps, "{cell}: swap count diverged");
+    assert_eq!(fixed.rows_pinned, event.rows_pinned, "{cell}: pinned rows diverged");
+    assert_eq!(fixed.pinned_hits, event.pinned_hits, "{cell}: pinned hits diverged");
+    assert_eq!(
+        fixed.max_row_activations_in_window, event.max_row_activations_in_window,
+        "{cell}: max row activations diverged"
+    );
+}
+
+#[test]
+fn event_driven_engine_is_bit_identical_on_a_scenario_grid() {
+    let defenses = [
+        DefenseKind::Baseline,
+        DefenseKind::Rrs { immediate_unswap: true },
+        DefenseKind::Rrs { immediate_unswap: false },
+        DefenseKind::Srs,
+        DefenseKind::ScaleSrs,
+    ];
+    let trackers = [TrackerKind::MisraGries, TrackerKind::Hydra];
+    type TraceMaker = fn() -> Trace;
+    let workloads: [(&str, TraceMaker); 2] = [
+        ("hot", || hot_trace(2_000)),
+        ("hammer", || hammer_trace("equiv-hammer", 0x10000, 2_000, 1 << 26, 5)),
+    ];
+    for defense in defenses {
+        for tracker in trackers {
+            for (wname, make_trace) in workloads {
+                let cell = format!("{defense}/{tracker:?}/{wname}");
+                let config = grid_config(defense, tracker, 1200);
+                let fixed = System::new(config.clone(), make_trace()).run_fixed_step();
+                let event = System::new(config, make_trace()).run();
+                assert_identical(&cell, &fixed, &event);
+            }
+        }
+    }
+}
+
+#[test]
+fn event_driven_engine_matches_at_the_simulated_time_cap() {
+    // A run that hits max_sim_ns (instead of finishing its instruction
+    // target) must report the same final clock under both engines.
+    let mut config = grid_config(DefenseKind::ScaleSrs, TrackerKind::MisraGries, 1200);
+    config.core.target_instructions = u64::MAX / 2;
+    config.max_sim_ns = 1_000_010; // deliberately off the 25 ns grid
+    let fixed = System::new(config.clone(), hot_trace(1_500)).run_fixed_step();
+    let event = System::new(config, hot_trace(1_500)).run();
+    assert_identical("time-capped", &fixed, &event);
+    assert!(fixed.elapsed_ns >= 1_000_010);
+}
