@@ -13,7 +13,9 @@
 //!   analyzed with (Figure 1a);
 //! * [`outlier`] — the outlier-appearance model that justifies Scale-SRS's
 //!   swap rate of 3 (Figure 13);
-//! * [`multibank`] — the multiple-bank attack variant (Section III-C).
+//! * [`multibank`] — the multiple-bank attack variant (Section III-C);
+//! * [`engine`] — the closed-loop in-simulator attack engine: reactive
+//!   attacker cores, the attack-pattern IR and the shipped pattern library.
 //!
 //! ## Example
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod birthday;
+pub mod engine;
 pub mod juggernaut;
 pub mod montecarlo;
 pub mod multibank;
@@ -38,6 +41,7 @@ pub mod params;
 pub mod prob;
 
 pub use birthday::BirthdayOutcome;
+pub use engine::{AttackPattern, AttackSpec, AttackerCore, PatternProgram};
 pub use juggernaut::JuggernautOutcome;
 pub use montecarlo::MonteCarloResult;
 pub use multibank::MultiBankOutcome;

@@ -74,7 +74,8 @@ fn grid(smoke: bool) -> Vec<Cell> {
         let config = quick_config(defense, 1200);
         cells.push(Cell {
             label: format!("{defense}/hammer"),
-            trace: hammer_trace("hammer", 0x10000, config.trace_records_per_core, 1 << 26, 5),
+            trace: hammer_trace("hammer", 0x10000, config.trace_records_per_core, 1 << 26, 5)
+                .into_trace(),
             config,
         });
         let mut config = quick_config(defense, 1200);

@@ -106,6 +106,16 @@ pub trait RowSwapDefense {
 
     /// Total number of swap operations performed so far (all banks).
     fn swaps_performed(&self) -> u64;
+
+    /// Number of unswap-swap operations performed so far (all banks).
+    ///
+    /// Only RRS with immediate unswaps performs them; they are the source
+    /// of the latent activations the Juggernaut attack harvests, so the
+    /// security-metrics layer reports them per run. Defenses without
+    /// unswap-swaps (the default) report zero.
+    fn unswap_swaps_performed(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

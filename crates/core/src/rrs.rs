@@ -223,6 +223,10 @@ impl RowSwapDefense for RandomizedRowSwap {
     fn swaps_performed(&self) -> u64 {
         self.stats.swaps + self.stats.unswap_swaps
     }
+
+    fn unswap_swaps_performed(&self) -> u64 {
+        self.stats.unswap_swaps
+    }
 }
 
 #[cfg(test)]

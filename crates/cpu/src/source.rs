@@ -1,0 +1,146 @@
+//! The issue interface between a request-generating core and the simulator.
+//!
+//! [`TraceCore`] replays a fixed trace; the adversarial attacker cores of
+//! `srs_attack::engine` generate accesses *reactively*, observing memory
+//! system feedback. Both speak the same protocol to the simulator, captured
+//! here as the [`RequestSource`] trait: issue requests when ready, consume
+//! read completions, and — for the event-driven time-skip engine — report
+//! the earliest self-generated time at which anything about the source can
+//! change ([`RequestSource::next_ready_ns`]).
+
+use crate::core::{AccessToken, CoreStatus, MemoryIssue, TraceCore};
+
+/// A source of memory requests driven by the full-system simulator.
+///
+/// The contract mirrors [`TraceCore`]'s inherent methods (which implement
+/// this trait by delegation) and adds an optional feedback channel:
+/// reactive sources ([`RequestSource::wants_feedback`]) are shown every row
+/// activation the controller issues, including the maintenance activations
+/// performed by a Row Hammer defense — the observable signal a closed-loop
+/// attacker adapts to.
+///
+/// # Event-driven engine contract
+///
+/// [`RequestSource::next_ready_ns`] must return `Some(t)` only if nothing
+/// about the source changes before `t` without an external event, and
+/// `None` only if the source is inert until a read completion (or it is
+/// finished). Violating this lets a time-skipping simulator run the source
+/// late and diverge from the fixed-step reference engine.
+pub trait RequestSource {
+    /// Issue the next memory operation if the source is ready at `now`.
+    fn try_issue(&mut self, now: u64) -> Option<MemoryIssue>;
+
+    /// Report that the read identified by `token` completed at `now`.
+    fn complete_read(&mut self, token: AccessToken, now: u64);
+
+    /// What the source wants to do at time `now`.
+    fn status(&self, now: u64) -> CoreStatus;
+
+    /// Whether the source has retired its work target (an adversarial
+    /// source never finishes; it attacks until the simulation ends).
+    fn is_finished(&self) -> bool;
+
+    /// The earliest time the source could issue again without any external
+    /// event, or `None` if only a read completion can unblock it.
+    fn next_ready_ns(&self, now: u64) -> Option<u64>;
+
+    /// Instructions retired so far (0 for sources that model no program).
+    fn retired_instructions(&self) -> u64;
+
+    /// Instructions per cycle achieved over `elapsed_ns` of simulated time.
+    fn ipc(&self, elapsed_ns: u64) -> f64;
+
+    /// Observe one row activation issued by the memory controller.
+    ///
+    /// `physical_row` is the chip location that was activated and
+    /// `logical_row` the row address as issued by the system;
+    /// `maintenance` marks activations performed by a mitigation operation
+    /// (swap, unswap-swap, place-back) rather than a demand access. The
+    /// default implementation ignores the stream.
+    fn observe_activation(
+        &mut self,
+        _bank: usize,
+        _physical_row: u64,
+        _logical_row: u64,
+        _maintenance: bool,
+        _now: u64,
+    ) {
+    }
+
+    /// Whether this source consumes the activation feedback stream. The
+    /// simulator skips the per-activation fan-out entirely when no source
+    /// wants it, keeping the hot path of pure trace-replay runs unchanged.
+    fn wants_feedback(&self) -> bool {
+        false
+    }
+
+    /// The source as `Any`, so the simulator can recover concrete-type
+    /// statistics (e.g. attacker counters) from a heterogeneous core list
+    /// at the end of a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl RequestSource for TraceCore {
+    fn try_issue(&mut self, now: u64) -> Option<MemoryIssue> {
+        TraceCore::try_issue(self, now)
+    }
+
+    fn complete_read(&mut self, token: AccessToken, now: u64) {
+        TraceCore::complete_read(self, token, now);
+    }
+
+    fn status(&self, now: u64) -> CoreStatus {
+        TraceCore::status(self, now)
+    }
+
+    fn is_finished(&self) -> bool {
+        TraceCore::is_finished(self)
+    }
+
+    fn next_ready_ns(&self, now: u64) -> Option<u64> {
+        TraceCore::next_ready_ns(self, now)
+    }
+
+    fn retired_instructions(&self) -> u64 {
+        TraceCore::retired_instructions(self)
+    }
+
+    fn ipc(&self, elapsed_ns: u64) -> f64 {
+        TraceCore::ipc(self, elapsed_ns)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use srs_workloads::WorkloadSpec;
+
+    #[test]
+    fn trace_core_speaks_the_source_protocol() {
+        let trace = WorkloadSpec::gups(1 << 20).generate(100, 3);
+        let config = CoreConfig { target_instructions: 1_000, ..CoreConfig::default() };
+        let mut source: Box<dyn RequestSource> = Box::new(TraceCore::new(config, trace));
+        assert!(!source.wants_feedback());
+        assert!(!source.is_finished());
+        let issue = source.try_issue(0).expect("ready at time zero");
+        source.complete_read(issue.token, 60);
+        // The default feedback hook is a no-op and must not disturb replay.
+        source.observe_activation(0, 1, 1, false, 60);
+        assert!(source.retired_instructions() > 0);
+        // Drive the source to completion through the trait alone.
+        let mut now = 100;
+        while !source.is_finished() {
+            if let Some(issue) = source.try_issue(now) {
+                source.complete_read(issue.token, now + 50);
+            }
+            now += 10;
+            assert!(now < 1_000_000, "source failed to finish");
+        }
+        assert_eq!(source.status(now), CoreStatus::Finished);
+    }
+}

@@ -103,6 +103,11 @@ pub struct ActivationEvent {
     /// `true` if the activation was issued on behalf of a maintenance
     /// (mitigation) operation rather than a demand access.
     pub maintenance: bool,
+    /// The kind of maintenance operation that issued this activation, or
+    /// `None` for demand activations. Lets observers separate row-movement
+    /// activations (the latent-activation channel of the Juggernaut attack)
+    /// from counter-table traffic, whose rows live in a reserved region.
+    pub maintenance_kind: Option<MaintenanceKind>,
 }
 
 /// A maintenance operation requested by a Row Hammer mitigation.

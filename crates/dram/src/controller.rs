@@ -547,6 +547,7 @@ impl MemoryController {
                 logical_row: row,
                 at_ns: start,
                 maintenance: true,
+                maintenance_kind: Some(op.label),
             });
         }
         self.stats.record_maintenance(op.label, op.duration_ns, op.activations.len() as u64);
@@ -593,6 +594,7 @@ impl MemoryController {
                 logical_row: pending.request.logical_row.unwrap_or(pending.row),
                 at_ns: start,
                 maintenance: false,
+                maintenance_kind: None,
             });
             self.stats.activations += 1;
             self.stats.row_misses += 1;

@@ -93,6 +93,7 @@ mod tests {
             logical_row: 9,
             at_ns: 5,
             maintenance: false,
+            maintenance_kind: None,
         };
         collector.on_activation(&event);
         let access = CompletedAccess {
@@ -116,6 +117,7 @@ mod tests {
             logical_row: 1,
             at_ns: 0,
             maintenance: true,
+            maintenance_kind: Some(crate::command::MaintenanceKind::Swap),
         };
         sink.on_activation(&event);
     }

@@ -1,6 +1,7 @@
 //! Experiment and system configuration for the full-system simulator.
 
 use serde::{Deserialize, Serialize};
+use srs_attack::AttackSpec;
 use srs_core::{DefenseKind, MitigationConfig};
 use srs_cpu::CoreConfig;
 use srs_dram::DramConfig;
@@ -39,6 +40,10 @@ pub struct SystemConfig {
     pub max_sim_ns: u64,
     /// Latency of an access served from the LLC (pinned rows), in ns.
     pub llc_hit_latency_ns: u64,
+    /// Adversarial scenario: when set, the system adds the specified
+    /// closed-loop attacker cores next to the victim trace cores and
+    /// collects security metrics ([`crate::security::SecurityReport`]).
+    pub attack: Option<AttackSpec>,
 }
 
 impl SystemConfig {
@@ -57,6 +62,7 @@ impl SystemConfig {
             seed: 0xC0DE,
             max_sim_ns: 500_000_000,
             llc_hit_latency_ns: 20,
+            attack: None,
         }
     }
 

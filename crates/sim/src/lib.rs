@@ -19,7 +19,7 @@
 //! config.cores = 1;
 //! config.core.target_instructions = 2_000;
 //! config.max_sim_ns = 2_000_000;
-//! let trace = hammer_trace("hammer", 0x8000, 1_000, 1 << 24, 1);
+//! let trace = hammer_trace("hammer", 0x8000, 1_000, 1 << 24, 1).into_trace();
 //! let result = System::new(config, trace).run();
 //! assert!(result.swaps > 0, "hammering must trigger row swaps");
 //! ```
@@ -31,6 +31,7 @@ pub mod config;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod security;
 pub mod system;
 
 pub use config::SystemConfig;
@@ -42,4 +43,5 @@ pub use runner::{
 pub use scenario::{
     default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult,
 };
+pub use security::{SecurityReport, SecurityTracker};
 pub use system::System;

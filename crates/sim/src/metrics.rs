@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use srs_dram::ControllerStats;
 
+use crate::security::SecurityReport;
+
 /// The result of simulating one workload on one system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -28,6 +30,9 @@ pub struct SimResult {
     pub pinned_hits: u64,
     /// Largest per-row activation count observed in any refresh window.
     pub max_row_activations_in_window: u64,
+    /// Security metrics of the run, present when it carried an attack
+    /// scenario ([`crate::config::SystemConfig::attack`]).
+    pub security: Option<SecurityReport>,
 }
 
 impl SimResult {
@@ -100,6 +105,7 @@ mod tests {
                 rows_pinned: 0,
                 pinned_hits: 0,
                 max_row_activations_in_window: 0,
+                security: None,
             },
         }
     }

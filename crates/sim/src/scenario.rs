@@ -32,6 +32,7 @@
 //! assert_eq!(results[0].scenario.defense, DefenseKind::Baseline);
 //! ```
 
+use srs_attack::AttackSpec;
 use srs_core::DefenseKind;
 use srs_trackers::TrackerKind;
 use srs_workloads::{all_workloads, NamedWorkload};
@@ -61,6 +62,9 @@ pub struct Scenario {
     pub cores: Option<usize>,
     /// Seed override, or `None` for the base configuration's value.
     pub seed: Option<u64>,
+    /// The attack scenario running next to the workload, or `None` for a
+    /// benign cell.
+    pub attack: Option<AttackSpec>,
     /// The workload to run.
     pub workload: NamedWorkload,
 }
@@ -84,7 +88,7 @@ impl ScenarioResult {
 }
 
 /// A declarative experiment grid: defenses × trackers × thresholds × core
-/// counts × seeds × workloads, plus the worker-thread budget that
+/// counts × seeds × attacks × workloads, plus the worker-thread budget that
 /// [`Experiment::run`] uses to execute it.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -94,6 +98,7 @@ pub struct Experiment {
     trackers: Vec<TrackerKind>,
     core_counts: Vec<usize>,
     seeds: Vec<u64>,
+    attacks: Vec<AttackSpec>,
     threads: usize,
     config_fn: ConfigFn,
 }
@@ -117,6 +122,7 @@ impl Experiment {
             trackers: vec![TrackerKind::MisraGries],
             core_counts: Vec::new(),
             seeds: Vec::new(),
+            attacks: Vec::new(),
             threads: default_threads(),
             config_fn: SystemConfig::scaled_for_speed,
         }
@@ -166,6 +172,16 @@ impl Experiment {
         self
     }
 
+    /// Sweep these attack scenarios (an empty list runs benign cells only,
+    /// as a single-cell axis). Each attacked cell adds the attack's
+    /// closed-loop attacker cores next to the victim trace cores and
+    /// carries a [`crate::security::SecurityReport`] on its result.
+    #[must_use]
+    pub fn with_attacks(mut self, attacks: Vec<AttackSpec>) -> Self {
+        self.attacks = attacks;
+        self
+    }
+
     /// Execute on this many worker threads.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -190,12 +206,13 @@ impl Experiment {
             * self.thresholds.len()
             * self.core_counts.len().max(1)
             * self.seeds.len().max(1)
+            * self.attacks.len().max(1)
             * self.workloads.len()
     }
 
     /// Enumerate every cell of the grid, in the fixed order results are
     /// returned: defense (slowest-varying) → tracker → threshold → core
-    /// count → seed → workload (fastest-varying).
+    /// count → seed → attack → workload (fastest-varying).
     ///
     /// # Panics
     ///
@@ -220,22 +237,30 @@ impl Experiment {
         } else {
             self.seeds.iter().map(|&s| Some(s)).collect()
         };
+        let attack_axis: Vec<Option<AttackSpec>> = if self.attacks.is_empty() {
+            vec![None]
+        } else {
+            self.attacks.iter().map(|a| Some(a.clone())).collect()
+        };
         let mut scenarios = Vec::with_capacity(self.job_count());
         for &defense in &self.defenses {
             for &tracker in &self.trackers {
                 for &t_rh in &self.thresholds {
                     for &cores in &core_axis {
                         for &seed in &seed_axis {
-                            for workload in &self.workloads {
-                                scenarios.push(Scenario {
-                                    index: scenarios.len(),
-                                    defense,
-                                    t_rh,
-                                    tracker,
-                                    cores,
-                                    seed,
-                                    workload: workload.clone(),
-                                });
+                            for attack in &attack_axis {
+                                for workload in &self.workloads {
+                                    scenarios.push(Scenario {
+                                        index: scenarios.len(),
+                                        defense,
+                                        t_rh,
+                                        tracker,
+                                        cores,
+                                        seed,
+                                        attack: attack.clone(),
+                                        workload: workload.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -257,6 +282,7 @@ impl Experiment {
         if let Some(seed) = scenario.seed {
             config.seed = seed;
         }
+        config.attack = scenario.attack.clone();
         config
     }
 
@@ -323,16 +349,16 @@ impl Experiment {
 /// [`crate::runner::suite_averages`]).
 ///
 /// The group is meant to be averaged, so it must correspond to *one*
-/// configuration: if the matching cells span more than one tracker, seed or
-/// core count (an experiment built with several values on those axes), this
-/// panics rather than silently averaging unrelated runs — filter with
-/// [`results_where`] on every varying axis instead.
+/// configuration: if the matching cells span more than one tracker, seed,
+/// core count or attack (an experiment built with several values on those
+/// axes), this panics rather than silently averaging unrelated runs —
+/// filter with [`results_where`] on every varying axis instead.
 ///
 /// # Panics
 ///
 /// Panics if nothing matches (the grid never ran that defense/threshold —
 /// averaging the empty group would silently print 1.000), or if the
-/// matching results mix trackers, seeds or core counts.
+/// matching results mix trackers, seeds, core counts or attacks.
 #[must_use]
 pub fn results_for(
     results: &[ScenarioResult],
@@ -353,10 +379,11 @@ pub fn results_for(
             assert!(
                 r.scenario.tracker == first.scenario.tracker
                     && r.scenario.seed == first.scenario.seed
-                    && r.scenario.cores == first.scenario.cores,
+                    && r.scenario.cores == first.scenario.cores
+                    && r.scenario.attack == first.scenario.attack,
                 "results_for({defense}, {t_rh}) matched cells from more than one \
-                 tracker/seed/core-count configuration; group with results_where \
-                 on every varying axis before averaging"
+                 tracker/seed/core-count/attack configuration; group with \
+                 results_where on every varying axis before averaging"
             );
         }
     }
@@ -487,6 +514,35 @@ mod tests {
         assert!(std::panic::catch_unwind(|| experiment.scenarios()).is_err());
         let experiment = Experiment::new().with_workloads(Vec::new());
         assert!(std::panic::catch_unwind(|| experiment.scenarios()).is_err());
+    }
+
+    #[test]
+    fn attack_axis_reaches_the_configuration_and_collects_security_reports() {
+        use srs_attack::engine::{AttackPattern, AttackSpec};
+        let attack = AttackSpec::new("single", AttackPattern::SingleSided { bank: 0, row: 64 });
+        let experiment = Experiment::new()
+            .with_defenses(vec![DefenseKind::Baseline, DefenseKind::Srs])
+            .with_workloads(workloads(Suite::Gups))
+            .with_attacks(vec![attack.clone()])
+            .with_config_fn(tiny)
+            .with_threads(2);
+        assert_eq!(experiment.job_count(), 2);
+        let scenarios = experiment.scenarios();
+        assert_eq!(scenarios[0].attack.as_ref().unwrap().name, "single");
+        let config = experiment.config_for(&scenarios[0]);
+        assert_eq!(config.attack, Some(attack));
+
+        let results = experiment.run();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let security =
+                r.result.detail.security.as_ref().expect("attacked cells carry a report");
+            assert_eq!(security.attack, "single");
+            assert!(security.attacker_reads > 0);
+        }
+        // The undefended baseline must be broken; SRS must hold.
+        assert!(results[0].result.detail.security.as_ref().unwrap().trh_crossed);
+        assert!(!results[1].result.detail.security.as_ref().unwrap().trh_crossed);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use fxhash::{FxHashMap, FxHashSet};
+use srs_attack::engine::{AttackerCore, AttackerStats};
 use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
-use srs_cpu::{AccessToken, CoreStatus, TraceCore};
+use srs_cpu::{AccessToken, CoreStatus, RequestSource, TraceCore};
 use srs_dram::{
     AccessKind, AccessSink, ActivationEvent, ActivationSink, BankId, CompletedAccess, DramAddress,
     DramTiming, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController, PhysAddr, RequestId,
@@ -24,6 +25,7 @@ use srs_workloads::{Trace, TraceRecord};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimResult;
+use crate::security::{ReportContext, SecurityTracker};
 
 /// A memory operation waiting for queue space in the controller.
 #[derive(Debug, Clone, Copy)]
@@ -37,10 +39,21 @@ struct DeferredAccess {
 }
 
 /// The full-system simulator for one workload under one configuration.
+///
+/// The core set is heterogeneous: trace-replaying victim cores plus the
+/// closed-loop attacker cores added by [`SystemConfig::attack`]. Both
+/// speak the [`RequestSource`] issue protocol — including the event-driven
+/// engine's `next_ready_ns` contract — but are stored concretely-typed so
+/// the per-tick engine loops keep static (inlinable) dispatch; a request's
+/// global core index is its position in victims-then-attackers order.
 pub struct System {
     config: SystemConfig,
     workload: String,
     cores: Vec<TraceCore>,
+    /// Closed-loop attacker cores (empty for benign runs, which then skip
+    /// the activation-feedback fan-out entirely).
+    attackers: Vec<AttackerCore>,
+    security: Option<SecurityTracker>,
     core_finish_ns: Vec<Option<u64>>,
     controller: MemoryController,
     tracker: Box<dyn AggressorTracker + Send>,
@@ -69,6 +82,10 @@ struct TickObserver<'a> {
     tracker: &'a mut (dyn AggressorTracker + Send),
     defense: &'a mut (dyn RowSwapDefense + Send),
     cores: &'a mut [TraceCore],
+    /// The reactive attacker cores the feedback fan-out targets; request
+    /// origins index victims first, then attackers.
+    attackers: &'a mut [AttackerCore],
+    security: Option<&'a mut SecurityTracker>,
     pending: &'a mut FxHashMap<RequestId, (usize, AccessToken)>,
     bank_activations: &'a mut [FxHashMap<u64, u64>],
     max_row_activations: &'a mut u64,
@@ -80,6 +97,30 @@ struct TickObserver<'a> {
 
 impl ActivationSink for TickObserver<'_> {
     fn on_activation(&mut self, event: &ActivationEvent) {
+        if !self.attackers.is_empty() {
+            // Closed-loop feedback: reactive sources (attacker cores) see
+            // every activation, including the defense's own maintenance
+            // activations — exactly the signal Juggernaut adapts to.
+            // Counter-table traffic is withheld: its sub-microsecond bank
+            // occupancy is below what an attacker can distinguish from
+            // demand interference, unlike a multi-microsecond row swap.
+            let counter_access = event.maintenance_kind == Some(MaintenanceKind::CounterAccess);
+            let bank = event.bank.index();
+            if !counter_access {
+                for attacker in self.attackers.iter_mut() {
+                    attacker.observe_activation(
+                        bank,
+                        event.row,
+                        event.logical_row,
+                        event.maintenance,
+                        self.now,
+                    );
+                }
+            }
+            if let Some(security) = self.security.as_deref_mut() {
+                security.on_activation(event);
+            }
+        }
         if event.maintenance {
             // Mitigation-issued activations are charged by the attack models
             // and statistics, not by the aggressor tracker (matching the
@@ -112,8 +153,31 @@ impl ActivationSink for TickObserver<'_> {
 impl AccessSink for TickObserver<'_> {
     fn on_access(&mut self, done: &CompletedAccess) {
         if let Some((core, token)) = self.pending.remove(&done.request_id) {
-            self.cores[core].complete_read(token, done.finish_ns.max(self.now));
+            complete_source_read(
+                self.cores,
+                self.attackers,
+                core,
+                token,
+                done.finish_ns.max(self.now),
+            );
         }
+    }
+}
+
+/// Deliver a read completion to the source identified by a global core
+/// index, which counts victims first and attackers after them — the one
+/// place that indexing convention is interpreted.
+fn complete_source_read(
+    cores: &mut [TraceCore],
+    attackers: &mut [AttackerCore],
+    core: usize,
+    token: AccessToken,
+    finish_ns: u64,
+) {
+    if let Some(victim) = cores.get_mut(core) {
+        victim.complete_read(token, finish_ns);
+    } else {
+        attackers[core - cores.len()].complete_read(token, finish_ns);
     }
 }
 
@@ -161,11 +225,29 @@ impl System {
         let cores: Vec<TraceCore> = (0..config.cores)
             .map(|i| TraceCore::shared(config.core, records.clone(), (i as u64) << 33))
             .collect();
+        let mut attackers = Vec::new();
+        let mut security = None;
+        if let Some(attack) = &config.attack {
+            // The attacker knows the defense's swap threshold (the paper's
+            // standard Kerckhoffs assumption); against the undefended
+            // baseline the mitigation config degenerates to TRH itself.
+            let t_s = config.mitigation_config().swap_threshold();
+            for stream in 0..attack.attacker_cores.max(1) {
+                attackers.push(AttackerCore::new(attack, &config.dram, t_s, stream as u64));
+            }
+            security = Some(SecurityTracker::new(
+                config.t_rh,
+                config.dram.rows_per_bank,
+                config.dram.total_banks(),
+            ));
+        }
         let window = config.dram.refresh_window_ns;
         let total_banks = config.dram.total_banks();
         Self {
             workload: trace.name.clone(),
-            core_finish_ns: vec![None; config.cores],
+            core_finish_ns: vec![None; cores.len()],
+            attackers,
+            security,
             cores,
             controller,
             tracker,
@@ -263,7 +345,15 @@ impl System {
             // The row lives in the LLC for the rest of the window.
             self.pinned_hits += 1;
             if let Some((core, token)) = origin {
-                self.cores[core].complete_read(token, now + self.config.llc_hit_latency_ns);
+                // Attacker reads land here too, absorbed by a Scale-SRS
+                // pinned row: LLC latency, no DRAM activation.
+                complete_source_read(
+                    &mut self.cores,
+                    &mut self.attackers,
+                    core,
+                    token,
+                    now + self.config.llc_hit_latency_ns,
+                );
             }
             return;
         }
@@ -308,12 +398,24 @@ impl System {
             for shard in &mut self.bank_activations {
                 shard.clear();
             }
+            if let Some(security) = self.security.as_mut() {
+                security.on_window_rollover();
+            }
             self.next_window_ns += self.config.dram.refresh_window_ns;
         }
     }
 
     fn all_cores_finished(&self) -> bool {
-        self.cores.iter().all(TraceCore::is_finished)
+        // Attacker cores never finish, so an attacked run terminates at
+        // the simulated-time cap or at the first TRH crossing instead.
+        self.attackers.is_empty() && self.cores.iter().all(TraceCore::is_finished)
+    }
+
+    /// Whether the attack scenario asked the run to stop at the first TRH
+    /// crossing and one has been observed.
+    fn stop_requested(&self) -> bool {
+        self.config.attack.as_ref().is_some_and(|attack| attack.stop_at_first_crossing)
+            && self.security.as_ref().is_some_and(SecurityTracker::crossed)
     }
 
     /// Whether nothing remains to simulate: every core reached its target
@@ -363,6 +465,19 @@ impl System {
                 }
             }
         }
+        // Attacker cores issue after the victims (their origin indices
+        // follow the victims'); they never finish, so no stamping here.
+        let victims = self.cores.len();
+        for idx in 0..self.attackers.len() {
+            if self.deferred.len() > 512 {
+                break;
+            }
+            for _ in 0..8 {
+                let Some(issue) = self.attackers[idx].try_issue(now) else { break };
+                let origin = if issue.is_write { None } else { Some((victims + idx, issue.token)) };
+                self.submit(PhysAddr::new(issue.addr), issue.is_write, origin, now);
+            }
+        }
 
         // Advance the memory controller; activations stream into the
         // tracker/defense and completions into the cores as they happen.
@@ -370,6 +485,8 @@ impl System {
             tracker: self.tracker.as_mut(),
             defense: self.defense.as_mut(),
             cores: &mut self.cores,
+            attackers: &mut self.attackers,
+            security: self.security.as_mut(),
             pending: &mut self.pending,
             bank_activations: &mut self.bank_activations,
             max_row_activations: &mut self.max_row_activations,
@@ -417,7 +534,9 @@ impl System {
     ///   tick freed a queue slot — deferred retries are no-ops until one
     ///   does), a finished core has not had its finish time recorded yet,
     ///   or the run is complete (the loop exit condition is itself
-    ///   evaluated on the grid, so the final `elapsed_ns` matches too);
+    ///   evaluated on the grid, so the final `elapsed_ns` matches too) —
+    ///   the same applies when a requested stop-at-first-TRH-crossing has
+    ///   latched, which both engines also evaluate on the grid;
     /// * the simulated-time cap, so the engines agree on the final tick
     ///   even when every other event lies beyond it.
     ///
@@ -449,11 +568,19 @@ impl System {
                 }
             }
         }
+        // Attacker cores never finish and feed their own ready times into
+        // the candidate set (benign runs skip this loop entirely).
+        for attacker in &self.attackers {
+            all_finished = false;
+            if let Some(t) = attacker.next_ready_ns(now) {
+                core_next = core_next.min(t);
+            }
+        }
         let complete = all_finished
             && self.pending.is_empty()
             && self.deferred.is_empty()
             && self.controller.is_idle();
-        if complete || unrecorded_finish {
+        if complete || unrecorded_finish || self.stop_requested() {
             return now + STEP_NS;
         }
         if !self.deferred.is_empty() && freed_queue_slot {
@@ -504,6 +631,9 @@ impl System {
             if self.is_complete() {
                 break;
             }
+            if self.stop_requested() {
+                break;
+            }
             let demand_before = self.controller.stats().reads + self.controller.stats().writes;
             self.step_at(now, freed_queue_slot);
             let scheduled = self.controller.stats().reads + self.controller.stats().writes;
@@ -521,6 +651,9 @@ impl System {
                 *slot = Some(elapsed);
             }
         }
+        // IPC and instruction accounting cover the victim cores only;
+        // attacker cores model no program (their work product is the
+        // security report below).
         let per_core_ipc: Vec<f64> = self
             .cores
             .iter()
@@ -528,6 +661,29 @@ impl System {
             .map(|(core, finish)| core.ipc(finish.unwrap_or(elapsed).max(1)))
             .collect();
         let instructions = self.cores.iter().map(TraceCore::retired_instructions).sum();
+        let security = self.security.take().map(|tracker| {
+            let attack = self.config.attack.as_ref().expect("tracker implies attack");
+            let mut attackers = AttackerStats::default();
+            for a in &self.attackers {
+                let stats = a.stats();
+                attackers.issued_reads += stats.issued_reads;
+                attackers.mitigations_observed += stats.mitigations_observed;
+                attackers.latency_spikes += stats.latency_spikes;
+                attackers.guesses_made += stats.guesses_made;
+            }
+            tracker.into_report(ReportContext {
+                attack: attack.name.clone(),
+                attacker_cores: self.attackers.len(),
+                elapsed_ns: elapsed,
+                refresh_window_ns: self.config.dram.refresh_window_ns,
+                swaps: self.defense.swaps_performed(),
+                unswap_swaps: self.defense.unswap_swaps_performed(),
+                attacker_reads: attackers.issued_reads,
+                mitigations_observed: attackers.mitigations_observed,
+                latency_spikes: attackers.latency_spikes,
+                guesses_made: attackers.guesses_made,
+            })
+        });
         SimResult {
             workload: self.workload,
             defense: self.defense.name().to_string(),
@@ -540,6 +696,7 @@ impl System {
             rows_pinned: self.rows_pinned,
             pinned_hits: self.pinned_hits,
             max_row_activations_in_window: self.max_row_activations,
+            security,
         }
     }
 }
@@ -585,7 +742,7 @@ mod tests {
     #[test]
     fn hammering_triggers_swaps_under_rrs() {
         let config = tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200);
-        let trace = hammer_trace("hammer", 0x10000, 2_000, 1 << 26, 5);
+        let trace = hammer_trace("hammer", 0x10000, 2_000, 1 << 26, 5).into_trace();
         let result = System::new(config, trace).run();
         assert!(result.swaps > 0, "hammering must trigger swaps");
         assert!(result.controller.maintenance_activations > 0);
@@ -611,7 +768,7 @@ mod tests {
     fn scale_srs_pins_outliers_under_targeted_hammering() {
         let mut config = tiny_config(DefenseKind::ScaleSrs, 2400);
         config.dram.refresh_window_ns = 2_000_000;
-        let trace = hammer_trace("hammer", 0x4000, 6_000, 1 << 26, 9);
+        let trace = hammer_trace("hammer", 0x4000, 6_000, 1 << 26, 9).into_trace();
         let result = System::new(config, trace).run();
         assert!(result.swaps > 0);
         assert!(result.rows_pinned > 0, "targeted hammering must pin the outlier row");
@@ -621,7 +778,7 @@ mod tests {
     #[test]
     fn max_row_activation_statistic_sees_the_hot_row() {
         let config = tiny_config(DefenseKind::Baseline, 1200);
-        let trace = hammer_trace("hammer", 0x8000, 1_500, 1 << 26, 3);
+        let trace = hammer_trace("hammer", 0x8000, 1_500, 1 << 26, 3).into_trace();
         let result = System::new(config, trace).run();
         assert!(result.max_row_activations_in_window > 100);
     }

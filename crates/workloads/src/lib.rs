@@ -28,5 +28,5 @@ pub mod synth;
 pub mod trace;
 
 pub use suite::{all_workloads, hot_row_workloads, workloads_in, NamedWorkload, Suite};
-pub use synth::{hammer_trace, AccessPattern, WorkloadSpec};
+pub use synth::{hammer_trace, AccessPattern, HammerTrace, WorkloadSpec};
 pub use trace::{MemOp, Trace, TraceRecord};

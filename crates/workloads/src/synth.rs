@@ -7,6 +7,7 @@
 //! reports detailed results only for workloads with at least one row
 //! receiving 800+ activations in 64 ms).
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -122,11 +123,101 @@ impl WorkloadSpec {
         }
         Trace::new(self.name.clone(), out)
     }
+
+    /// Serialize the specification (pattern included) to a compact binary
+    /// representation, so experiment grids can persist the exact generator
+    /// inputs next to their results. (The workspace's offline `serde` shim
+    /// is marker-only, so the codec is hand-rolled like [`Trace::to_bytes`].)
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.name.len());
+        buf.put_u32(self.name.len() as u32);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_u64(self.footprint_bytes);
+        buf.put_u64(self.base_addr);
+        buf.put_u64(self.read_fraction.to_bits());
+        buf.put_u32(self.mean_gap);
+        match self.pattern {
+            AccessPattern::Uniform => buf.put_u8(0),
+            AccessPattern::Streaming { stride } => {
+                buf.put_u8(1);
+                buf.put_u64(stride);
+            }
+            AccessPattern::HotRows { hot_rows, hot_fraction } => {
+                buf.put_u8(2);
+                buf.put_u64(hot_rows);
+                buf.put_u64(hot_fraction.to_bits());
+            }
+            AccessPattern::RowBurst { burst } => {
+                buf.put_u8(3);
+                buf.put_u64(burst);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a specification previously produced by
+    /// [`WorkloadSpec::to_bytes`]. Returns `None` if the buffer is
+    /// truncated or malformed.
+    #[must_use]
+    pub fn from_bytes(mut data: Bytes) -> Option<Self> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let name_len = data.get_u32() as usize;
+        if data.remaining() < name_len + 8 + 8 + 8 + 4 + 1 {
+            return None;
+        }
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec()).ok()?;
+        let footprint_bytes = data.get_u64();
+        let base_addr = data.get_u64();
+        let read_fraction = f64::from_bits(data.get_u64());
+        let mean_gap = data.get_u32();
+        let pattern = match data.get_u8() {
+            0 => AccessPattern::Uniform,
+            1 if data.remaining() >= 8 => AccessPattern::Streaming { stride: data.get_u64() },
+            2 if data.remaining() >= 16 => AccessPattern::HotRows {
+                hot_rows: data.get_u64(),
+                hot_fraction: f64::from_bits(data.get_u64()),
+            },
+            3 if data.remaining() >= 8 => AccessPattern::RowBurst { burst: data.get_u64() },
+            _ => return None,
+        };
+        Some(Self { name, footprint_bytes, base_addr, read_fraction, mean_gap, pattern })
+    }
+}
+
+/// A hammering trace together with its blast radius: the row-aligned byte
+/// addresses of the deterministically hammered aggressor rows and of the
+/// victim rows physically adjacent to them.
+///
+/// Returning the row sets from the generator saves consumers (the
+/// security-metrics layer, targeted tests) from re-deriving which rows the
+/// trace attacks out of the raw record addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HammerTrace {
+    /// The generated trace.
+    pub trace: Trace,
+    /// Row size assumed when aligning the row sets, in bytes.
+    pub row_bytes: u64,
+    /// Row-aligned byte addresses of the hammered aggressor rows.
+    pub aggressor_addrs: Vec<u64>,
+    /// Row-aligned byte addresses of the rows adjacent to an aggressor.
+    pub victim_addrs: Vec<u64>,
+}
+
+impl HammerTrace {
+    /// Consume the bundle, keeping only the trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
 }
 
 /// Generate a single-sided Row Hammer access pattern: `hammer_count`
 /// activations of one row interleaved with filler accesses, the building
-/// block of the Juggernaut demonstration traces.
+/// block of the Juggernaut demonstration traces. Returns the trace together
+/// with the aggressor/victim row sets ([`HammerTrace`]).
 #[must_use]
 pub fn hammer_trace(
     name: &str,
@@ -134,7 +225,8 @@ pub fn hammer_trace(
     hammer_count: usize,
     filler_footprint: u64,
     seed: u64,
-) -> Trace {
+) -> HammerTrace {
+    let row_bytes: u64 = 8 * 1024;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::with_capacity(hammer_count * 2);
     for _ in 0..hammer_count {
@@ -143,7 +235,17 @@ pub fn hammer_trace(
         let filler = rng.random_range(0..filler_footprint.max(64)) & !63;
         records.push(TraceRecord { nonmem_insts: 0, op: MemOp::Read, addr: filler });
     }
-    Trace::new(name, records)
+    let aggressor = target_addr & !(row_bytes - 1);
+    let victim_addrs = [aggressor.checked_sub(row_bytes), aggressor.checked_add(row_bytes)]
+        .into_iter()
+        .flatten()
+        .collect();
+    HammerTrace {
+        trace: Trace::new(name, records),
+        row_bytes,
+        aggressor_addrs: vec![aggressor],
+        victim_addrs,
+    }
 }
 
 #[cfg(test)]
@@ -220,10 +322,21 @@ mod tests {
 
     #[test]
     fn hammer_trace_hits_target_half_the_time() {
-        let t = hammer_trace("hammer", 0x12340, 500, 1 << 20, 1);
-        let hits = t.records.iter().filter(|r| r.addr == 0x12340).count();
+        let h = hammer_trace("hammer", 0x12340, 500, 1 << 20, 1);
+        let hits = h.trace.records.iter().filter(|r| r.addr == 0x12340).count();
         assert_eq!(hits, 500);
-        assert_eq!(t.len(), 1000);
+        assert_eq!(h.trace.len(), 1000);
+    }
+
+    #[test]
+    fn hammer_trace_reports_its_blast_radius() {
+        let h = hammer_trace("hammer", 0x12340, 10, 1 << 20, 1);
+        assert_eq!(h.aggressor_addrs, vec![0x12000], "aggressor is row-aligned");
+        assert_eq!(h.victim_addrs, vec![0x12000 - 8192, 0x12000 + 8192]);
+        // An aggressor in the first row has no lower neighbor.
+        let low = hammer_trace("low", 0x40, 10, 1 << 20, 1);
+        assert_eq!(low.aggressor_addrs, vec![0]);
+        assert_eq!(low.victim_addrs, vec![8192]);
     }
 
     #[test]

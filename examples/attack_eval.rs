@@ -1,0 +1,210 @@
+//! In-simulator attack evaluation: drive the shipped attack-pattern
+//! library through the real controller, trackers and defenses on an
+//! attack × defense grid, and cross-validate the simulated
+//! time-to-TRH-crossing ranking against the analytical Juggernaut model.
+//!
+//! This is the first experiment that closes the loop between the attack
+//! math (`srs_attack::juggernaut`) and the simulator: the analytical model
+//! says RRS falls in under a day while SRS/Scale-SRS resist for years; the
+//! simulated grid must reproduce that ordering (RRS ≪ SRS ≤ Scale-SRS) at
+//! its scaled-down geometry, or this example exits non-zero.
+//!
+//! Run with `cargo run --release --example attack_eval`; set
+//! `SRS_ATTACK_SMOKE=1` for the reduced CI grid. Writes
+//! `BENCH_attack.json` next to the workspace root (protocol in
+//! EXPERIMENTS.md).
+//!
+//! The scaled grid (8 ms refresh window, TRH 600 / 300 in smoke mode)
+//! keeps runs in test-sized simulated time; the paper-scale analytical
+//! numbers are reported alongside for the same TRH.
+
+use std::fmt::Write as _;
+
+use scale_srs::attack::engine::shipped_patterns;
+use scale_srs::attack::juggernaut;
+use scale_srs::core::DefenseKind;
+use scale_srs::sim::scenario::{results_where, Experiment};
+use scale_srs::sim::{ScenarioResult, SystemConfig};
+use scale_srs::workloads::all_workloads;
+
+/// Full-mode grid cell: victim + attacker under an 8 ms refresh window,
+/// long enough for RRS's latent-harvest crossing (~4.5 ms at TRH 600).
+fn eval_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+    config.cores = 1;
+    config.core.target_instructions = u64::MAX / 2;
+    config.trace_records_per_core = 2_000;
+    config.dram.refresh_window_ns = 8_000_000;
+    config.max_sim_ns = 6_000_000;
+    config
+}
+
+/// Smoke-mode cell: TRH 300 crosses in ~1.6 ms, so the whole grid stays
+/// CI-sized.
+fn smoke_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+    let mut config = eval_config(defense, t_rh);
+    config.max_sim_ns = 2_500_000;
+    config
+}
+
+fn fmt_crossing(ns: Option<u64>) -> String {
+    match ns {
+        Some(ns) => format!("{:.2} ms", ns as f64 / 1e6),
+        None => "not broken".to_string(),
+    }
+}
+
+fn json_opt(ns: Option<u64>) -> String {
+    ns.map_or("null".to_string(), |v| v.to_string())
+}
+
+fn main() {
+    let smoke = std::env::var("SRS_ATTACK_SMOKE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    let t_rh: u64 = if smoke { 300 } else { 600 };
+    let attacks = if smoke {
+        shipped_patterns().into_iter().filter(|a| a.name == "juggernaut").collect()
+    } else {
+        shipped_patterns()
+    };
+    let defenses = vec![
+        DefenseKind::Baseline,
+        DefenseKind::Rrs { immediate_unswap: true },
+        DefenseKind::Srs,
+        DefenseKind::ScaleSrs,
+    ];
+    // A lightly loaded victim, so the security metrics isolate the attack.
+    let victim: Vec<_> = all_workloads().into_iter().filter(|w| w.name == "povray").collect();
+
+    let experiment = Experiment::new()
+        .with_defenses(defenses.clone())
+        .with_workloads(victim)
+        .with_thresholds(vec![t_rh])
+        .with_attacks(attacks.clone())
+        .with_config_fn(if smoke { smoke_config } else { eval_config });
+    println!(
+        "== In-simulator attack evaluation (TRH {t_rh}, {} cells{}) ==\n",
+        experiment.job_count(),
+        if smoke { ", smoke" } else { "" }
+    );
+    let results = experiment.run();
+
+    println!(
+        "{:<22} {:<12} {:>14} {:>9} {:>9} {:>11} {:>8}",
+        "attack", "defense", "time-to-break", "max-prsr", "latent", "swaps/win", "norm"
+    );
+    let mut cells_json = String::new();
+    for r in &results {
+        let security = r.result.detail.security.as_ref().expect("attacked cell");
+        println!(
+            "{:<22} {:<12} {:>14} {:>9} {:>9} {:>11.1} {:>8.3}",
+            security.attack,
+            r.result.defense,
+            fmt_crossing(security.first_crossing_ns),
+            security.max_victim_pressure,
+            security.latent_on_hottest_row,
+            security.swaps_per_window,
+            r.result.normalized_performance,
+        );
+        let _ = write!(
+            cells_json,
+            concat!(
+                "    {{\"attack\": \"{}\", \"defense\": \"{}\", ",
+                "\"first_crossing_ns\": {}, \"max_victim_pressure\": {}, ",
+                "\"latent_on_hottest_row\": {}, \"unswap_swaps\": {}, ",
+                "\"swaps_per_window\": {:.3}, \"attacker_reads\": {}, ",
+                "\"mitigations_observed\": {}, \"latency_spikes\": {}, ",
+                "\"normalized_performance\": {:.6}}},\n"
+            ),
+            security.attack,
+            r.result.defense,
+            json_opt(security.first_crossing_ns),
+            security.max_victim_pressure,
+            security.latent_on_hottest_row,
+            security.unswap_swaps,
+            security.swaps_per_window,
+            security.attacker_reads,
+            security.mitigations_observed,
+            security.latency_spikes,
+            r.result.normalized_performance,
+        );
+    }
+    let cells_json = cells_json.trim_end_matches(",\n").to_string();
+
+    // Cross-validation against the analytical Juggernaut model at the same
+    // TRH (paper-scale geometry): the *ordering* must agree even though the
+    // absolute scales differ (the simulation runs an 8 ms window).
+    let rrs_days = juggernaut::time_to_break_rrs_days(t_rh, 6);
+    let srs_days = juggernaut::time_to_break_srs_days(t_rh, 6);
+    println!("\nAnalytical Juggernaut at TRH {t_rh} (paper-scale, swap rate 6):");
+    println!("  RRS breaks in {rrs_days:.4} days; SRS resists {srs_days:.1} days");
+
+    // Simulated ranking per attack: every defense's crossing time, with
+    // "never within the cap" treated as slower than any crossing.
+    let crossing = |results: &[ScenarioResult], defense: DefenseKind, attack: &str| {
+        results_where(results, |s| {
+            s.defense == defense && s.attack.as_ref().is_some_and(|a| a.name == attack)
+        })
+        .first()
+        .and_then(|r| r.detail.security.as_ref().and_then(|sec| sec.first_crossing_ns))
+    };
+    let mut consistent = true;
+    for attack in &attacks {
+        let rrs = crossing(&results, DefenseKind::Rrs { immediate_unswap: true }, &attack.name);
+        let srs = crossing(&results, DefenseKind::Srs, &attack.name);
+        let scale = crossing(&results, DefenseKind::ScaleSrs, &attack.name);
+        let baseline = crossing(&results, DefenseKind::Baseline, &attack.name);
+        // The paper's ordering: the baseline falls fastest; SRS and
+        // Scale-SRS must never be broken faster than RRS — and for the
+        // Juggernaut patterns RRS must actually fall while SRS/Scale-SRS
+        // hold (RRS ≪ SRS ≤ Scale-SRS).
+        let rrs_vs_srs = match (rrs, srs) {
+            (Some(r), Some(s)) => r < s,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => true,
+        };
+        let srs_and_scale_hold = srs.is_none() && scale.is_none();
+        let baseline_falls = baseline.is_some();
+        let juggernaut_breaks_rrs = !attack.name.starts_with("juggernaut")
+            || attack.name == "juggernaut-multibank"
+            || rrs.is_some();
+        let ok = rrs_vs_srs && srs_and_scale_hold && baseline_falls && juggernaut_breaks_rrs;
+        consistent &= ok;
+        println!(
+            "  {:<22} baseline {} | rrs {} | srs {} | scale-srs {}  [{}]",
+            attack.name,
+            fmt_crossing(baseline),
+            fmt_crossing(rrs),
+            fmt_crossing(srs),
+            fmt_crossing(scale),
+            if ok { "consistent" } else { "INCONSISTENT" },
+        );
+    }
+    println!(
+        "\nSimulated ranking vs analytical model: {}",
+        if consistent {
+            "CONSISTENT (RRS \u{226a} SRS \u{2264} Scale-SRS)"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"t_rh\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"analytical\": {{\"rrs_days\": {:.6}, \"srs_days\": {:.3}}},\n",
+            "  \"ranking_consistent\": {},\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        t_rh, smoke, rrs_days, srs_days, consistent, cells_json
+    );
+    std::fs::write("BENCH_attack.json", json).expect("write BENCH_attack.json");
+    println!("wrote BENCH_attack.json");
+
+    assert!(consistent, "simulated defense ranking diverged from the analytical model");
+}

@@ -17,7 +17,7 @@ fn main() {
     config.core.target_instructions = 40_000;
     config.dram.refresh_window_ns = 4_000_000;
 
-    let trace = hammer_trace("targeted-hammer", 0x4000, 20_000, 1 << 26, 7);
+    let trace = hammer_trace("targeted-hammer", 0x4000, 20_000, 1 << 26, 7).into_trace();
     println!("Running a targeted hammering trace against Scale-SRS (TRH = {t_rh})...\n");
     let result = System::new(config, trace).run();
 

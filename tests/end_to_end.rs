@@ -40,7 +40,7 @@ fn every_defense_completes_a_simulation_run() {
 
 #[test]
 fn swapping_defenses_swap_on_hot_workloads_and_baseline_does_not() {
-    let trace = hammer_trace("hammer", 0x2000, 3_000, 1 << 26, 3);
+    let trace = hammer_trace("hammer", 0x2000, 3_000, 1 << 26, 3).into_trace();
     let baseline = System::new(tiny_config(DefenseKind::Baseline, 1200), trace.clone()).run();
     let srs = System::new(tiny_config(DefenseKind::Srs, 1200), trace).run();
     assert_eq!(baseline.swaps, 0);
@@ -67,7 +67,7 @@ fn normalized_performance_is_sane_for_all_defenses() {
 fn scale_srs_swaps_less_than_rrs_on_the_same_workload() {
     // Scale-SRS uses swap rate 3 (TS twice as large), so it should need at
     // most as many swaps as RRS at swap rate 6 on identical traffic.
-    let trace = hammer_trace("hammer", 0x8000, 4_000, 1 << 26, 9);
+    let trace = hammer_trace("hammer", 0x8000, 4_000, 1 << 26, 9).into_trace();
     let rrs =
         System::new(tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200), trace.clone())
             .run();
@@ -108,7 +108,7 @@ fn hydra_tracker_runs_through_the_simulator() {
     use scale_srs::trackers::TrackerKind;
     let mut config = tiny_config(DefenseKind::ScaleSrs, 1200);
     config.tracker = TrackerKind::Hydra;
-    let trace = hammer_trace("hammer", 0x2000, 2_000, 1 << 26, 5);
+    let trace = hammer_trace("hammer", 0x2000, 2_000, 1 << 26, 5).into_trace();
     let result = System::new(config, trace).run();
     assert!(result.swaps > 0, "Hydra-tracked hammering must still trigger swaps");
 }

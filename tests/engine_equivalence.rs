@@ -9,6 +9,7 @@
 //! trackers (Hydra adds counter-table maintenance ops), and both a hot-row
 //! and a hammer workload.
 
+use scale_srs::attack::engine::{AttackPattern, AttackSpec};
 use scale_srs::core::DefenseKind;
 use scale_srs::sim::{SimResult, System, SystemConfig};
 use scale_srs::trackers::TrackerKind;
@@ -64,7 +65,7 @@ fn event_driven_engine_is_bit_identical_on_a_scenario_grid() {
     type TraceMaker = fn() -> Trace;
     let workloads: [(&str, TraceMaker); 2] = [
         ("hot", || hot_trace(2_000)),
-        ("hammer", || hammer_trace("equiv-hammer", 0x10000, 2_000, 1 << 26, 5)),
+        ("hammer", || hammer_trace("equiv-hammer", 0x10000, 2_000, 1 << 26, 5).into_trace()),
     ];
     for defense in defenses {
         for tracker in trackers {
@@ -75,6 +76,39 @@ fn event_driven_engine_is_bit_identical_on_a_scenario_grid() {
                 let event = System::new(config, make_trace()).run();
                 assert_identical(&cell, &fixed, &event);
             }
+        }
+    }
+}
+
+#[test]
+fn event_driven_engine_matches_under_closed_loop_attack() {
+    // Attacker cores participate in the event engine's `next_ready_ns`
+    // protocol; a run with reactive attackers must still be bit-identical
+    // to the fixed-step reference — including the security report and the
+    // early stop at the first TRH crossing. RRS crosses (stop path);
+    // SRS runs to the time cap (non-crossing path).
+    for defense in [DefenseKind::Rrs { immediate_unswap: true }, DefenseKind::Srs] {
+        let mut config = grid_config(defense, TrackerKind::MisraGries, 300);
+        config.cores = 1;
+        config.core.target_instructions = u64::MAX / 2;
+        config.dram.refresh_window_ns = 8_000_000;
+        config.max_sim_ns = 2_500_000;
+        config.attack = Some(AttackSpec::new(
+            "equiv-juggernaut",
+            AttackPattern::Juggernaut { banks: 1, aggressor: 96, bias_rounds: u64::MAX },
+        ));
+        let cell = format!("attacked/{defense}");
+        let fixed = System::new(config.clone(), hot_trace(1_000)).run_fixed_step();
+        let event = System::new(config, hot_trace(1_000)).run();
+        assert_identical(&cell, &fixed, &event);
+        assert_eq!(fixed.security, event.security, "{cell}: security report diverged");
+        let security = event.security.expect("attacked run carries a security report");
+        assert!(security.attacker_reads > 0, "{cell}: attacker must have issued work");
+        if defense == (DefenseKind::Rrs { immediate_unswap: true }) {
+            assert!(security.trh_crossed, "{cell}: RRS must be broken in-window");
+            assert!(event.elapsed_ns < 2_500_000, "{cell}: crossing must stop the run early");
+        } else {
+            assert!(!security.trh_crossed, "{cell}: SRS must hold to the time cap");
         }
     }
 }

@@ -1,10 +1,18 @@
 //! Integration tests for the paper's security claims, tying the analytical
-//! attack models to the behaviour of the implemented defenses.
+//! attack models to the behaviour of the implemented defenses — and, since
+//! the closed-loop attack engine landed, to the *simulated* defenses: every
+//! shipped attack pattern is driven through the real controller, tracker
+//! and defense, and the resulting per-victim-row pressure is checked
+//! against `TRH`.
 
+use scale_srs::attack::engine::shipped_patterns;
 use scale_srs::attack::{birthday, juggernaut, outlier, AttackParams};
 use scale_srs::core::{
-    MitigationAction, MitigationConfig, RandomizedRowSwap, RowOpKind, RowSwapDefense, SecureRowSwap,
+    DefenseKind, MitigationAction, MitigationConfig, RandomizedRowSwap, RowOpKind, RowSwapDefense,
+    SecureRowSwap,
 };
+use scale_srs::sim::{SecurityReport, System, SystemConfig};
+use scale_srs::workloads::{AccessPattern, Trace, WorkloadSpec};
 
 /// Count how many latent activations a defense performs at the aggressor's
 /// original (home) location over `triggers` consecutive mitigations.
@@ -95,4 +103,106 @@ fn multibank_attack_is_weaker() {
     let single = scale_srs::attack::multibank::evaluate(&params, 1).unwrap();
     let sixteen = scale_srs::attack::multibank::evaluate(&params, 16).unwrap();
     assert!(sixteen.expected_time_seconds > single.expected_time_seconds * 10.0);
+}
+
+/// The simulated attack-evaluation cell shared by the per-pattern tests:
+/// one lightly loaded victim core plus the pattern's closed-loop attacker,
+/// at paper-default swap rates (6 for RRS/SRS, 3 for Scale-SRS, via
+/// `DefenseKind::default_swap_rate`) and a TRH scaled alongside the
+/// shortened refresh window so crossings stay within test-sized runs.
+const SIM_TRH: u64 = 600;
+
+fn attack_config(defense: DefenseKind) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, SIM_TRH);
+    config.cores = 1;
+    config.core.target_instructions = u64::MAX / 2;
+    config.trace_records_per_core = 2_000;
+    config.dram.refresh_window_ns = 8_000_000;
+    // Long enough for RRS's latent-harvest crossing (~4.5 ms at this TRH);
+    // crossing runs stop early, so only the defended runs pay the full cap.
+    config.max_sim_ns = 6_000_000;
+    config
+}
+
+fn victim_trace() -> Trace {
+    WorkloadSpec {
+        name: "victim-light".to_string(),
+        footprint_bytes: 1 << 24,
+        base_addr: 1 << 32,
+        read_fraction: 0.7,
+        mean_gap: 200,
+        pattern: AccessPattern::Uniform,
+    }
+    .generate(2_000, 3)
+}
+
+fn simulate_attacked(defense: DefenseKind, spec: scale_srs::attack::AttackSpec) -> SecurityReport {
+    let mut config = attack_config(defense);
+    config.attack = Some(spec);
+    let result = System::new(config, victim_trace()).run();
+    result.security.expect("attacked run carries a security report")
+}
+
+#[test]
+fn every_shipped_pattern_breaks_the_undefended_baseline() {
+    for spec in shipped_patterns() {
+        let report = simulate_attacked(DefenseKind::Baseline, spec.clone());
+        assert!(
+            report.trh_crossed,
+            "{}: baseline must cross TRH (max pressure {})",
+            spec.name, report.max_victim_pressure
+        );
+        assert!(
+            report.first_crossing_ns.unwrap() < 1_000_000,
+            "{}: undefended crossing must be fast, was {:?}",
+            spec.name,
+            report.first_crossing_ns
+        );
+    }
+}
+
+#[test]
+fn no_shipped_pattern_defeats_srs_or_scale_srs_in_simulation() {
+    for spec in shipped_patterns() {
+        for defense in [DefenseKind::Srs, DefenseKind::ScaleSrs] {
+            // Run through to the cap so the whole window's pressure counts.
+            let report = simulate_attacked(defense, spec.clone().run_to_cap());
+            assert!(
+                report.max_victim_pressure < SIM_TRH,
+                "{} vs {defense}: pressure {} reached TRH {SIM_TRH}",
+                spec.name,
+                report.max_victim_pressure
+            );
+            assert!(!report.trh_crossed, "{} vs {defense}: must not cross", spec.name);
+        }
+    }
+}
+
+#[test]
+fn simulated_juggernaut_reproduces_the_latent_activation_mechanism() {
+    // The closed-loop run must exhibit the analytical model's mechanism:
+    // under RRS the hottest victim's pressure is dominated by *latent*
+    // (mitigation-issued) activations and the attack crosses TRH, while the
+    // same attacker against SRS harvests almost nothing.
+    let juggernaut = shipped_patterns()
+        .into_iter()
+        .find(|spec| spec.name == "juggernaut")
+        .expect("library ships juggernaut");
+    let rrs = simulate_attacked(DefenseKind::Rrs { immediate_unswap: true }, juggernaut.clone());
+    assert!(rrs.trh_crossed, "RRS must be broken by the in-simulator Juggernaut");
+    assert!(
+        rrs.latent_on_hottest_row * 2 > rrs.max_victim_pressure,
+        "latent activations must dominate the crossing ({} of {})",
+        rrs.latent_on_hottest_row,
+        rrs.max_victim_pressure
+    );
+    assert!(rrs.unswap_swaps > 0, "the harvest comes from unswap-swap pairs");
+
+    let srs = simulate_attacked(DefenseKind::Srs, juggernaut.run_to_cap());
+    assert_eq!(srs.unswap_swaps, 0, "SRS performs no unswap-swaps");
+    assert!(
+        srs.latent_on_hottest_row < 16,
+        "SRS must leave (almost) no latent harvest, saw {}",
+        srs.latent_on_hottest_row
+    );
 }
