@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use srs_core::DefenseKind;
+use srs_sim::json::{obj, Json};
 use srs_sim::{SimResult, System, SystemConfig};
 use srs_workloads::{all_workloads, hammer_trace, AccessPattern, Trace, WorkloadSpec};
 
@@ -131,21 +132,17 @@ fn best_of(reps: usize, event_driven: bool, smoke: bool, verbose: bool) -> Measu
     best.expect("at least one repetition")
 }
 
-fn json_entry(name: &str, m: &Measurement) -> String {
-    let sim_per_sec = m.simulated_ns as f64 / m.wall_seconds;
-    let runs_per_sec = m.runs as f64 / m.wall_seconds;
-    format!(
-        concat!(
-            "  \"{}\": {{\n",
-            "    \"wall_seconds\": {:.6},\n",
-            "    \"simulated_ns\": {},\n",
-            "    \"grid_runs\": {},\n",
-            "    \"simulated_ns_per_sec\": {:.0},\n",
-            "    \"grid_runs_per_sec\": {:.2}\n",
-            "  }}"
-        ),
-        name, m.wall_seconds, m.simulated_ns, m.runs, sim_per_sec, runs_per_sec
-    )
+/// One measurement as a JSON object, emitted through the `srs_sim::json`
+/// codec (the same codec `srs-cli` and the schema-validation tests parse
+/// the report back with).
+fn json_entry(m: &Measurement) -> Json {
+    obj(vec![
+        ("wall_seconds", m.wall_seconds.into()),
+        ("simulated_ns", m.simulated_ns.into()),
+        ("grid_runs", m.runs.into()),
+        ("simulated_ns_per_sec", (m.simulated_ns as f64 / m.wall_seconds).into()),
+        ("grid_runs_per_sec", (m.runs as f64 / m.wall_seconds).into()),
+    ])
 }
 
 /// The pre-optimization simulator of this repository (fixed 25 ns stepping
@@ -199,27 +196,16 @@ fn main() {
     // The recorded baseline covers the *full* grid; comparing it against a
     // smoke run's reduced grid would inflate the ratio by the grid-size
     // difference, so the baseline section only appears in full mode.
-    let baseline_fields = if smoke {
-        String::new()
-    } else {
-        format!(
-            "{},\n  \"event_vs_recorded_baseline_speedup\": {:.3},\n",
-            json_entry("recorded_pre_pr_baseline", &seed),
-            vs_seed
-        )
-    };
-    let json = format!(
-        concat!(
-            "{{\n{}{},\n{},\n",
-            "  \"event_vs_fixed_speedup\": {:.3},\n",
-            "  \"smoke\": {}\n}}\n"
-        ),
-        baseline_fields,
-        json_entry("fixed_step", &fixed),
-        json_entry("event_driven", &event),
-        speedup,
-        smoke,
-    );
+    let mut doc: Vec<(&str, Json)> = Vec::new();
+    if !smoke {
+        doc.push(("recorded_pre_pr_baseline", json_entry(&seed)));
+        doc.push(("event_vs_recorded_baseline_speedup", vs_seed.into()));
+    }
+    doc.push(("fixed_step", json_entry(&fixed)));
+    doc.push(("event_driven", json_entry(&event)));
+    doc.push(("event_vs_fixed_speedup", speedup.into()));
+    doc.push(("smoke", smoke.into()));
+    let json = obj(doc).to_pretty();
     // Cargo runs bench binaries from the package directory; anchor the
     // artifact at the workspace root regardless.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");

@@ -11,7 +11,8 @@
 #![warn(missing_docs)]
 
 use srs_core::DefenseKind;
-use srs_sim::{Experiment, SystemConfig};
+use srs_sim::spec::Preset;
+use srs_sim::Experiment;
 use srs_workloads::{all_workloads, NamedWorkload};
 
 /// Whether the harness should run the full (slow) configuration.
@@ -55,20 +56,21 @@ pub fn figure_workloads() -> Vec<NamedWorkload> {
     all.into_iter().filter(|w| keep.contains(&w.name)).collect()
 }
 
-/// The simulation configuration a performance figure uses for one defense
-/// and threshold.
+/// The configuration preset a performance figure uses: the paper's
+/// full-size Table III configuration in full mode, the scaled-down quick
+/// configuration otherwise.
 #[must_use]
-pub fn figure_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+pub fn figure_preset() -> Preset {
     if full_mode() {
-        SystemConfig::paper_default(defense, t_rh)
+        Preset::Paper
     } else {
-        SystemConfig::scaled_for_speed(defense, t_rh)
+        Preset::ScaledForSpeed
     }
 }
 
 /// The scenario grid a performance figure sweeps: the given defenses and
 /// thresholds over [`figure_workloads`], with the mode-appropriate
-/// configuration (the engine's default worker-thread budget applies).
+/// [`figure_preset`] (the engine's default worker-thread budget applies).
 /// Figures add further axes (e.g. a tracker) with the [`Experiment`]
 /// builder methods.
 #[must_use]
@@ -77,7 +79,7 @@ pub fn figure_experiment(defenses: Vec<DefenseKind>, thresholds: Vec<u64>) -> Ex
         .with_defenses(defenses)
         .with_thresholds(thresholds)
         .with_workloads(figure_workloads())
-        .with_config_fn(figure_config)
+        .with_preset(figure_preset())
 }
 
 /// Print a table with a title, header row and data rows.
@@ -151,8 +153,13 @@ mod tests {
     }
 
     #[test]
-    fn figure_config_tracks_mode() {
-        let c = figure_config(DefenseKind::Srs, 1200);
-        assert_eq!(c.t_rh, 1200);
+    fn figure_preset_defaults_to_quick_mode() {
+        // CI and tests run without SRS_BENCH_FULL, so the grid builder must
+        // produce the scaled-down configuration there.
+        if !full_mode() {
+            assert_eq!(figure_preset(), Preset::ScaledForSpeed);
+        }
+        let experiment = figure_experiment(vec![DefenseKind::Srs], vec![1200]);
+        assert_eq!(experiment.scenarios()[0].t_rh, 1200);
     }
 }

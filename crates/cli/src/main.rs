@@ -1,0 +1,363 @@
+//! `srs-cli` — the spec-file front door to the experiment engine.
+//!
+//! Experiments are described as data ([`srs_sim::spec::ExperimentSpec`]
+//! JSON files, see `specs/` at the workspace root) and driven without
+//! recompilation:
+//!
+//! ```sh
+//! srs-cli run specs/quickstart.json            # stream results to JSONL
+//! srs-cli validate specs/quickstart.json       # resolve registries, dry
+//! srs-cli validate quickstart.results.jsonl    # schema-check emitted rows
+//! srs-cli list defenses                        # registry contents
+//! srs-cli check-json BENCH_attack.json         # plain JSON well-formedness
+//! ```
+//!
+//! `run` streams every grid cell through a [`JsonlWriter`]
+//! ([`srs_sim::sink::ResultSink`]) as it completes — results land on disk
+//! incrementally, with live progress and ETA on standard error — and prints
+//! a per-(defense, TRH) summary once the grid drains.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use srs_sim::json::Json;
+use srs_sim::sink::{Fanout, JsonlWriter, ProgressSink, ResultSink};
+use srs_sim::spec::{
+    attack_names, defense_names, preset_names, tracker_names, workload_selector_names,
+    ExperimentSpec,
+};
+use srs_sim::ScenarioResult;
+
+const USAGE: &str = "\
+srs-cli — spec-file driver for the scale-srs experiment engine
+
+USAGE:
+    srs-cli run <spec.json> [--out <file.jsonl>] [--threads <N>] [--quiet]
+    srs-cli validate <spec.json | results.jsonl>
+    srs-cli check-json <file.json>
+    srs-cli list <defenses | trackers | workloads | attacks | presets>
+
+COMMANDS:
+    run         Resolve the spec and execute its scenario grid, streaming
+                one JSON object per cell (JSON Lines) to --out as cells
+                complete. Default --out: <spec stem>.results.jsonl in the
+                current directory. Progress and ETA go to standard error
+                (suppress with --quiet).
+    validate    For a .json spec: parse it, resolve every registry name and
+                report the grid size without running anything. For a .jsonl
+                results file: check every line against the result-record
+                schema.
+    check-json  Parse any JSON document with the built-in codec; exits
+                non-zero on malformed input.
+    list        Print a registry's valid names, one per line.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "check-json" => cmd_check_json(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: exit code 2 plus usage text.
+    Usage(String),
+    /// The command ran and failed: exit code 1.
+    Failed(String),
+}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError::Failed(message.into())
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))
+}
+
+fn load_spec(path: &str) -> Result<ExperimentSpec, CliError> {
+    let text = read_file(path)?;
+    ExperimentSpec::parse(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let mut spec_path: Option<&str> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                out_path = Some(PathBuf::from(value));
+            }
+            "--threads" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--threads needs a count".into()))?;
+                threads = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad thread count '{value}'")))?,
+                );
+            }
+            "--quiet" => quiet = true,
+            other if spec_path.is_none() && !other.starts_with('-') => spec_path = Some(other),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| CliError::Usage("run needs a spec file".into()))?;
+    let mut spec = load_spec(spec_path)?;
+    if let Some(threads) = threads {
+        spec.threads = Some(threads);
+    }
+    let experiment = spec.to_experiment().map_err(|e| fail(format!("{spec_path}: {e}")))?;
+
+    let out_path = out_path.unwrap_or_else(|| {
+        let stem = Path::new(spec_path).file_stem().and_then(|s| s.to_str()).unwrap_or("results");
+        PathBuf::from(format!("{stem}.results.jsonl"))
+    });
+    let file = std::fs::File::create(&out_path)
+        .map_err(|e| fail(format!("cannot create {}: {e}", out_path.display())))?;
+    let mut writer = JsonlWriter::new(BufWriter::new(file));
+    let mut summary = SummarySink::default();
+    let total = experiment.job_count();
+    eprintln!(
+        "running '{}': {} cells ({} preset) -> {}",
+        spec.name,
+        total,
+        spec.preset,
+        out_path.display()
+    );
+
+    {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut writer, &mut summary];
+        let mut progress = ProgressSink::new(total, std::io::stderr());
+        if !quiet {
+            sinks.push(&mut progress);
+        }
+        let mut fanout = Fanout::new(sinks);
+        experiment.run_with_sink(&mut fanout);
+    }
+
+    let records = writer.records_written();
+    writer.finish().map_err(|e| fail(format!("writing {}: {e}", out_path.display())))?;
+    println!("wrote {records} records to {}", out_path.display());
+    summary.print(&mut std::io::stdout().lock());
+    Ok(())
+}
+
+/// Streaming per-(defense, TRH) aggregation — the run summary accumulates
+/// as cells arrive, so it costs O(groups), not O(cells), of memory.
+#[derive(Default)]
+struct SummarySink {
+    groups: BTreeMap<(String, u64), (f64, usize, u64)>,
+}
+
+impl ResultSink for SummarySink {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        let key = (result.scenario.defense.to_string(), result.scenario.t_rh);
+        let entry = self.groups.entry(key).or_insert((0.0, 0, 0));
+        entry.0 += result.normalized();
+        entry.1 += 1;
+        entry.2 += u64::from(result.result.detail.security.as_ref().is_some_and(|s| s.trh_crossed));
+    }
+}
+
+impl SummarySink {
+    fn print(&self, out: &mut impl Write) {
+        if self.groups.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "\n{:>14} {:>6} {:>7} {:>10} {:>12}",
+            "defense", "TRH", "cells", "mean norm", "TRH crossed"
+        );
+        for ((defense, t_rh), (sum, count, crossed)) in &self.groups {
+            let _ = writeln!(
+                out,
+                "{defense:>14} {t_rh:>6} {count:>7} {:>10.3} {crossed:>12}",
+                sum / *count as f64,
+            );
+        }
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage("validate needs exactly one file".into()));
+    };
+    if Path::new(path).extension().is_some_and(|e| e == "jsonl") {
+        validate_results(path)
+    } else {
+        let spec = load_spec(path)?;
+        let experiment = spec.to_experiment().map_err(|e| fail(format!("{path}: {e}")))?;
+        println!(
+            "{path}: OK — '{}' resolves to {} cells ({} preset{})",
+            spec.name,
+            experiment.job_count(),
+            spec.preset,
+            if spec.patch.is_empty() { "" } else { ", patched" },
+        );
+        Ok(())
+    }
+}
+
+fn validate_results(path: &str) -> Result<(), CliError> {
+    use std::io::BufRead;
+    // Results files are written streaming and can be arbitrarily large;
+    // validate them line by line rather than slurping the whole file.
+    let file = std::fs::File::open(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let mut records = 0usize;
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = Json::parse(&line).map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
+        validate_result_record(&record)
+            .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
+        records += 1;
+    }
+    if records == 0 {
+        return Err(fail(format!("{path}: no result records")));
+    }
+    println!("{path}: OK — {records} result records");
+    Ok(())
+}
+
+/// The schema of one emitted result record
+/// (`srs_sim::scenario::ScenarioResult::to_json`).
+fn validate_result_record(record: &Json) -> Result<(), String> {
+    let scenario = record.get("scenario").ok_or("missing 'scenario'")?;
+    for key in ["defense", "tracker", "workload", "suite"] {
+        scenario
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario.{key} must be a string"))?;
+    }
+    for key in ["index", "t_rh"] {
+        scenario
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("scenario.{key} must be an integer"))?;
+    }
+    let result = record.get("result").ok_or("missing 'result'")?;
+    let norm = result
+        .get("normalized_performance")
+        .and_then(Json::as_f64)
+        .ok_or("result.normalized_performance must be a number")?;
+    if !(0.0..=1.5).contains(&norm) {
+        return Err(format!("normalized performance {norm} out of range"));
+    }
+    let detail = result.get("detail").ok_or("missing 'result.detail'")?;
+    for key in ["elapsed_ns", "instructions", "swaps"] {
+        detail.get(key).and_then(Json::as_u64).ok_or(format!("detail.{key} must be an integer"))?;
+    }
+    // Attacked cells must carry a security report, benign cells a null.
+    let attacked = scenario.get("attack").is_some_and(|a| !a.is_null());
+    let security = detail.get("security").ok_or("missing 'detail.security'")?;
+    if attacked && security.is_null() {
+        return Err("attacked cell has no security report".into());
+    }
+    if !security.is_null() {
+        security
+            .get("max_victim_pressure")
+            .and_then(Json::as_u64)
+            .ok_or("security.max_victim_pressure must be an integer")?;
+    }
+    Ok(())
+}
+
+fn cmd_check_json(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage("check-json needs exactly one file".into()));
+    };
+    let text = read_file(path)?;
+    Json::parse(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    println!("{path}: OK");
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
+    let [what] = args else {
+        return Err(CliError::Usage(
+            "list needs one of: defenses, trackers, workloads, attacks, presets".into(),
+        ));
+    };
+    let names: Vec<String> = match what.as_str() {
+        "defenses" => defense_names().iter().map(ToString::to_string).collect(),
+        "trackers" => tracker_names().iter().map(ToString::to_string).collect(),
+        "presets" => preset_names().iter().map(ToString::to_string).collect(),
+        "attacks" => attack_names(),
+        "workloads" => workload_selector_names(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown registry '{other}'; valid: defenses, trackers, workloads, attacks, presets"
+            )));
+        }
+    };
+    for name in names {
+        println!("{name}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srs_sim::ToJson;
+
+    #[test]
+    fn result_record_schema_accepts_real_records_and_rejects_broken_ones() {
+        // Build a real record by running the tiniest possible grid.
+        let spec = ExperimentSpec::parse(
+            r#"{
+                "name": "schema",
+                "patch": {"cores": 1, "target_instructions": 2000,
+                          "trace_records_per_core": 1000, "max_sim_ns": 2000000},
+                "defenses": ["scale-srs"],
+                "workloads": ["gups"],
+                "threads": 1
+            }"#,
+        )
+        .unwrap();
+        let results = spec.to_experiment().unwrap().run();
+        assert_eq!(results.len(), 1);
+        let record = results[0].to_json();
+        validate_result_record(&record).expect("real records pass the schema");
+
+        let broken = Json::parse(r#"{"scenario": {"index": 0}}"#).unwrap();
+        assert!(validate_result_record(&broken).is_err());
+    }
+}

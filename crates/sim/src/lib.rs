@@ -28,20 +28,26 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod json;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod security;
+pub mod sink;
+pub mod spec;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use json::{Json, JsonError, ToJson};
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};
 pub use runner::{
-    normalize_against, parallel_map_ordered, run_normalized, run_parallel, run_workload,
-    suite_averages, SuiteRow,
+    normalize_against, parallel_for_each_ordered, parallel_map_ordered, run_normalized,
+    run_parallel, run_workload, suite_averages, JobEvent, SuiteRow,
 };
 pub use scenario::{
     default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult,
 };
 pub use security::{SecurityReport, SecurityTracker};
+pub use sink::{Fanout, JsonlWriter, MemoryCollector, ProgressSink, ResultSink};
+pub use spec::{ConfigPatch, ExperimentSpec, Preset, SpecError};
 pub use system::System;

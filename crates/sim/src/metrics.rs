@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use srs_dram::ControllerStats;
 
+use crate::json::{obj, Json, ToJson};
 use crate::security::SecurityReport;
 
 /// The result of simulating one workload on one system configuration.
@@ -50,6 +51,52 @@ impl SimResult {
     }
 }
 
+impl ToJson for SimResult {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("workload", Json::from(self.workload.as_str())),
+            ("defense", Json::from(self.defense.as_str())),
+            ("t_rh", self.t_rh.into()),
+            ("elapsed_ns", self.elapsed_ns.into()),
+            ("per_core_ipc", Json::Array(self.per_core_ipc.iter().map(|&v| v.into()).collect())),
+            ("total_ipc", self.total_ipc().into()),
+            ("instructions", self.instructions.into()),
+            ("controller", self.controller.to_json()),
+            ("swaps", self.swaps.into()),
+            ("rows_pinned", self.rows_pinned.into()),
+            ("pinned_hits", self.pinned_hits.into()),
+            ("max_row_activations_in_window", self.max_row_activations_in_window.into()),
+            ("security", self.security.as_ref().map_or(Json::Null, ToJson::to_json)),
+        ])
+    }
+}
+
+impl ToJson for ControllerStats {
+    fn to_json(&self) -> Json {
+        // Per-kind maintenance counts come out of a hash map; sort by the
+        // kind's display label so the encoding is deterministic.
+        let mut ops: Vec<(String, u64)> =
+            self.maintenance_ops.iter().map(|(kind, &count)| (kind.to_string(), count)).collect();
+        ops.sort_unstable();
+        obj(vec![
+            ("reads", self.reads.into()),
+            ("writes", self.writes.into()),
+            ("row_hits", self.row_hits.into()),
+            ("row_misses", self.row_misses.into()),
+            ("activations", self.activations.into()),
+            ("maintenance_activations", self.maintenance_activations.into()),
+            (
+                "maintenance_ops",
+                Json::Object(ops.into_iter().map(|(k, v)| (k, v.into())).collect()),
+            ),
+            ("maintenance_busy_ns", self.maintenance_busy_ns.into()),
+            ("refreshes", self.refreshes.into()),
+            ("total_demand_latency_ns", self.total_demand_latency_ns.into()),
+            ("windows_elapsed", self.windows_elapsed.into()),
+        ])
+    }
+}
+
 /// A defense result normalized against its baseline run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NormalizedResult {
@@ -70,6 +117,18 @@ impl NormalizedResult {
     #[must_use]
     pub fn slowdown(&self) -> f64 {
         1.0 - self.normalized_performance
+    }
+}
+
+impl ToJson for NormalizedResult {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("workload", Json::from(self.workload.as_str())),
+            ("defense", Json::from(self.defense.as_str())),
+            ("t_rh", self.t_rh.into()),
+            ("normalized_performance", self.normalized_performance.into()),
+            ("detail", self.detail.to_json()),
+        ])
     }
 }
 

@@ -7,6 +7,7 @@ use srs_core::DefenseKind;
 use srs_workloads::{NamedWorkload, Suite};
 
 use crate::config::SystemConfig;
+use crate::json::{obj, Json, ToJson};
 use crate::metrics::{mean_normalized, NormalizedResult, SimResult};
 use crate::system::System;
 
@@ -50,28 +51,49 @@ pub fn normalize_against(defended: SimResult, baseline_ipc: f64, t_rh: u64) -> N
     }
 }
 
-/// Run `f` over every item on a pool of `threads` workers, returning the
-/// outputs **in submission order** regardless of completion order.
+/// One lifecycle event of a job running under
+/// [`parallel_for_each_ordered`].
+#[derive(Debug)]
+pub enum JobEvent<O> {
+    /// A worker picked the job up. Start events arrive in *completion-race*
+    /// order (whichever worker dequeues first), not submission order — use
+    /// them for progress display, not for sequencing.
+    Started(usize),
+    /// The job finished. Finish events are delivered strictly in
+    /// **submission order**: `Finished(i, _)` always arrives after
+    /// `Finished(i - 1, _)`, regardless of which job completed first.
+    Finished(usize, O),
+}
+
+/// Run `f` over every item on a pool of `threads` workers, streaming each
+/// output to `handle` **in submission order** as soon as its prefix of the
+/// job list has completed — the execution primitive behind
+/// [`parallel_map_ordered`], [`run_parallel`] and the sink-driven
+/// [`crate::scenario::Experiment::run_with_sink`].
 ///
-/// Each job is tagged with its index before it enters the work queue and the
-/// collector writes results into their tagged slot, so two runs of the same
-/// job list produce identically ordered output even though fast jobs finish
-/// before slow ones. This is the execution primitive behind
-/// [`run_parallel`] and [`crate::scenario::Experiment::run`].
-#[must_use]
-pub fn parallel_map_ordered<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+/// Outputs that finish ahead of an earlier, slower job are buffered until
+/// the gap closes, so `handle` observes a deterministic event sequence while
+/// memory holds only the out-of-order window rather than the whole result
+/// set.
+///
+/// # Panics
+///
+/// Panics if a worker panicked while executing a job (the panic is reported
+/// against the job's index).
+pub fn parallel_for_each_ordered<I, O, F, H>(items: Vec<I>, threads: usize, f: F, mut handle: H)
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
+    H: FnMut(JobEvent<O>),
 {
     let threads = threads.max(1);
     if items.is_empty() {
-        return Vec::new();
+        return;
     }
     let total = items.len();
     let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, O)>();
+    let (event_tx, event_rx) = channel::unbounded::<JobEvent<O>>();
     for job in items.into_iter().enumerate() {
         job_tx.send(job).expect("queue open");
     }
@@ -80,36 +102,65 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let job_rx = job_rx.clone();
-            let result_tx = result_tx.clone();
+            let event_tx = event_tx.clone();
             let f = &f;
             scope.spawn(move || {
                 while let Ok((index, item)) = job_rx.recv() {
-                    if result_tx.send((index, f(item))).is_err() {
+                    if event_tx.send(JobEvent::Started(index)).is_err() {
+                        break;
+                    }
+                    if event_tx.send(JobEvent::Finished(index, f(item))).is_err() {
                         break;
                     }
                 }
             });
         }
-        drop(result_tx);
-        let mut slots: Vec<Option<O>> = (0..total).map(|_| None).collect();
-        for (index, output) in result_rx.iter() {
-            slots[index] = Some(output);
+        drop(event_tx);
+        // Buffer only the out-of-order window: results that arrived ahead of
+        // a still-running earlier job.
+        let mut pending: Vec<Option<O>> = (0..total).map(|_| None).collect();
+        let mut next = 0usize;
+        for event in event_rx.iter() {
+            match event {
+                JobEvent::Started(index) => handle(JobEvent::Started(index)),
+                JobEvent::Finished(index, output) => {
+                    pending[index] = Some(output);
+                    while next < total {
+                        let Some(output) = pending[next].take() else { break };
+                        handle(JobEvent::Finished(next, output));
+                        next += 1;
+                    }
+                }
+            }
         }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(index, slot)| {
-                // A missing slot means the worker running that job panicked
-                // (its sender dropped without reporting); point at the real
-                // failure rather than a generic unwrap message.
-                slot.unwrap_or_else(|| {
-                    panic!(
-                        "worker panicked while executing job {index}; see the panic output above"
-                    )
-                })
-            })
-            .collect()
-    })
+        // The channel closed with a gap: the worker running job `next`
+        // panicked (its sender dropped without reporting); point at the
+        // real failure rather than a generic unwrap message.
+        assert!(
+            next == total,
+            "worker panicked while executing job {next}; see the panic output above"
+        );
+    });
+}
+
+/// Run `f` over every item on a pool of `threads` workers, returning the
+/// outputs **in submission order** regardless of completion order: two runs
+/// of the same job list produce identically ordered output even though fast
+/// jobs finish before slow ones.
+#[must_use]
+pub fn parallel_map_ordered<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let mut outputs = Vec::with_capacity(items.len());
+    parallel_for_each_ordered(items, threads, f, |event| {
+        if let JobEvent::Finished(_, output) = event {
+            outputs.push(output);
+        }
+    });
+    outputs
 }
 
 /// Run a set of (configuration, workload) jobs across `threads` worker
@@ -134,6 +185,16 @@ pub struct SuiteRow {
     pub mean: f64,
     /// Number of per-workload results aggregated into the mean.
     pub count: usize,
+}
+
+impl ToJson for SuiteRow {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("label", Json::from(self.label.as_str())),
+            ("mean", Json::Float(self.mean)),
+            ("count", self.count.into()),
+        ])
+    }
 }
 
 /// Average normalized performance per suite plus the overall mean, from a
@@ -250,6 +311,28 @@ mod tests {
             assert_eq!(a.defense, b.defense);
             assert!((a.normalized_performance - b.normalized_performance).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn streaming_events_finish_in_submission_order() {
+        // Job 0 is the slowest, so every other job completes first and must
+        // be buffered; the handler still sees finishes 0, 1, 2, 3, 4.
+        let mut finished = Vec::new();
+        let mut started = 0usize;
+        parallel_for_each_ordered(
+            vec![30u64, 0, 20, 0, 10],
+            4,
+            |sleep_ms| {
+                std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+                sleep_ms
+            },
+            |event| match event {
+                JobEvent::Started(_) => started += 1,
+                JobEvent::Finished(index, value) => finished.push((index, value)),
+            },
+        );
+        assert_eq!(started, 5);
+        assert_eq!(finished, vec![(0, 30), (1, 0), (2, 20), (3, 0), (4, 10)]);
     }
 
     #[test]

@@ -8,25 +8,30 @@
 //! worker pool, returning results in a deterministic, submission-ordered
 //! sequence (see [`Experiment::scenarios`] for the enumeration order).
 //!
+//! The base configuration of a grid is a named [`Preset`] plus a typed
+//! [`ConfigPatch`] of overrides, so every experiment is fully serializable
+//! (see [`crate::spec::ExperimentSpec`] for the data form); results either
+//! come back as one `Vec` ([`Experiment::run`]) or stream into a
+//! [`ResultSink`] cell by cell ([`Experiment::run_with_sink`]).
+//!
 //! ```
 //! use srs_core::DefenseKind;
 //! use srs_sim::scenario::Experiment;
-//! use srs_sim::SystemConfig;
+//! use srs_sim::spec::ConfigPatch;
 //! use srs_workloads::workloads_in;
 //!
-//! fn tiny(defense: DefenseKind, t_rh: u64) -> srs_sim::SystemConfig {
-//!     let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
-//!     config.cores = 1;
-//!     config.core.target_instructions = 2_000;
-//!     config.trace_records_per_core = 1_000;
-//!     config.max_sim_ns = 2_000_000;
-//!     config
-//! }
+//! let tiny = ConfigPatch {
+//!     cores: Some(1),
+//!     target_instructions: Some(2_000),
+//!     trace_records_per_core: Some(1_000),
+//!     max_sim_ns: Some(2_000_000),
+//!     ..ConfigPatch::default()
+//! };
 //!
 //! let results = Experiment::new()
 //!     .with_defenses(vec![DefenseKind::Baseline, DefenseKind::ScaleSrs])
 //!     .with_workloads(workloads_in(srs_workloads::Suite::Gups))
-//!     .with_config_fn(tiny)
+//!     .with_patch(tiny)
 //!     .run();
 //! assert_eq!(results.len(), 2);
 //! assert_eq!(results[0].scenario.defense, DefenseKind::Baseline);
@@ -38,12 +43,35 @@ use srs_trackers::TrackerKind;
 use srs_workloads::{all_workloads, NamedWorkload};
 
 use crate::config::SystemConfig;
+use crate::json::{obj, Json, ToJson};
 use crate::metrics::{NormalizedResult, SimResult};
-use crate::runner::{normalize_against, parallel_map_ordered, run_workload};
+use crate::runner::{
+    normalize_against, parallel_for_each_ordered, parallel_map_ordered, run_workload, JobEvent,
+};
+use crate::sink::ResultSink;
+use crate::spec::{ConfigPatch, Preset};
 
 /// Builds the base [`SystemConfig`] for one (defense, threshold) cell; a
 /// plain function pointer so an [`Experiment`] stays `Clone + Send`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the serializable `Preset` + `ConfigPatch` path \
+            (`Experiment::with_preset` / `with_patch`) so experiments can be \
+            described as data; `with_config_fn` remains as a compatibility \
+            shim only"
+)]
 pub type ConfigFn = fn(DefenseKind, u64) -> SystemConfig;
+
+/// How an [`Experiment`] builds the base configuration of each cell.
+#[derive(Debug, Clone)]
+#[allow(deprecated)]
+enum ConfigSource {
+    /// The serializable path: a named preset with typed overrides.
+    Preset(Preset, ConfigPatch),
+    /// The deprecated function-pointer escape hatch, kept so pre-spec
+    /// callers continue to compile.
+    Legacy(ConfigFn),
+}
 
 /// One cell of an experiment grid: everything needed to reproduce a single
 /// simulation run.
@@ -100,7 +128,7 @@ pub struct Experiment {
     seeds: Vec<u64>,
     attacks: Vec<AttackSpec>,
     threads: usize,
-    config_fn: ConfigFn,
+    config: ConfigSource,
 }
 
 impl Default for Experiment {
@@ -124,7 +152,7 @@ impl Experiment {
             seeds: Vec::new(),
             attacks: Vec::new(),
             threads: default_threads(),
-            config_fn: SystemConfig::scaled_for_speed,
+            config: ConfigSource::Preset(Preset::ScaledForSpeed, ConfigPatch::default()),
         }
     }
 
@@ -189,12 +217,49 @@ impl Experiment {
         self
     }
 
-    /// Build base configurations with this function instead of
-    /// [`SystemConfig::scaled_for_speed`] (e.g. the paper-sized
-    /// configuration, or a test-sized one).
+    /// Build base configurations from this preset instead of the default
+    /// [`Preset::ScaledForSpeed`] — the serializable replacement for
+    /// `with_config_fn`.
+    #[must_use]
+    pub fn with_preset(mut self, preset: Preset) -> Self {
+        let patch = match self.config {
+            ConfigSource::Preset(_, patch) => patch,
+            ConfigSource::Legacy(_) => ConfigPatch::default(),
+        };
+        self.config = ConfigSource::Preset(preset, patch);
+        self
+    }
+
+    /// Apply these typed overrides on top of the preset's base
+    /// configuration for every cell (axis values — tracker, core count,
+    /// seed, attack — are applied after the patch and win over it).
+    #[must_use]
+    pub fn with_patch(mut self, patch: ConfigPatch) -> Self {
+        let preset = match self.config {
+            ConfigSource::Preset(preset, _) => preset,
+            ConfigSource::Legacy(_) => Preset::default(),
+        };
+        self.config = ConfigSource::Preset(preset, patch);
+        self
+    }
+
+    /// Build base configurations with an arbitrary function instead of a
+    /// [`Preset`] + [`ConfigPatch`].
+    ///
+    /// Deprecated: a function pointer cannot be serialized, so experiments
+    /// configured this way cannot be written to or re-run from a spec file.
+    /// Express the configuration as `with_preset(...)` plus
+    /// `with_patch(...)` instead; this shim remains so existing callers
+    /// keep compiling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_preset` + `with_patch` (serializable); see \
+                `srs_sim::spec::ExperimentSpec`"
+    )]
+    #[allow(deprecated)]
     #[must_use]
     pub fn with_config_fn(mut self, config_fn: ConfigFn) -> Self {
-        self.config_fn = config_fn;
+        self.config = ConfigSource::Legacy(config_fn);
         self
     }
 
@@ -270,11 +335,19 @@ impl Experiment {
         scenarios
     }
 
-    /// The full configuration for one scenario: the base configuration from
-    /// the config function with the scenario's axis values applied.
+    /// The full configuration for one scenario: the preset's base
+    /// configuration with the patch and then the scenario's axis values
+    /// applied (axes win over the patch).
     #[must_use]
     pub fn config_for(&self, scenario: &Scenario) -> SystemConfig {
-        let mut config = (self.config_fn)(scenario.defense, scenario.t_rh);
+        let mut config = match &self.config {
+            ConfigSource::Preset(preset, patch) => {
+                let mut config = preset.base_config(scenario.defense, scenario.t_rh);
+                patch.apply(&mut config);
+                config
+            }
+            ConfigSource::Legacy(config_fn) => config_fn(scenario.defense, scenario.t_rh),
+        };
         config.tracker = scenario.tracker;
         if let Some(cores) = scenario.cores {
             config.cores = cores;
@@ -291,19 +364,55 @@ impl Experiment {
     /// ordering documented on [`Experiment::scenarios`]. Two runs of the
     /// same experiment produce identical result sequences.
     ///
+    /// This is the collect-to-`Vec` view of the streaming engine behind
+    /// [`Experiment::run_with_sink`] (each owned result is moved into the
+    /// vector as its prefix completes); grids large enough that one
+    /// end-of-run `Vec` is a problem should pass a streaming sink instead.
+    #[must_use]
+    pub fn run(&self) -> Vec<ScenarioResult> {
+        let mut results = Vec::with_capacity(self.job_count());
+        self.run_streaming(|event| {
+            if let RunEvent::Finished(result) = event {
+                results.push(result);
+            }
+        });
+        results
+    }
+
+    /// Run every cell of the grid, streaming each result into `sink` the
+    /// moment its submission-order prefix has completed (the sink sees
+    /// `scenario.index` 0, 1, 2, ... exactly once each) rather than
+    /// materializing the whole result set; attacked cells carry their
+    /// [`crate::security::SecurityReport`] on the emitted record. Two runs
+    /// of the same experiment produce identical `on_result` sequences.
+    ///
+    /// Baseline pre-runs are not reported to the sink; it observes grid
+    /// cells only.
+    pub fn run_with_sink(&self, sink: &mut dyn ResultSink) {
+        let total = self.run_streaming(|event| match event {
+            RunEvent::Started(scenario) => sink.on_scenario_start(scenario),
+            RunEvent::Finished(result) => sink.on_result(&result),
+        });
+        sink.on_finish(total);
+    }
+
+    /// The streaming execution core shared by [`Experiment::run`] and
+    /// [`Experiment::run_with_sink`]: `handle` receives each owned result
+    /// in submission order (and start notifications in completion-race
+    /// order), and the total cell count is returned.
+    ///
     /// The unprotected baseline each cell is normalized against does not
     /// depend on the defense axis, so each *distinct* baseline (unique
     /// baseline configuration × workload) is simulated once and shared
     /// across every defense that needs it — a multi-defense sweep does not
     /// pay for duplicate baseline runs.
-    #[must_use]
-    pub fn run(&self) -> Vec<ScenarioResult> {
+    fn run_streaming(&self, mut handle: impl FnMut(RunEvent<'_>)) -> usize {
         let scenarios = self.scenarios();
 
         // Phase 1: deduplicate and run the baselines. Keyed by the actual
-        // baseline configuration (not just the axis values), so a config_fn
-        // that varies non-defense fields per defense still gets distinct
-        // baselines.
+        // baseline configuration (not just the axis values), so a patch or
+        // legacy config function that varies non-defense fields per defense
+        // still gets distinct baselines.
         let mut baseline_jobs: Vec<(SystemConfig, NamedWorkload)> = Vec::new();
         let mut baseline_of: Vec<usize> = Vec::with_capacity(scenarios.len());
         for scenario in &scenarios {
@@ -324,23 +433,73 @@ impl Experiment {
             });
 
         // Phase 2: the defended runs, normalized against their shared
-        // baseline. A cell whose defense *is* the baseline was already
-        // simulated in phase 1 (its configuration is the baseline
-        // configuration), so its result is reused rather than re-run.
-        let jobs: Vec<(Scenario, SystemConfig, f64, Option<SimResult>)> = scenarios
-            .into_iter()
+        // baseline and streamed out as their prefix completes. A cell whose
+        // defense *is* the baseline was already simulated in phase 1 (its
+        // configuration is the baseline configuration), so its result is
+        // reused rather than re-run.
+        let jobs: Vec<(usize, SystemConfig, f64, Option<SimResult>)> = scenarios
+            .iter()
             .zip(&baseline_of)
             .map(|(s, &key)| {
-                let config = self.config_for(&s);
+                let config = self.config_for(s);
                 let reuse = (s.defense == DefenseKind::Baseline).then(|| baselines[key].clone());
-                (s, config, baselines[key].total_ipc(), reuse)
+                (s.index, config, baselines[key].total_ipc(), reuse)
             })
             .collect();
-        parallel_map_ordered(jobs, self.threads, |(scenario, config, baseline_ipc, reuse)| {
-            let defended = reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
-            let result = normalize_against(defended, baseline_ipc, config.t_rh);
-            ScenarioResult { scenario, result }
-        })
+        let total = scenarios.len();
+        let scenarios = &scenarios;
+        parallel_for_each_ordered(
+            jobs,
+            self.threads,
+            |(index, config, baseline_ipc, reuse)| {
+                let scenario = &scenarios[index];
+                let defended = reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
+                let result = normalize_against(defended, baseline_ipc, config.t_rh);
+                ScenarioResult { scenario: scenario.clone(), result }
+            },
+            |event| match event {
+                JobEvent::Started(index) => handle(RunEvent::Started(&scenarios[index])),
+                JobEvent::Finished(_, result) => handle(RunEvent::Finished(result)),
+            },
+        );
+        total
+    }
+}
+
+/// One event of [`Experiment::run_streaming`]'s deterministic stream.
+// The events are transient (matched and consumed immediately, never
+// stored), so the variant size asymmetry costs nothing; boxing would add a
+// per-cell allocation for no benefit.
+#[allow(clippy::large_enum_variant)]
+enum RunEvent<'a> {
+    /// A worker picked this scenario up (completion-race order).
+    Started(&'a Scenario),
+    /// The cell finished; delivered owned, in submission order.
+    Finished(ScenarioResult),
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("index", self.index.into()),
+            ("defense", Json::from(self.defense.to_string())),
+            ("t_rh", self.t_rh.into()),
+            ("tracker", Json::from(self.tracker.to_string())),
+            ("cores", self.cores.into()),
+            ("seed", self.seed.into()),
+            ("attack", self.attack.as_ref().map_or(Json::Null, ToJson::to_json)),
+            ("workload", Json::from(self.workload.name)),
+            ("suite", Json::from(self.workload.suite.label())),
+        ])
+    }
+}
+
+impl ToJson for ScenarioResult {
+    /// The JSONL record shape [`crate::sink::JsonlWriter`] emits: the full
+    /// scenario descriptor plus the normalized result (security report
+    /// included for attacked cells).
+    fn to_json(&self) -> Json {
+        obj(vec![("scenario", self.scenario.to_json()), ("result", self.result.to_json())])
     }
 }
 
@@ -413,14 +572,15 @@ mod tests {
     use super::*;
     use srs_workloads::Suite;
 
-    fn tiny(defense: DefenseKind, t_rh: u64) -> SystemConfig {
-        let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
-        config.cores = 1;
-        config.core.target_instructions = 2_000;
-        config.trace_records_per_core = 1_000;
-        config.dram.refresh_window_ns = 500_000;
-        config.max_sim_ns = 2_000_000;
-        config
+    fn tiny() -> ConfigPatch {
+        ConfigPatch {
+            cores: Some(1),
+            target_instructions: Some(2_000),
+            trace_records_per_core: Some(1_000),
+            refresh_window_ns: Some(500_000),
+            max_sim_ns: Some(2_000_000),
+            ..ConfigPatch::default()
+        }
     }
 
     fn two_workloads() -> Vec<NamedWorkload> {
@@ -454,7 +614,7 @@ mod tests {
             .with_core_counts(vec![2])
             .with_seeds(vec![99])
             .with_trackers(vec![TrackerKind::Hydra])
-            .with_config_fn(tiny);
+            .with_patch(tiny());
         let scenarios = experiment.scenarios();
         let config = experiment.config_for(&scenarios[0]);
         assert_eq!(config.cores, 2);
@@ -464,12 +624,12 @@ mod tests {
 
     #[test]
     fn empty_axes_fall_back_to_base_config() {
-        let experiment = Experiment::new().with_workloads(two_workloads()).with_config_fn(tiny);
+        let experiment = Experiment::new().with_workloads(two_workloads()).with_patch(tiny());
         let scenarios = experiment.scenarios();
         assert_eq!(scenarios.len(), 2);
         assert_eq!(scenarios[0].cores, None);
         let config = experiment.config_for(&scenarios[0]);
-        assert_eq!(config.cores, tiny(DefenseKind::ScaleSrs, 1200).cores);
+        assert_eq!(config.cores, 1);
     }
 
     #[test]
@@ -477,7 +637,7 @@ mod tests {
         let experiment = Experiment::new()
             .with_defenses(vec![DefenseKind::Baseline, DefenseKind::ScaleSrs])
             .with_workloads(workloads(Suite::Gups))
-            .with_config_fn(tiny)
+            .with_patch(tiny())
             .with_threads(2);
         let results = experiment.run();
         assert_eq!(results.len(), 2);
@@ -497,7 +657,7 @@ mod tests {
         let experiment = Experiment::new()
             .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
             .with_workloads(two_workloads())
-            .with_config_fn(tiny)
+            .with_patch(tiny())
             .with_threads(2);
         let results = experiment.run();
         for r in &results {
@@ -524,7 +684,7 @@ mod tests {
             .with_defenses(vec![DefenseKind::Baseline, DefenseKind::Srs])
             .with_workloads(workloads(Suite::Gups))
             .with_attacks(vec![attack.clone()])
-            .with_config_fn(tiny)
+            .with_patch(tiny())
             .with_threads(2);
         assert_eq!(experiment.job_count(), 2);
         let scenarios = experiment.scenarios();
@@ -546,9 +706,67 @@ mod tests {
     }
 
     #[test]
+    fn run_with_sink_streams_the_same_results_run_returns() {
+        use crate::sink::{MemoryCollector, ResultSink};
+
+        struct CountingSink {
+            inner: MemoryCollector,
+            starts: usize,
+            finished_total: Option<usize>,
+        }
+        impl ResultSink for CountingSink {
+            fn on_scenario_start(&mut self, _scenario: &Scenario) {
+                self.starts += 1;
+            }
+            fn on_result(&mut self, result: &ScenarioResult) {
+                self.inner.on_result(result);
+            }
+            fn on_finish(&mut self, total: usize) {
+                self.finished_total = Some(total);
+            }
+        }
+
+        let experiment = Experiment::new()
+            .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
+            .with_workloads(two_workloads())
+            .with_patch(tiny())
+            .with_threads(4);
+        let mut sink =
+            CountingSink { inner: MemoryCollector::new(), starts: 0, finished_total: None };
+        experiment.run_with_sink(&mut sink);
+        assert_eq!(sink.starts, 4, "every cell reports a start event");
+        assert_eq!(sink.finished_total, Some(4));
+        let streamed = sink.inner.into_results();
+        for (i, r) in streamed.iter().enumerate() {
+            assert_eq!(r.scenario.index, i, "sink receives results in submission order");
+        }
+        assert_eq!(streamed, experiment.run(), "run() is the collector view of the stream");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_fn_shim_still_works() {
+        // The pre-spec escape hatch must keep compiling and producing the
+        // same configurations until external callers migrate off it.
+        fn legacy(defense: DefenseKind, t_rh: u64) -> SystemConfig {
+            let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
+            config.cores = 3;
+            config
+        }
+        let experiment = Experiment::new().with_workloads(two_workloads()).with_config_fn(legacy);
+        let scenarios = experiment.scenarios();
+        let config = experiment.config_for(&scenarios[0]);
+        assert_eq!(config.cores, 3);
+        // Switching back to the serializable path replaces the function.
+        let experiment = experiment.with_patch(tiny());
+        let config = experiment.config_for(&scenarios[0]);
+        assert_eq!(config.cores, 1);
+    }
+
+    #[test]
     fn results_for_rejects_absent_groups() {
         let experiment =
-            Experiment::new().with_workloads(two_workloads()).with_config_fn(tiny).with_threads(2);
+            Experiment::new().with_workloads(two_workloads()).with_patch(tiny()).with_threads(2);
         let results = experiment.run();
         // The grid ran Scale-SRS at 1200 only; asking for RRS must be loud,
         // not an empty group that averages to a fake 1.000.
@@ -563,7 +781,7 @@ mod tests {
         let experiment = Experiment::new()
             .with_workloads(workloads(Suite::Gups))
             .with_trackers(vec![TrackerKind::MisraGries, TrackerKind::Hydra])
-            .with_config_fn(tiny)
+            .with_patch(tiny())
             .with_threads(2);
         let results = experiment.run();
         assert_eq!(results.len(), 2);

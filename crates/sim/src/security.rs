@@ -21,6 +21,8 @@ use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use srs_dram::ActivationEvent;
 
+use crate::json::{obj, Json, ToJson};
+
 /// Disturbance accumulated by one physical row inside the current refresh
 /// window.
 #[derive(Debug, Clone, Copy, Default)]
@@ -200,6 +202,32 @@ pub struct SecurityReport {
     pub latency_spikes: u64,
     /// Random-guess rows hammered in Juggernaut's phase 2.
     pub guesses_made: u64,
+}
+
+impl ToJson for SecurityReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("attack", Json::from(self.attack.as_str())),
+            ("attacker_cores", self.attacker_cores.into()),
+            ("t_rh", self.t_rh.into()),
+            ("max_victim_pressure", self.max_victim_pressure.into()),
+            ("latent_on_hottest_row", self.latent_on_hottest_row.into()),
+            ("latent_activations", self.latent_activations.into()),
+            ("trh_crossed", self.trh_crossed.into()),
+            ("first_crossing_ns", self.first_crossing_ns.into()),
+            (
+                "first_crossing_row",
+                self.first_crossing_row
+                    .map_or(Json::Null, |(bank, row)| Json::Array(vec![bank.into(), row.into()])),
+            ),
+            ("unswap_swaps", self.unswap_swaps.into()),
+            ("swaps_per_window", self.swaps_per_window.into()),
+            ("attacker_reads", self.attacker_reads.into()),
+            ("mitigations_observed", self.mitigations_observed.into()),
+            ("latency_spikes", self.latency_spikes.into()),
+            ("guesses_made", self.guesses_made.into()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,316 @@
+//! Streaming consumers of experiment results.
+//!
+//! [`crate::scenario::Experiment::run_with_sink`] pushes every grid cell's
+//! result into a [`ResultSink`] the moment its submission-order prefix
+//! completes, instead of materializing one end-of-run `Vec`. A grid of
+//! thousands of cells can therefore stream to disk ([`JsonlWriter`]), drive
+//! a live progress display ([`ProgressSink`]), or both at once
+//! ([`Fanout`]); [`MemoryCollector`] recovers the classic collect-to-`Vec`
+//! behaviour and backs [`crate::scenario::Experiment::run`].
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::json::ToJson;
+use crate::scenario::{Scenario, ScenarioResult};
+
+/// A streaming consumer of scenario results.
+///
+/// `on_result` is invoked exactly once per grid cell, strictly in
+/// submission order (`results[i]` before `results[i + 1]`), which makes
+/// sink output deterministic run to run. `on_scenario_start` is invoked
+/// when a worker picks the cell up — those arrive in completion-race order
+/// and are meant for progress reporting only.
+pub trait ResultSink {
+    /// A worker started simulating `scenario` (arrival order is
+    /// nondeterministic; do not sequence on it).
+    fn on_scenario_start(&mut self, scenario: &Scenario) {
+        let _ = scenario;
+    }
+
+    /// One cell finished; called in submission order.
+    fn on_result(&mut self, result: &ScenarioResult);
+
+    /// The whole grid of `total` cells completed.
+    fn on_finish(&mut self, total: usize) {
+        let _ = total;
+    }
+}
+
+/// Collects results into a `Vec`, preserving their submission order — the
+/// sink behind [`crate::scenario::Experiment::run`].
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    results: Vec<ScenarioResult>,
+}
+
+impl MemoryCollector {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The results collected so far, in submission order.
+    #[must_use]
+    pub fn results(&self) -> &[ScenarioResult] {
+        &self.results
+    }
+
+    /// Consume the collector, yielding the collected results.
+    #[must_use]
+    pub fn into_results(self) -> Vec<ScenarioResult> {
+        self.results
+    }
+}
+
+impl ResultSink for MemoryCollector {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        self.results.push(result.clone());
+    }
+}
+
+/// Writes one JSON object per result — JSON Lines — through the
+/// [`ToJson`] codec, so a grid streams to disk incrementally.
+///
+/// I/O errors are latched rather than panicking mid-experiment; check
+/// [`JsonlWriter::finish`] (or [`JsonlWriter::io_error`]) after the run.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    writer: W,
+    records: usize,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Stream records into `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        Self { writer, records: 0, error: None }
+    }
+
+    /// Number of records successfully written.
+    #[must_use]
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// The first I/O error the writer hit, if any.
+    #[must_use]
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the underlying writer, or the first latched error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> ResultSink for JsonlWriter<W> {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = result.to_json().to_compact();
+        match self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.write_all(b"\n")) {
+            Ok(()) => self.records += 1,
+            Err(error) => self.error = Some(error),
+        }
+    }
+
+    fn on_finish(&mut self, _total: usize) {
+        if self.error.is_none() {
+            if let Err(error) = self.writer.flush() {
+                self.error = Some(error);
+            }
+        }
+    }
+}
+
+/// Live progress and ETA, one line per completed cell — point it at
+/// standard error next to a [`JsonlWriter`] on standard output or a file.
+#[derive(Debug)]
+pub struct ProgressSink<W: Write> {
+    out: W,
+    total: usize,
+    finished: usize,
+    begun: Instant,
+}
+
+impl<W: Write> ProgressSink<W> {
+    /// Report progress towards `total` cells (use
+    /// [`crate::scenario::Experiment::job_count`]) into `out`.
+    #[must_use]
+    pub fn new(total: usize, out: W) -> Self {
+        Self { out, total, finished: 0, begun: Instant::now() }
+    }
+
+    /// Cells finished so far.
+    #[must_use]
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+}
+
+impl<W: Write> ResultSink for ProgressSink<W> {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        self.finished += 1;
+        let elapsed = self.begun.elapsed().as_secs_f64();
+        let eta = if self.total > self.finished {
+            elapsed / self.finished as f64 * (self.total - self.finished) as f64
+        } else {
+            0.0
+        };
+        // Progress output is advisory; swallow I/O errors (a closed stderr
+        // must not kill the experiment).
+        let _ = writeln!(
+            self.out,
+            "[{}/{}] {} on {} trh={} norm={:.3} elapsed={elapsed:.1}s eta={eta:.1}s",
+            self.finished,
+            self.total,
+            result.scenario.defense,
+            result.scenario.workload.name,
+            result.scenario.t_rh,
+            result.normalized(),
+        );
+    }
+
+    fn on_finish(&mut self, total: usize) {
+        let elapsed = self.begun.elapsed().as_secs_f64();
+        let _ = writeln!(self.out, "done: {total} cells in {elapsed:.1}s");
+        let _ = self.out.flush();
+    }
+}
+
+/// Forwards every event to each inner sink in order — e.g. a
+/// [`JsonlWriter`] on a file plus a [`ProgressSink`] on standard error.
+pub struct Fanout<'a> {
+    sinks: Vec<&'a mut dyn ResultSink>,
+}
+
+impl<'a> Fanout<'a> {
+    /// Fan events out to `sinks`.
+    #[must_use]
+    pub fn new(sinks: Vec<&'a mut dyn ResultSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl ResultSink for Fanout<'_> {
+    fn on_scenario_start(&mut self, scenario: &Scenario) {
+        for sink in &mut self.sinks {
+            sink.on_scenario_start(scenario);
+        }
+    }
+
+    fn on_result(&mut self, result: &ScenarioResult) {
+        for sink in &mut self.sinks {
+            sink.on_result(result);
+        }
+    }
+
+    fn on_finish(&mut self, total: usize) {
+        for sink in &mut self.sinks {
+            sink.on_finish(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::metrics::{NormalizedResult, SimResult};
+
+    fn result(index: usize) -> ScenarioResult {
+        use srs_core::DefenseKind;
+        use srs_trackers::TrackerKind;
+        let workload = srs_workloads::all_workloads().remove(0);
+        ScenarioResult {
+            scenario: Scenario {
+                index,
+                defense: DefenseKind::ScaleSrs,
+                t_rh: 1200,
+                tracker: TrackerKind::MisraGries,
+                cores: None,
+                seed: None,
+                attack: None,
+                workload,
+            },
+            result: NormalizedResult {
+                workload: "gups".to_string(),
+                defense: "scale-srs".to_string(),
+                t_rh: 1200,
+                normalized_performance: 0.5,
+                detail: SimResult {
+                    workload: "gups".to_string(),
+                    defense: "scale-srs".to_string(),
+                    t_rh: 1200,
+                    elapsed_ns: 10,
+                    per_core_ipc: vec![1.0],
+                    instructions: 100,
+                    controller: srs_dram::ControllerStats::default(),
+                    swaps: 1,
+                    rows_pinned: 0,
+                    pinned_hits: 0,
+                    max_row_activations_in_window: 3,
+                    security: None,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn collector_preserves_result_order() {
+        let mut collector = MemoryCollector::new();
+        for i in 0..3 {
+            collector.on_result(&result(i));
+        }
+        collector.on_finish(3);
+        let results = collector.into_results();
+        let indices: Vec<usize> = results.iter().map(|r| r.scenario.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_parseable_object_per_result() {
+        let mut writer = JsonlWriter::new(Vec::new());
+        writer.on_result(&result(0));
+        writer.on_result(&result(1));
+        writer.on_finish(2);
+        assert_eq!(writer.records_written(), 2);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let record = Json::parse(line).unwrap();
+            let scenario = record.get("scenario").expect("scenario field");
+            assert_eq!(scenario.get("index").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(scenario.get("defense").and_then(Json::as_str), Some("scale-srs"));
+            assert!(record.get("result").is_some());
+        }
+    }
+
+    #[test]
+    fn progress_counts_and_fanout_forwards() {
+        let mut progress = ProgressSink::new(2, Vec::new());
+        let mut collector = MemoryCollector::new();
+        {
+            let mut fanout = Fanout::new(vec![&mut progress, &mut collector]);
+            fanout.on_scenario_start(&result(0).scenario);
+            fanout.on_result(&result(0));
+            fanout.on_result(&result(1));
+            fanout.on_finish(2);
+        }
+        assert_eq!(progress.finished(), 2);
+        assert_eq!(collector.results().len(), 2);
+        let text = String::from_utf8(progress.out).unwrap();
+        assert!(text.contains("[1/2]") && text.contains("[2/2]") && text.contains("done: 2"));
+    }
+}

@@ -14,38 +14,18 @@
 //! `BENCH_attack.json` next to the workspace root (protocol in
 //! EXPERIMENTS.md).
 //!
-//! The scaled grid (8 ms refresh window, TRH 600 / 300 in smoke mode)
-//! keeps runs in test-sized simulated time; the paper-scale analytical
+//! The grids are the checked-in `specs/attack_eval.json` (8 ms refresh
+//! window, TRH 600) and `specs/attack_eval_smoke.json` (TRH 300, crossing
+//! in ~1.6 ms so the grid stays CI-sized) — also runnable directly as
+//! `srs-cli run specs/attack_eval.json`; the paper-scale analytical
 //! numbers are reported alongside for the same TRH.
 
-use std::fmt::Write as _;
-
-use scale_srs::attack::engine::shipped_patterns;
 use scale_srs::attack::juggernaut;
 use scale_srs::core::DefenseKind;
-use scale_srs::sim::scenario::{results_where, Experiment};
-use scale_srs::sim::{ScenarioResult, SystemConfig};
-use scale_srs::workloads::all_workloads;
-
-/// Full-mode grid cell: victim + attacker under an 8 ms refresh window,
-/// long enough for RRS's latent-harvest crossing (~4.5 ms at TRH 600).
-fn eval_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
-    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
-    config.cores = 1;
-    config.core.target_instructions = u64::MAX / 2;
-    config.trace_records_per_core = 2_000;
-    config.dram.refresh_window_ns = 8_000_000;
-    config.max_sim_ns = 6_000_000;
-    config
-}
-
-/// Smoke-mode cell: TRH 300 crosses in ~1.6 ms, so the whole grid stays
-/// CI-sized.
-fn smoke_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
-    let mut config = eval_config(defense, t_rh);
-    config.max_sim_ns = 2_500_000;
-    config
-}
+use scale_srs::sim::json::{obj, Json, ToJson as _};
+use scale_srs::sim::scenario::results_where;
+use scale_srs::sim::spec::{parse_attack, ExperimentSpec};
+use scale_srs::sim::ScenarioResult;
 
 fn fmt_crossing(ns: Option<u64>) -> String {
     match ns {
@@ -54,35 +34,24 @@ fn fmt_crossing(ns: Option<u64>) -> String {
     }
 }
 
-fn json_opt(ns: Option<u64>) -> String {
-    ns.map_or("null".to_string(), |v| v.to_string())
-}
-
 fn main() {
     let smoke = std::env::var("SRS_ATTACK_SMOKE")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
-    let t_rh: u64 = if smoke { 300 } else { 600 };
-    let attacks = if smoke {
-        shipped_patterns().into_iter().filter(|a| a.name == "juggernaut").collect()
+    let spec_path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/specs/attack_eval_smoke.json")
     } else {
-        shipped_patterns()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/specs/attack_eval.json")
     };
-    let defenses = vec![
-        DefenseKind::Baseline,
-        DefenseKind::Rrs { immediate_unswap: true },
-        DefenseKind::Srs,
-        DefenseKind::ScaleSrs,
-    ];
-    // A lightly loaded victim, so the security metrics isolate the attack.
-    let victim: Vec<_> = all_workloads().into_iter().filter(|w| w.name == "povray").collect();
-
-    let experiment = Experiment::new()
-        .with_defenses(defenses.clone())
-        .with_workloads(victim)
-        .with_thresholds(vec![t_rh])
-        .with_attacks(attacks.clone())
-        .with_config_fn(if smoke { smoke_config } else { eval_config });
+    let spec_text = std::fs::read_to_string(spec_path).expect("read attack-eval spec");
+    let spec = ExperimentSpec::parse(&spec_text).expect("parse attack-eval spec");
+    // Resolve before reading axes: an edited spec with an empty or bad axis
+    // gets the structured SpecError, not an index panic below.
+    let experiment = spec.to_experiment().expect("resolve attack-eval spec");
+    let t_rh: u64 = spec.thresholds[0];
+    // The same registry entries the grid will run, for per-attack analysis.
+    let attacks: Vec<_> =
+        spec.attacks.iter().map(|n| parse_attack(n).expect("shipped attack")).collect();
     println!(
         "== In-simulator attack evaluation (TRH {t_rh}, {} cells{}) ==\n",
         experiment.job_count(),
@@ -94,7 +63,7 @@ fn main() {
         "{:<22} {:<12} {:>14} {:>9} {:>9} {:>11} {:>8}",
         "attack", "defense", "time-to-break", "max-prsr", "latent", "swaps/win", "norm"
     );
-    let mut cells_json = String::new();
+    let mut cells: Vec<Json> = Vec::with_capacity(results.len());
     for r in &results {
         let security = r.result.detail.security.as_ref().expect("attacked cell");
         println!(
@@ -107,30 +76,18 @@ fn main() {
             security.swaps_per_window,
             r.result.normalized_performance,
         );
-        let _ = write!(
-            cells_json,
-            concat!(
-                "    {{\"attack\": \"{}\", \"defense\": \"{}\", ",
-                "\"first_crossing_ns\": {}, \"max_victim_pressure\": {}, ",
-                "\"latent_on_hottest_row\": {}, \"unswap_swaps\": {}, ",
-                "\"swaps_per_window\": {:.3}, \"attacker_reads\": {}, ",
-                "\"mitigations_observed\": {}, \"latency_spikes\": {}, ",
-                "\"normalized_performance\": {:.6}}},\n"
-            ),
-            security.attack,
-            r.result.defense,
-            json_opt(security.first_crossing_ns),
-            security.max_victim_pressure,
-            security.latent_on_hottest_row,
-            security.unswap_swaps,
-            security.swaps_per_window,
-            security.attacker_reads,
-            security.mitigations_observed,
-            security.latency_spikes,
-            r.result.normalized_performance,
-        );
+        // The full report plus the cell's normalized performance, emitted
+        // through the same codec the schema-validation tests parse with.
+        let mut cell = security.to_json();
+        if let Json::Object(pairs) = &mut cell {
+            pairs.push(("defense".to_string(), Json::from(r.result.defense.as_str())));
+            pairs.push((
+                "normalized_performance".to_string(),
+                r.result.normalized_performance.into(),
+            ));
+        }
+        cells.push(cell);
     }
-    let cells_json = cells_json.trim_end_matches(",\n").to_string();
 
     // Cross-validation against the analytical Juggernaut model at the same
     // TRH (paper-scale geometry): the *ordering* must agree even though the
@@ -191,18 +148,14 @@ fn main() {
         }
     );
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"t_rh\": {},\n",
-            "  \"smoke\": {},\n",
-            "  \"analytical\": {{\"rrs_days\": {:.6}, \"srs_days\": {:.3}}},\n",
-            "  \"ranking_consistent\": {},\n",
-            "  \"cells\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        t_rh, smoke, rrs_days, srs_days, consistent, cells_json
-    );
+    let json = obj(vec![
+        ("t_rh", t_rh.into()),
+        ("smoke", smoke.into()),
+        ("analytical", obj(vec![("rrs_days", rrs_days.into()), ("srs_days", srs_days.into())])),
+        ("ranking_consistent", consistent.into()),
+        ("cells", Json::Array(cells)),
+    ])
+    .to_pretty();
     std::fs::write("BENCH_attack.json", json).expect("write BENCH_attack.json");
     println!("wrote BENCH_attack.json");
 

@@ -1,29 +1,24 @@
 //! Compare the performance of the baseline, RRS, SRS and Scale-SRS on a
 //! Row-Hammer-prone workload, the way Figures 12 and 14 of the paper are
-//! produced — declared as one scenario grid over the defense axis and
-//! executed by the experiment engine.
+//! produced — the grid is the checked-in `specs/defense_comparison.json`
+//! (also runnable as `srs-cli run specs/defense_comparison.json`), resolved
+//! through the spec registries and executed by the experiment engine.
 //!
 //! Run with `cargo run --release --example defense_comparison`.
 
-use scale_srs::core::DefenseKind;
-use scale_srs::sim::Experiment;
-use scale_srs::workloads::all_workloads;
+use scale_srs::sim::spec::ExperimentSpec;
 
 fn main() {
-    let t_rh = 1200;
-    let workload = all_workloads().into_iter().find(|w| w.name == "gcc").expect("gcc exists");
-    println!("Workload: {} (hot-row heavy), TRH = {t_rh}\n", workload.name);
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/defense_comparison.json");
+    let spec_text = std::fs::read_to_string(spec_path).expect("read spec file");
+    let spec = ExperimentSpec::parse(&spec_text).expect("parse spec file");
+    // Resolve before reading axes: an edited spec with an empty axis gets
+    // the structured SpecError, not an index panic on `thresholds[0]`.
+    let experiment = spec.to_experiment().expect("resolve spec registries");
+    let t_rh = spec.thresholds[0];
+    println!("Workload: {} (hot-row heavy), TRH = {t_rh}\n", spec.workloads.join(", "));
 
-    let results = Experiment::new()
-        .with_defenses(vec![
-            DefenseKind::Baseline,
-            DefenseKind::Rrs { immediate_unswap: true },
-            DefenseKind::Srs,
-            DefenseKind::ScaleSrs,
-        ])
-        .with_thresholds(vec![t_rh])
-        .with_workloads(vec![workload])
-        .run();
+    let results = experiment.run();
 
     println!(
         "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12}",

@@ -4,9 +4,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use scale_srs::core::{DefenseKind, MitigationConfig, RowSwapDefense, ScaleSrs};
-use scale_srs::sim::{Experiment, SystemConfig};
-use scale_srs::workloads::all_workloads;
+use scale_srs::core::{MitigationConfig, RowSwapDefense, ScaleSrs};
+use scale_srs::sim::spec::ExperimentSpec;
 
 fn main() {
     // Defend a DDR4 system against a Row Hammer threshold of 1200 with the
@@ -43,17 +42,16 @@ fn main() {
     println!("pinned in the last-level cache for the rest of the refresh window and can");
     println!("no longer be hammered in DRAM.");
 
-    // The same defenses inside the full-system simulator: declare a small
-    // scenario grid (2 defenses x 2 workloads) and let the experiment
-    // engine run every cell, returning results in grid order.
-    println!("\nRunning a 2-defense x 2-workload scenario grid...\n");
-    let workloads =
-        all_workloads().into_iter().filter(|w| w.name == "gups" || w.name == "gcc").collect();
-    let results = Experiment::new()
-        .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
-        .with_workloads(workloads)
-        .with_config_fn(quick_config)
-        .run();
+    // The same defenses inside the full-system simulator: the grid (2
+    // defenses x 2 workloads, deliberately small so the quickstart finishes
+    // in seconds) is *data* — the checked-in spec file that `srs-cli run
+    // specs/quickstart.json` executes — resolved here into the identical
+    // experiment the builder API would declare.
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/quickstart.json");
+    let spec_text = std::fs::read_to_string(spec_path).expect("read specs/quickstart.json");
+    let spec = ExperimentSpec::parse(&spec_text).expect("parse specs/quickstart.json");
+    println!("\nRunning the '{}' scenario grid from specs/quickstart.json...\n", spec.name);
+    let results = spec.to_experiment().expect("resolve spec registries").run();
     for r in &results {
         println!(
             "  {:>10} on {:<5} -> normalized IPC {:.3} ({} swaps)",
@@ -63,15 +61,4 @@ fn main() {
             r.result.detail.swaps,
         );
     }
-}
-
-/// A deliberately small configuration so the quickstart finishes in seconds.
-fn quick_config(defense: DefenseKind, t_rh: u64) -> SystemConfig {
-    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
-    config.cores = 2;
-    config.core.target_instructions = 20_000;
-    config.trace_records_per_core = 6_000;
-    config.dram.refresh_window_ns = 1_000_000;
-    config.max_sim_ns = 10_000_000;
-    config
 }

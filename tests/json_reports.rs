@@ -1,0 +1,68 @@
+//! Schema validation of the committed benchmark reports, parsed with the
+//! workspace's own JSON codec (`srs_sim::json`) — previously CI checked
+//! these artifacts with ad-hoc shell (`python3 -m json.tool`).
+
+use scale_srs::sim::Json;
+
+fn load(name: &str) -> Json {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn bench_throughput_report_matches_schema() {
+    let doc = load("BENCH_throughput.json");
+    for section in ["fixed_step", "event_driven"] {
+        let m = doc.get(section).unwrap_or_else(|| panic!("missing section {section}"));
+        for key in ["wall_seconds", "simulated_ns_per_sec", "grid_runs_per_sec"] {
+            assert!(
+                m.get(key).and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+                "{section}.{key} must be a positive number"
+            );
+        }
+        for key in ["simulated_ns", "grid_runs"] {
+            assert!(
+                m.get(key).and_then(Json::as_u64).is_some_and(|v| v > 0),
+                "{section}.{key} must be a positive integer"
+            );
+        }
+    }
+    assert!(doc.get("event_vs_fixed_speedup").and_then(Json::as_f64).is_some());
+    assert!(doc.get("smoke").and_then(Json::as_bool).is_some());
+    // The committed artifact records the full-grid run, which carries the
+    // pre-optimization baseline section for the perf trajectory.
+    if doc.get("smoke").and_then(Json::as_bool) == Some(false) {
+        let baseline = doc.get("recorded_pre_pr_baseline").expect("recorded baseline section");
+        assert!(baseline.get("wall_seconds").and_then(Json::as_f64).is_some());
+        assert!(doc.get("event_vs_recorded_baseline_speedup").and_then(Json::as_f64).is_some());
+    }
+}
+
+#[test]
+fn bench_attack_report_matches_schema() {
+    let doc = load("BENCH_attack.json");
+    assert!(doc.get("t_rh").and_then(Json::as_u64).is_some_and(|v| v > 0));
+    assert_eq!(
+        doc.get("ranking_consistent").and_then(Json::as_bool),
+        Some(true),
+        "the committed report must record a model-consistent ranking"
+    );
+    let analytical = doc.get("analytical").expect("analytical section");
+    assert!(analytical.get("rrs_days").and_then(Json::as_f64).is_some());
+    assert!(analytical.get("srs_days").and_then(Json::as_f64).is_some());
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells array");
+    assert!(!cells.is_empty(), "report carries at least one attack x defense cell");
+    for cell in cells {
+        for key in ["attack", "defense"] {
+            assert!(cell.get(key).and_then(Json::as_str).is_some(), "cell.{key}");
+        }
+        for key in ["max_victim_pressure", "latent_on_hottest_row", "attacker_reads"] {
+            assert!(cell.get(key).and_then(Json::as_u64).is_some(), "cell.{key}");
+        }
+        assert!(cell.get("normalized_performance").and_then(Json::as_f64).is_some());
+        // Either null (the defense held within the cap) or a crossing time.
+        let crossing = cell.get("first_crossing_ns").expect("cell.first_crossing_ns");
+        assert!(crossing.is_null() || crossing.as_u64().is_some());
+    }
+}

@@ -1,21 +1,24 @@
 //! Integration tests for the scenario-driven experiment engine: grids
-//! enumerate deterministically, execute in parallel, and return results in
-//! submission order regardless of per-job completion times.
+//! enumerate deterministically, execute in parallel, return results in
+//! submission order regardless of per-job completion times, and
+//! spec-driven (data) grids match builder-API (code) grids cell for cell.
 
 use scale_srs::core::DefenseKind;
-use scale_srs::sim::{Experiment, SystemConfig};
+use scale_srs::sim::spec::{ConfigPatch, ExperimentSpec};
+use scale_srs::sim::Experiment;
 use scale_srs::trackers::TrackerKind;
 use scale_srs::workloads::{all_workloads, NamedWorkload};
 
 /// A deliberately small configuration so each grid cell simulates quickly.
-fn tiny(defense: DefenseKind, t_rh: u64) -> SystemConfig {
-    let mut config = SystemConfig::scaled_for_speed(defense, t_rh);
-    config.cores = 2;
-    config.core.target_instructions = 4_000;
-    config.trace_records_per_core = 1_500;
-    config.dram.refresh_window_ns = 500_000;
-    config.max_sim_ns = 3_000_000;
-    config
+fn tiny() -> ConfigPatch {
+    ConfigPatch {
+        cores: Some(2),
+        target_instructions: Some(4_000),
+        trace_records_per_core: Some(1_500),
+        refresh_window_ns: Some(500_000),
+        max_sim_ns: Some(3_000_000),
+        ..ConfigPatch::default()
+    }
 }
 
 fn grid_workloads() -> Vec<NamedWorkload> {
@@ -27,7 +30,7 @@ fn two_by_two_grid_yields_four_ordered_results() {
     let experiment = Experiment::new()
         .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
         .with_workloads(grid_workloads())
-        .with_config_fn(tiny)
+        .with_patch(tiny())
         .with_threads(4);
     assert_eq!(experiment.job_count(), 4);
 
@@ -56,7 +59,7 @@ fn grid_results_are_deterministic_across_runs() {
     let experiment = Experiment::new()
         .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
         .with_workloads(grid_workloads())
-        .with_config_fn(tiny)
+        .with_patch(tiny())
         .with_threads(4);
     let first = experiment.run();
     let second = experiment.run();
@@ -83,7 +86,7 @@ fn additional_axes_multiply_the_grid_and_reach_the_config() {
         .with_thresholds(vec![1200, 2400])
         .with_seeds(vec![1, 2, 3])
         .with_trackers(vec![TrackerKind::MisraGries, TrackerKind::Hydra])
-        .with_config_fn(tiny);
+        .with_patch(tiny());
     // 1 defense x 2 trackers x 2 thresholds x 3 seeds x 2 workloads.
     assert_eq!(experiment.job_count(), 24);
     let scenarios = experiment.scenarios();
@@ -94,4 +97,58 @@ fn additional_axes_multiply_the_grid_and_reach_the_config() {
     assert_eq!(config.seed, 1);
     assert_eq!(config.tracker, TrackerKind::MisraGries);
     assert_eq!(config.t_rh, 1200);
+}
+
+#[test]
+fn quickstart_spec_enumerates_the_builder_grid_and_matches_results() {
+    // The builder-API grid examples/quickstart.rs declared in code before
+    // the spec migration...
+    let quick = ConfigPatch {
+        cores: Some(2),
+        target_instructions: Some(20_000),
+        trace_records_per_core: Some(6_000),
+        refresh_window_ns: Some(1_000_000),
+        max_sim_ns: Some(10_000_000),
+        ..ConfigPatch::default()
+    };
+    let builder = Experiment::new()
+        .with_defenses(vec![DefenseKind::Srs, DefenseKind::ScaleSrs])
+        .with_workloads(grid_workloads())
+        .with_patch(quick)
+        .with_threads(2);
+    // ...and the same experiment as checked-in data (what `srs-cli run
+    // specs/quickstart.json` executes).
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/quickstart.json");
+    let spec = ExperimentSpec::parse(&std::fs::read_to_string(spec_path).unwrap()).unwrap();
+    let from_spec = spec.to_experiment().unwrap().with_threads(2);
+
+    // Identical scenario enumeration and identical per-cell configurations.
+    assert_eq!(from_spec.scenarios(), builder.scenarios());
+    for scenario in &builder.scenarios() {
+        assert_eq!(from_spec.config_for(scenario), builder.config_for(scenario));
+    }
+    // Identical configurations should make identical results a certainty;
+    // run both grids anyway and hold the data path to bit-for-bit parity.
+    let code_driven = builder.run();
+    let data_driven = from_spec.run();
+    assert_eq!(code_driven, data_driven);
+}
+
+#[test]
+fn every_checked_in_spec_resolves() {
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/specs");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(specs_dir).expect("specs/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            ExperimentSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let experiment = spec.to_experiment().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(experiment.job_count() > 0, "{}: empty grid", path.display());
+        seen += 1;
+    }
+    assert!(seen >= 8, "expected the checked-in spec set, found {seen}");
 }

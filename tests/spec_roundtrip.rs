@@ -1,0 +1,71 @@
+//! Property tests for the experiment-spec codec: a generated
+//! `ExperimentSpec` survives JSON encode → parse → decode bit for bit, and
+//! the decoded spec resolves to the identical scenario grid.
+
+use proptest::prelude::*;
+
+use scale_srs::sim::spec::{ConfigPatch, ExperimentSpec, Preset};
+use scale_srs::sim::ToJson;
+
+proptest! {
+    #[test]
+    fn experiment_spec_round_trips_through_json(
+        defenses in prop::collection::vec(
+            prop::sample::select(vec!["baseline", "rrs", "rrs-no-unswap", "srs", "scale-srs"]),
+            1..4,
+        ),
+        tracker in prop::sample::select(vec!["misra-gries", "hydra"]),
+        thresholds in prop::collection::vec(1u64..100_000, 1..4),
+        seeds in prop::collection::vec(0u64..=u64::MAX, 0..4),
+        knobs in (prop::bool::ANY, prop::bool::ANY, prop::bool::ANY, prop::bool::ANY),
+        values in (1u64..64, 1_000u64..1_000_000, 0u64..=u64::MAX, 1u64..10_000_000),
+        workloads in prop::collection::vec(
+            prop::sample::select(vec![
+                "all", "hot-rows", "suite:gups", "suite:spec2006", "gcc", "gups", "mcf",
+            ]),
+            1..4,
+        ),
+        paper in prop::bool::ANY,
+        attacks in prop::collection::vec(
+            prop::sample::select(vec!["juggernaut", "blacksmith", "single-sided"]),
+            0..3,
+        ),
+    ) {
+        let (has_cores, has_instructions, has_seed, has_cap) = knobs;
+        let (cores, instructions, seed, max_sim_ns) = values;
+        let spec = ExperimentSpec {
+            name: "prop".to_string(),
+            preset: if paper { Preset::Paper } else { Preset::ScaledForSpeed },
+            patch: ConfigPatch {
+                cores: has_cores.then_some(cores as usize),
+                target_instructions: has_instructions.then_some(instructions),
+                // Full-range u64 seeds: integers must stay exact through
+                // the codec, not round through an f64.
+                seed: has_seed.then_some(seed),
+                max_sim_ns: has_cap.then_some(max_sim_ns),
+                ..ConfigPatch::default()
+            },
+            defenses: defenses.iter().map(ToString::to_string).collect(),
+            trackers: vec![tracker.to_string()],
+            thresholds,
+            core_counts: Vec::new(),
+            seeds,
+            attacks: attacks.iter().map(ToString::to_string).collect(),
+            workloads: workloads.iter().map(ToString::to_string).collect(),
+            threads: None,
+        };
+
+        // Both wire forms decode back to the identical spec.
+        let compact = spec.to_json().to_compact();
+        prop_assert_eq!(&ExperimentSpec::parse(&compact).unwrap(), &spec);
+        let pretty = spec.to_json_string();
+        let decoded = ExperimentSpec::parse(&pretty).unwrap();
+        prop_assert_eq!(&decoded, &spec);
+
+        // And resolution is invariant under the round trip: the re-decoded
+        // spec enumerates the very same scenario sequence.
+        let original = spec.to_experiment().unwrap();
+        let reparsed = decoded.to_experiment().unwrap();
+        prop_assert_eq!(original.scenarios(), reparsed.scenarios());
+    }
+}
