@@ -60,7 +60,11 @@ enum Phase {
 }
 
 /// A closed-loop attacker core driving one compiled pattern.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the attacker mid-run — program counter, RNG state,
+/// outstanding reads and observation history — so a forked simulation
+/// resumes the closed loop bit-exactly.
+#[derive(Debug, Clone)]
 pub struct AttackerCore {
     mapper: AddressMapper,
     program: PatternProgram,

@@ -32,7 +32,7 @@ fn main() {
         .iter()
         .map(|&t_rh| {
             let group = results_for(&results, rrs, t_rh);
-            vec![format!("TRH={t_rh}"), format_norm(mean_normalized(&group))]
+            vec![format!("TRH={t_rh}"), format_norm(mean_normalized(group.iter().copied()))]
         })
         .collect();
     print_table("Figure 1b: RRS normalized performance vs TRH", &["", "normalized IPC"], &rows);

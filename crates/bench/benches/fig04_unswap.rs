@@ -19,10 +19,12 @@ fn main() {
     for (label, kind) in variants {
         for &t_rh in &thresholds {
             let group = results_for(&results, kind, t_rh);
-            let mut row =
-                vec![format!("{label} (TRH={t_rh})"), format_norm(mean_normalized(&group))];
+            let mut row = vec![
+                format!("{label} (TRH={t_rh})"),
+                format_norm(mean_normalized(group.iter().copied())),
+            ];
             row.push(
-                suite_averages(&group)
+                suite_averages(group.iter().copied())
                     .iter()
                     .map(|suite| format!("{}={}", suite.label, format_norm(suite.mean)))
                     .collect::<Vec<_>>()

@@ -16,7 +16,7 @@ fn main() {
     for (label, kind) in defenses {
         for &t_rh in &thresholds {
             let group = results_for(&results, kind, t_rh);
-            for suite in suite_averages(&group) {
+            for suite in suite_averages(group.iter().copied()) {
                 rows.push(vec![
                     format!("{label} (TRH={t_rh})"),
                     suite.label,

@@ -32,7 +32,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, group) in [("RRS", &rrs_results), ("Scale-SRS", &scale_results)] {
-        for suite in suite_averages(group) {
+        for suite in suite_averages(group.iter().copied()) {
             rows.push(vec![label.to_string(), suite.label, format_norm(suite.mean)]);
         }
     }

@@ -15,7 +15,7 @@ fn main() {
         .map(|&t_rh| {
             let mut row = vec![format!("TRH={t_rh}")];
             for kind in defenses {
-                row.push(format_norm(mean_normalized(&results_for(&results, kind, t_rh))));
+                row.push(format_norm(mean_normalized(results_for(&results, kind, t_rh))));
             }
             row
         })

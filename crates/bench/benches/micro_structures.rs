@@ -12,7 +12,7 @@ use srs_trackers::{AggressorTracker, MisraGriesConfig, MisraGriesTracker};
 
 fn bench_rit(c: &mut Criterion) {
     c.bench_function("rit_swap_and_translate", |b| {
-        let mut rit = BankRit::new(8192);
+        let mut rit = BankRit::new(8192, 65_536);
         let mut i = 0u64;
         b.iter(|| {
             i += 1;

@@ -1,7 +1,8 @@
 //! Simulator throughput benchmark: simulated-ns/sec and scenario-grid
 //! runs/sec on a fixed quickstart-scale grid, for both the event-driven
 //! time-skip engine (`System::run`) and the fixed-step reference engine
-//! (`System::run_fixed_step`).
+//! (`System::run_fixed_step`) — plus the sharing-aware grid executor
+//! against the from-scratch plan on a defense-comparison grid.
 //!
 //! Every perf-focused change should leave a data point here: the harness
 //! writes `BENCH_throughput.json` at the workspace root with the measured
@@ -10,14 +11,21 @@
 //!
 //! Modes:
 //! * default — 5 measurement repetitions of the full grid (best-of taken);
-//! * `SRS_BENCH_SMOKE=1` — one repetition of a reduced grid, for CI.
+//! * `SRS_BENCH_SMOKE=1` — one repetition of a reduced grid, for CI. The
+//!   smoke run also *asserts* that the shared plan is no slower than the
+//!   unshared plan (with slack for CI timing noise), so a regression in
+//!   the prefix-sharing executor fails the pipeline rather than silently
+//!   landing.
 
 use std::time::Instant;
 
 use srs_core::DefenseKind;
 use srs_sim::json::{obj, Json};
-use srs_sim::{SimResult, System, SystemConfig};
-use srs_workloads::{all_workloads, hammer_trace, AccessPattern, Trace, WorkloadSpec};
+use srs_sim::spec::ConfigPatch;
+use srs_sim::{Experiment, SimResult, System, SystemConfig};
+use srs_workloads::{
+    all_workloads, hammer_trace, AccessPattern, NamedWorkload, Trace, WorkloadSpec,
+};
 
 /// One cell of the throughput grid.
 struct Cell {
@@ -145,6 +153,66 @@ fn json_entry(m: &Measurement) -> Json {
     ])
 }
 
+/// The defense-comparison grid the sharing-aware executor is measured on:
+/// every defense (baseline included) × TRH × a spread of workload
+/// behaviours, at quickstart scale. All the mitigation axes collapse into
+/// branches of one trunk per workload, which is exactly the shape of the
+/// paper's Figures 12/14/15 sweeps.
+fn defense_comparison_grid(smoke: bool) -> Experiment {
+    let patch = ConfigPatch {
+        cores: Some(2),
+        target_instructions: Some(20_000),
+        trace_records_per_core: Some(6_000),
+        refresh_window_ns: Some(1_000_000),
+        max_sim_ns: Some(10_000_000),
+        ..ConfigPatch::default()
+    };
+    // Hot-row-heavy cells diverge early (mitigations fire fast), light
+    // cells late or never — the mix keeps the measurement honest about
+    // both ends of the sharing spectrum.
+    let names: &[&str] = if smoke {
+        &["gcc", "povray"]
+    } else {
+        &["gups", "gcc", "hmmer", "mcf", "libquantum", "povray", "gamess", "namd"]
+    };
+    let workloads: Vec<NamedWorkload> =
+        all_workloads().into_iter().filter(|w| names.contains(&w.name)).collect();
+    assert_eq!(workloads.len(), names.len(), "defense-comparison workloads must all exist");
+    Experiment::new()
+        .with_defenses(vec![
+            DefenseKind::Baseline,
+            DefenseKind::Rrs { immediate_unswap: true },
+            DefenseKind::Srs,
+            DefenseKind::ScaleSrs,
+        ])
+        .with_thresholds(if smoke { vec![1200] } else { vec![1200, 4800] })
+        .with_workloads(workloads)
+        .with_patch(patch)
+}
+
+/// Run the defense-comparison grid under one execution plan.
+fn run_shared_grid(experiment: &Experiment, share: bool) -> Measurement {
+    let experiment = experiment.clone().with_share_prefixes(share);
+    let start = Instant::now();
+    let results = experiment.run();
+    Measurement {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        simulated_ns: results.iter().map(|r| r.result.detail.elapsed_ns).sum(),
+        runs: results.len(),
+    }
+}
+
+fn best_of_grid(reps: usize, experiment: &Experiment, share: bool) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps {
+        let m = run_shared_grid(experiment, share);
+        if best.as_ref().is_none_or(|b| m.wall_seconds < b.wall_seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
 /// The pre-optimization simulator of this repository (fixed 25 ns stepping
 /// over every bank and core, per-core trace clone-and-rewrite, SipHash maps
 /// on the per-activation paths, `VecDeque::remove` FR-FCFS), measured once
@@ -188,6 +256,44 @@ fn main() {
         );
     }
 
+    // The sharing-aware grid executor vs the from-scratch plan on the
+    // defense-comparison grid (identical results, different execution).
+    println!(
+        "\n== Sharing-aware grid executor (defense-comparison grid{}) ==",
+        if smoke { ", smoke" } else { "" }
+    );
+    let experiment = defense_comparison_grid(smoke);
+    let grid_reps = if smoke { 2 } else { 3 };
+    let unshared = best_of_grid(grid_reps, &experiment, false);
+    let shared = best_of_grid(grid_reps, &experiment, true);
+    let share_speedup = unshared.wall_seconds / shared.wall_seconds;
+    for (name, m) in [("unshared", &unshared), ("shared", &shared)] {
+        println!(
+            "{name:>13}: {:>8.1} ms wall | {:>6.1} grid-runs/s ({} cells)",
+            m.wall_seconds * 1e3,
+            m.runs as f64 / m.wall_seconds,
+            m.runs,
+        );
+    }
+    println!("{:>13}: {share_speedup:.2}x shared vs unshared grid-runs/sec", "speedup");
+    // The shared plan must never lose: it runs strictly less simulation.
+    // The hard gate is smoke (CI) only, with slack for scheduler noise on
+    // loaded runners; full mode records whatever it measured (losing a
+    // minutes-long measurement to a noisy laptop would be worse) and just
+    // flags the anomaly.
+    if smoke {
+        assert!(
+            share_speedup > 0.87,
+            "sharing-aware execution ran slower than the from-scratch plan \
+             ({share_speedup:.2}x); the prefix planner has regressed"
+        );
+    } else if share_speedup <= 1.0 {
+        eprintln!(
+            "warning: shared plan measured no faster than unshared \
+             ({share_speedup:.2}x) — noisy machine, or a planner regression"
+        );
+    }
+
     let seed = Measurement {
         wall_seconds: RECORDED_SEED_WALL_SECONDS,
         simulated_ns: RECORDED_SEED_SIMULATED_NS,
@@ -204,6 +310,14 @@ fn main() {
     doc.push(("fixed_step", json_entry(&fixed)));
     doc.push(("event_driven", json_entry(&event)));
     doc.push(("event_vs_fixed_speedup", speedup.into()));
+    doc.push((
+        "shared_grid",
+        obj(vec![
+            ("unshared", json_entry(&unshared)),
+            ("shared", json_entry(&shared)),
+            ("shared_vs_unshared_speedup", share_speedup.into()),
+        ]),
+    ));
     doc.push(("smoke", smoke.into()));
     let json = obj(doc).to_pretty();
     // Cargo runs bench binaries from the package directory; anchor the

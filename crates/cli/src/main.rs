@@ -38,6 +38,7 @@ srs-cli — spec-file driver for the scale-srs experiment engine
 
 USAGE:
     srs-cli run <spec.json> [--out <file.jsonl>] [--threads <N>] [--quiet]
+                [--no-share]
     srs-cli validate <spec.json | results.jsonl>
     srs-cli check-json <file.json>
     srs-cli list <defenses | trackers | workloads | attacks | presets>
@@ -47,7 +48,10 @@ COMMANDS:
                 one JSON object per cell (JSON Lines) to --out as cells
                 complete. Default --out: <spec stem>.results.jsonl in the
                 current directory. Progress and ETA go to standard error
-                (suppress with --quiet).
+                (suppress with --quiet). --no-share disables sharing-aware
+                execution (cells that differ only in defense/TRH/tracker
+                normally run their common simulation prefix once and fork;
+                results are bit-identical either way).
     validate    For a .json spec: parse it, resolve every registry name and
                 report the grid size without running anything. For a .jsonl
                 results file: check every line against the result-record
@@ -113,6 +117,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut out_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut quiet = false;
+    let mut no_share = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -131,6 +136,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 );
             }
             "--quiet" => quiet = true,
+            "--no-share" => no_share = true,
             other if spec_path.is_none() && !other.starts_with('-') => spec_path = Some(other),
             other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
         }
@@ -139,6 +145,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut spec = load_spec(spec_path)?;
     if let Some(threads) = threads {
         spec.threads = Some(threads);
+    }
+    if no_share {
+        spec.share_prefixes = false;
     }
     let experiment = spec.to_experiment().map_err(|e| fail(format!("{spec_path}: {e}")))?;
 
@@ -152,10 +161,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut summary = SummarySink::default();
     let total = experiment.job_count();
     eprintln!(
-        "running '{}': {} cells ({} preset) -> {}",
+        "running '{}': {} cells ({} preset{}) -> {}",
         spec.name,
         total,
         spec.preset,
+        if spec.share_prefixes { ", shared prefixes" } else { ", no sharing" },
         out_path.display()
     );
 

@@ -61,6 +61,10 @@ impl RowSwapDefense for NoMitigation {
     fn swaps_performed(&self) -> u64 {
         0
     }
+
+    fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,6 @@
 //! reset. Reading and updating a counter happens on every swap and costs one
 //! access to a dedicated counter row.
 
-use fxhash::FxHashMap;
-
 use serde::{Deserialize, Serialize};
 
 /// Width of the epoch-id field in each counter.
@@ -22,16 +20,28 @@ pub const COUNTER_BITS: u32 = 32;
 
 /// The swap-tracking counter state for one bank.
 ///
-/// The model stores only counters that have been touched in the current or
-/// previous epoch; hardware stores all of them in reserved DRAM rows, which
-/// is captured by [`SwapCounters::reserved_dram_bytes`].
+/// The model mirrors the hardware layout directly: one packed
+/// `(epoch_id + 1, count)` word per row, direct-indexed by row number — the
+/// flat-array equivalent of the reserved-DRAM table whose footprint
+/// [`SwapCounters::reserved_dram_bytes`] reports. The array is allocated on
+/// the bank's first swap, so banks that never swap (all banks of a benign
+/// or baseline run) hold no storage, and a snapshot of a touched bank is a
+/// single memcpy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwapCounters {
     rows_per_bank: u64,
     row_size_bytes: u64,
     epoch_register: u64,
-    counters: FxHashMap<u64, (u64, u64)>, // physical row -> (epoch_id, count)
+    /// `(epoch_id + 1) << 32 | count`, indexed by physical row; 0 = never
+    /// touched. Lazily allocated.
+    counters: Vec<u64>,
     counter_row_accesses: u64,
+}
+
+/// Pack an `(epoch_id, count)` pair into one counter word.
+#[inline]
+fn pack(epoch_id: u64, count: u64) -> u64 {
+    (epoch_id + 1) << 32 | count
 }
 
 impl SwapCounters {
@@ -43,7 +53,7 @@ impl SwapCounters {
             rows_per_bank,
             row_size_bytes,
             epoch_register: 0,
-            counters: FxHashMap::default(),
+            counters: Vec::new(),
             counter_row_accesses: 0,
         }
     }
@@ -62,7 +72,9 @@ impl SwapCounters {
         self.epoch_register += 1;
         if self.epoch_register >= (1 << EPOCH_ID_BITS) {
             self.epoch_register = 0;
-            self.counters.clear();
+            // The scrub rewrites every counter row; epoch-id 0 becomes
+            // current again, so stale words must not alias it.
+            self.counters.fill(0);
             true
         } else {
             false
@@ -77,21 +89,23 @@ impl SwapCounters {
     /// Each call models one read-modify-write of the counter row.
     pub fn record_swap(&mut self, row: u64, activations: u64) -> u64 {
         self.counter_row_accesses += 1;
-        let max_count = (1u64 << ACTIVATION_COUNT_BITS) - 1;
-        let entry = self.counters.entry(row).or_insert((self.epoch_register, 0));
-        if entry.0 != self.epoch_register {
-            *entry = (self.epoch_register, 0);
+        if self.counters.is_empty() {
+            self.counters = vec![0; self.rows_per_bank as usize];
         }
-        entry.1 = (entry.1 + activations).min(max_count);
-        entry.1
+        let max_count = (1u64 << ACTIVATION_COUNT_BITS) - 1;
+        let slot = &mut self.counters[row as usize];
+        let count = if *slot >> 32 == self.epoch_register + 1 { *slot & 0xFFFF_FFFF } else { 0 };
+        let count = (count + activations).min(max_count);
+        *slot = pack(self.epoch_register, count);
+        count
     }
 
     /// The counter value of `row` in the current epoch (0 if stale or never
     /// touched).
     #[must_use]
     pub fn count(&self, row: u64) -> u64 {
-        match self.counters.get(&row) {
-            Some((epoch, count)) if *epoch == self.epoch_register => *count,
+        match self.counters.get(row as usize) {
+            Some(&word) if word >> 32 == self.epoch_register + 1 => word & 0xFFFF_FFFF,
             _ => 0,
         }
     }

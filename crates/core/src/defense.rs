@@ -116,6 +116,17 @@ pub trait RowSwapDefense {
     fn unswap_swaps_performed(&self) -> u64 {
         0
     }
+
+    /// Deep-copy this defense behind a fresh box — the snapshot primitive
+    /// the sharing-aware grid executor uses to fork a simulation (RIT
+    /// contents, swap counters, place-back queues, RNG state and all).
+    fn clone_box(&self) -> Box<dyn RowSwapDefense + Send>;
+}
+
+impl Clone for Box<dyn RowSwapDefense + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

@@ -18,8 +18,15 @@
 //! model abstracts the CAT's internal hashing and keeps only its two
 //! architecturally visible properties: a bounded entry count and the
 //! guarantee that an insertion below capacity always succeeds.
-
-use fxhash::FxHashMap;
+//!
+//! Storage model: the geometry is known at construction time, so both
+//! look-up directions are flat direct-indexed arrays (`location + 1` by
+//! logical row and `row + 1` by location, 0 meaning identity) plus a
+//! compact list of the live mappings for iteration. The per-access
+//! `translate` is a single bounds-checked load, and the arrays are only
+//! allocated on the first recorded swap — a bank that never swaps (every
+//! bank of a baseline or not-yet-triggered run) costs nothing to hold,
+//! clone or snapshot.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +40,8 @@ pub struct RitConfig {
     /// CAT over-provisioning factor applied when reporting storage (the
     /// physical table has more slots than `capacity` live mappings).
     pub overprovision: f64,
+    /// Rows per bank — the index space of the direct-indexed tables.
+    pub rows_per_bank: u64,
 }
 
 impl RitConfig {
@@ -45,7 +54,7 @@ impl RitConfig {
     pub fn for_swaps(max_swaps_per_window: u64, rows_per_bank: u64) -> Self {
         let capacity = (2 * max_swaps_per_window).max(8) as usize;
         let row_bits = 64 - rows_per_bank.next_power_of_two().leading_zeros() - 1;
-        Self { capacity, row_bits: row_bits.max(1), overprovision: 1.5 }
+        Self { capacity, row_bits: row_bits.max(1), overprovision: 1.5, rows_per_bank }
     }
 
     /// SRAM bits needed for one bank's RIT when storing both mapping
@@ -82,46 +91,84 @@ pub struct SwapRecord {
 /// The per-bank Row Indirection Table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BankRit {
-    forward: FxHashMap<u64, u64>,
-    reverse: FxHashMap<u64, u64>,
-    epoch_of: FxHashMap<u64, u64>,
+    /// `location + 1` indexed by logical row; 0 = identity. Allocated on
+    /// the first recorded swap.
+    forward: Vec<u32>,
+    /// `row + 1` indexed by location; 0 = identity.
+    reverse: Vec<u32>,
+    /// `epoch + 1` of each live mapping, indexed by logical row; 0 = none.
+    epoch_of: Vec<u32>,
+    /// `position + 1` of each live row in `live`; 0 = absent.
+    live_pos: Vec<u32>,
+    /// The live (remapped) logical rows, unordered.
+    live: Vec<u32>,
+    rows: u64,
     capacity: usize,
 }
 
 impl BankRit {
-    /// Create an empty table with the given live-mapping capacity.
+    /// Create an empty table with the given live-mapping capacity over a
+    /// bank of `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` does not fit the table's 32-bit row encoding.
     #[must_use]
-    pub fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize, rows: u64) -> Self {
+        assert!(rows < u64::from(u32::MAX), "rows_per_bank exceeds the RIT's row encoding");
         Self {
-            forward: FxHashMap::default(),
-            reverse: FxHashMap::default(),
-            epoch_of: FxHashMap::default(),
+            forward: Vec::new(),
+            reverse: Vec::new(),
+            epoch_of: Vec::new(),
+            live_pos: Vec::new(),
+            live: Vec::new(),
+            rows,
             capacity,
         }
     }
 
+    /// Allocate the direct-indexed tables on the first recorded mapping.
+    fn ensure_tables(&mut self) {
+        if self.forward.is_empty() {
+            let n = self.rows as usize;
+            self.forward = vec![0; n];
+            self.reverse = vec![0; n];
+            self.epoch_of = vec![0; n];
+            self.live_pos = vec![0; n];
+        }
+    }
+
     /// Where the data of logical `row` currently lives.
+    #[inline]
     #[must_use]
     pub fn translate(&self, row: u64) -> u64 {
-        self.forward.get(&row).copied().unwrap_or(row)
+        match self.forward.get(row as usize) {
+            Some(&mapped) if mapped != 0 => u64::from(mapped - 1),
+            _ => row,
+        }
     }
 
     /// Which logical row's data currently lives at physical `location`.
+    #[inline]
     #[must_use]
     pub fn occupant(&self, location: u64) -> u64 {
-        self.reverse.get(&location).copied().unwrap_or(location)
+        match self.reverse.get(location as usize) {
+            Some(&mapped) if mapped != 0 => u64::from(mapped - 1),
+            _ => location,
+        }
     }
 
     /// Whether logical `row` is currently remapped away from its home.
+    #[inline]
     #[must_use]
     pub fn is_remapped(&self, row: u64) -> bool {
-        self.forward.contains_key(&row)
+        self.forward.get(row as usize).is_some_and(|&mapped| mapped != 0)
     }
 
     /// Number of live (non-identity) mappings.
     #[must_use]
     pub fn live_entries(&self) -> usize {
-        self.forward.len()
+        self.live.len()
     }
 
     /// Maximum number of live mappings.
@@ -142,11 +189,10 @@ impl BankRit {
     #[must_use]
     pub fn stale_rows(&self, current_epoch: u64) -> Vec<u64> {
         let mut rows: Vec<u64> = self
-            .epoch_of
+            .live
             .iter()
-            .filter(|(_, &e)| e < current_epoch)
-            .map(|(&r, _)| r)
-            .filter(|r| self.forward.contains_key(r))
+            .filter(|&&r| u64::from(self.epoch_of[r as usize]) < current_epoch + 1)
+            .map(|&r| u64::from(r))
             .collect();
         rows.sort_unstable();
         rows
@@ -155,20 +201,47 @@ impl BankRit {
     /// All currently remapped logical rows.
     #[must_use]
     pub fn remapped_rows(&self) -> Vec<u64> {
-        let mut rows: Vec<u64> = self.forward.keys().copied().collect();
+        let mut rows: Vec<u64> = self.live.iter().map(|&r| u64::from(r)).collect();
         rows.sort_unstable();
         rows
     }
 
+    fn live_insert(&mut self, row: usize) {
+        if self.live_pos[row] == 0 {
+            self.live.push(row as u32);
+            self.live_pos[row] = self.live.len() as u32;
+        }
+    }
+
+    fn live_remove(&mut self, row: usize) {
+        let pos = self.live_pos[row];
+        if pos == 0 {
+            return;
+        }
+        let idx = (pos - 1) as usize;
+        let last = self.live.pop().expect("live list non-empty");
+        if idx < self.live.len() {
+            self.live[idx] = last;
+            self.live_pos[last as usize] = pos;
+        }
+        self.live_pos[row] = 0;
+    }
+
     fn set_mapping(&mut self, row: u64, location: u64, epoch: u64) {
+        self.ensure_tables();
+        let (r, l) = (row as usize, location as usize);
         if row == location {
-            self.forward.remove(&row);
-            self.reverse.remove(&location);
-            self.epoch_of.remove(&row);
+            self.forward[r] = 0;
+            self.reverse[l] = 0;
+            self.epoch_of[r] = 0;
+            self.live_remove(r);
         } else {
-            self.forward.insert(row, location);
-            self.reverse.insert(location, row);
-            self.epoch_of.insert(row, epoch);
+            self.live_insert(r);
+            self.forward[r] = location as u32 + 1;
+            self.reverse[l] = row as u32 + 1;
+            // Window counts stay far below 2^32 over any simulated run; the
+            // saturation only defends the cast.
+            self.epoch_of[r] = u32::try_from(epoch + 1).unwrap_or(u32::MAX);
         }
     }
 
@@ -221,19 +294,33 @@ impl BankRit {
 
     /// Remove every mapping (end-of-simulation or bulk unswap accounting).
     pub fn clear(&mut self) {
-        self.forward.clear();
-        self.reverse.clear();
-        self.epoch_of.clear();
+        // Undo through the live list rather than re-zeroing the full
+        // arrays: only the touched slots need clearing.
+        while let Some(&row) = self.live.last() {
+            let r = row as usize;
+            let location = (self.forward[r] - 1) as usize;
+            self.forward[r] = 0;
+            self.reverse[location] = 0;
+            self.epoch_of[r] = 0;
+            self.live_remove(r);
+        }
     }
 
     /// Check the internal bijection invariant; used by tests.
     #[must_use]
     pub fn invariants_hold(&self) -> bool {
-        if self.forward.len() != self.reverse.len() {
+        let reverse_live = self.reverse.iter().filter(|&&m| m != 0).count();
+        if reverse_live != self.live.len() {
             return false;
         }
-        self.forward.iter().all(|(&row, &loc)| self.reverse.get(&loc) == Some(&row))
-            && self.reverse.iter().all(|(&loc, &row)| self.forward.get(&row) == Some(&loc))
+        self.live.iter().all(|&r| {
+            let row = u64::from(r);
+            let mapped = self.forward[r as usize];
+            mapped != 0
+                && self.occupant(u64::from(mapped - 1)) == row
+                && self.epoch_of[r as usize] != 0
+                && self.live_pos[r as usize] != 0
+        })
     }
 }
 
@@ -248,7 +335,12 @@ impl RowIndirectionTable {
     /// Create one empty RIT per bank.
     #[must_use]
     pub fn new(config: RitConfig, banks: usize) -> Self {
-        Self { banks: (0..banks).map(|_| BankRit::new(config.capacity)).collect(), config }
+        Self {
+            banks: (0..banks)
+                .map(|_| BankRit::new(config.capacity, config.rows_per_bank))
+                .collect(),
+            config,
+        }
     }
 
     /// The sizing configuration.
@@ -294,7 +386,7 @@ mod tests {
     use super::*;
 
     fn rit() -> BankRit {
-        BankRit::new(64)
+        BankRit::new(64, 1024)
     }
 
     #[test]
@@ -381,7 +473,7 @@ mod tests {
 
     #[test]
     fn capacity_blocks_new_pairs_but_not_existing_rows() {
-        let mut r = BankRit::new(4);
+        let mut r = BankRit::new(4, 1024);
         assert!(r.swap_to(1, 100, 0).is_some());
         assert!(r.swap_to(2, 200, 0).is_some());
         // Table full (4 live entries): a brand-new pair is rejected...
@@ -403,10 +495,25 @@ mod tests {
     }
 
     #[test]
+    fn clear_restores_identity_everywhere() {
+        let mut r = rit();
+        r.swap_to(1, 10, 0).unwrap();
+        r.swap_to(2, 20, 0).unwrap();
+        r.clear();
+        assert_eq!(r.live_entries(), 0);
+        for row in [1, 2, 10, 20] {
+            assert_eq!(r.translate(row), row);
+            assert_eq!(r.occupant(row), row);
+        }
+        assert!(r.invariants_hold());
+    }
+
+    #[test]
     fn rit_config_sizes() {
         let c = RitConfig::for_swaps(1700, 128 * 1024);
         assert_eq!(c.capacity, 3400);
         assert_eq!(c.row_bits, 17);
+        assert_eq!(c.rows_per_bank, 128 * 1024);
         assert!(c.storage_bits_dual() > c.storage_bits_compact());
         // Dual storage at TS=800 lands in the tens of kilobytes per bank,
         // the order of magnitude of Table IV.

@@ -31,7 +31,7 @@ pub struct RrsStats {
 }
 
 /// The Randomized Row-Swap defense.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomizedRowSwap {
     config: MitigationConfig,
     immediate_unswap: bool,
@@ -226,6 +226,10 @@ impl RowSwapDefense for RandomizedRowSwap {
 
     fn unswap_swaps_performed(&self) -> u64 {
         self.stats.unswap_swaps
+    }
+
+    fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
+        Box::new(self.clone())
     }
 }
 

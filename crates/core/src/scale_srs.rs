@@ -21,7 +21,7 @@ use crate::srs::{SecureRowSwap, SrsStats};
 use crate::storage::{storage_for, StorageReport};
 
 /// The Scalable and Secure Row-Swap defense.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ScaleSrs {
     inner: SecureRowSwap,
     pinned: FxHashSet<(usize, u64)>,
@@ -118,6 +118,10 @@ impl RowSwapDefense for ScaleSrs {
 
     fn swaps_performed(&self) -> u64 {
         self.inner.swaps_performed()
+    }
+
+    fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
+        Box::new(self.clone())
     }
 }
 

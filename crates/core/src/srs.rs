@@ -37,7 +37,7 @@ pub struct SrsStats {
 }
 
 /// The Secure Row-Swap defense.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SecureRowSwap {
     config: MitigationConfig,
     rit: RowIndirectionTable,
@@ -264,6 +264,10 @@ impl RowSwapDefense for SecureRowSwap {
 
     fn swaps_performed(&self) -> u64 {
         self.stats.swaps
+    }
+
+    fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
+        Box::new(self.clone())
     }
 }
 

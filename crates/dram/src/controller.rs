@@ -124,7 +124,12 @@ impl BankSet {
 /// within a bank) until simulated time passes them, at which point
 /// [`MemoryController::tick_into`] pushes them into the caller's
 /// [`AccessSink`]. Nothing is drained or re-scanned per epoch.
-#[derive(Debug)]
+///
+/// The controller is `Clone`: a clone is an independent snapshot of the
+/// whole memory system (bank states, queues, undelivered completions,
+/// statistics), which the sharing-aware grid executor uses to fork
+/// simulations at a divergence point.
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     config: DramConfig,
     mapper: AddressMapper,

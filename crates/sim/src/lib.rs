@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod security;
+mod share;
 pub mod sink;
 pub mod spec;
 pub mod system;

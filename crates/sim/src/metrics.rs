@@ -134,12 +134,24 @@ impl ToJson for NormalizedResult {
 
 /// Arithmetic mean of the normalized performance of a set of results (how
 /// the paper aggregates each suite and the ALL-78 bar).
-#[must_use]
-pub fn mean_normalized(results: &[NormalizedResult]) -> f64 {
-    if results.is_empty() {
+///
+/// Accepts anything yielding result references — a `&Vec<NormalizedResult>`
+/// or the borrowed groups [`crate::scenario::results_for`] and
+/// [`crate::scenario::results_where`] return — so aggregation never forces
+/// a clone of the (large) result records.
+pub fn mean_normalized<'a, I>(results: I) -> f64
+where
+    I: IntoIterator<Item = &'a NormalizedResult>,
+{
+    let (mut sum, mut count) = (0.0f64, 0usize);
+    for r in results {
+        sum += r.normalized_performance;
+        count += 1;
+    }
+    if count == 0 {
         return 1.0;
     }
-    results.iter().map(|r| r.normalized_performance).sum::<f64>() / results.len() as f64
+    sum / count as f64
 }
 
 #[cfg(test)]
@@ -181,9 +193,13 @@ mod tests {
 
     #[test]
     fn mean_handles_empty_and_nonempty() {
-        assert_eq!(mean_normalized(&[]), 1.0);
+        assert_eq!(mean_normalized(&[] as &[NormalizedResult]), 1.0);
         let results = vec![result(0.9), result(1.0)];
         assert!((mean_normalized(&results) - 0.95).abs() < 1e-12);
+        // Borrowed groups (what `results_for` returns) aggregate without
+        // cloning.
+        let group: Vec<&NormalizedResult> = results.iter().collect();
+        assert!((mean_normalized(group) - 0.95).abs() < 1e-12);
     }
 
     #[test]

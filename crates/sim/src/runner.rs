@@ -8,7 +8,7 @@ use srs_workloads::{NamedWorkload, Suite};
 
 use crate::config::SystemConfig;
 use crate::json::{obj, Json, ToJson};
-use crate::metrics::{mean_normalized, NormalizedResult, SimResult};
+use crate::metrics::{NormalizedResult, SimResult};
 use crate::system::System;
 
 /// Run one workload under one configuration.
@@ -204,14 +204,22 @@ impl ToJson for SuiteRow {
 /// results is reported in [`SuiteRow::count`] rather than baked into the
 /// label, so downstream code can match on the label across sweeps of
 /// different sizes.
-#[must_use]
-pub fn suite_averages(results: &[NormalizedResult]) -> Vec<SuiteRow> {
+///
+/// Accepts anything yielding result references — a `&Vec<NormalizedResult>`
+/// or the borrowed groups [`crate::scenario::results_for`] and
+/// [`crate::scenario::results_where`] return — so the aggregation path is
+/// by-reference end to end.
+pub fn suite_averages<'a, I>(results: I) -> Vec<SuiteRow>
+where
+    I: IntoIterator<Item = &'a NormalizedResult>,
+{
     // One workload-name → suite index map built up front, then a single
-    // by-reference pass accumulating each suite's sum and count — no
-    // per-suite rescans of the result set and no cloning of the (large)
-    // `NormalizedResult` values. Per-suite results arrive in `results`
-    // order, so the floating-point accumulation order (and thus the means)
-    // match the previous filter-then-average implementation bit for bit.
+    // by-reference pass accumulating every suite's sum and count plus the
+    // overall mean — no per-suite rescans of the result set and no cloning
+    // of the (large) `NormalizedResult` values. Per-suite results arrive
+    // in `results` order, so the floating-point accumulation order (and
+    // thus the means) match the previous filter-then-average
+    // implementation bit for bit.
     let suites = Suite::all();
     let suite_index: fxhash::FxHashMap<&'static str, usize> = srs_workloads::all_workloads()
         .iter()
@@ -219,7 +227,10 @@ pub fn suite_averages(results: &[NormalizedResult]) -> Vec<SuiteRow> {
         .collect();
     let mut sums = vec![0.0f64; suites.len()];
     let mut counts = vec![0usize; suites.len()];
+    let (mut all_sum, mut all_count) = (0.0f64, 0usize);
     for r in results {
+        all_sum += r.normalized_performance;
+        all_count += 1;
         if let Some(&i) = suite_index.get(r.workload.as_str()) {
             sums[i] += r.normalized_performance;
             counts[i] += 1;
@@ -237,8 +248,8 @@ pub fn suite_averages(results: &[NormalizedResult]) -> Vec<SuiteRow> {
     }
     rows.push(SuiteRow {
         label: "ALL".to_string(),
-        mean: mean_normalized(results),
-        count: results.len(),
+        mean: if all_count == 0 { 1.0 } else { all_sum / all_count as f64 },
+        count: all_count,
     });
     rows
 }

@@ -37,6 +37,7 @@
 //! assert_eq!(results[0].scenario.defense, DefenseKind::Baseline);
 //! ```
 
+use fxhash::FxHashMap;
 use srs_attack::AttackSpec;
 use srs_core::DefenseKind;
 use srs_trackers::TrackerKind;
@@ -128,6 +129,7 @@ pub struct Experiment {
     seeds: Vec<u64>,
     attacks: Vec<AttackSpec>,
     threads: usize,
+    share_prefixes: bool,
     config: ConfigSource,
 }
 
@@ -152,6 +154,7 @@ impl Experiment {
             seeds: Vec::new(),
             attacks: Vec::new(),
             threads: default_threads(),
+            share_prefixes: true,
             config: ConfigSource::Preset(Preset::ScaledForSpeed, ConfigPatch::default()),
         }
     }
@@ -215,6 +218,27 @@ impl Experiment {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Enable or disable sharing-aware execution (default: enabled).
+    ///
+    /// When enabled, benign cells that differ only in defense, threshold,
+    /// tracker or swap rate execute their common simulation prefix once on
+    /// a shared trunk and fork at each cell's first mitigation feedback —
+    /// results are bit-identical to the unshared path (the equivalence is
+    /// test-enforced), only faster. Disabling it simulates every cell from
+    /// scratch; useful for benchmarking the sharing itself or as a
+    /// diagnostic bisect.
+    #[must_use]
+    pub fn with_share_prefixes(mut self, share: bool) -> Self {
+        self.share_prefixes = share;
+        self
+    }
+
+    /// Whether sharing-aware execution is enabled.
+    #[must_use]
+    pub fn share_prefixes(&self) -> bool {
+        self.share_prefixes
     }
 
     /// Build base configurations from this preset instead of the default
@@ -401,67 +425,179 @@ impl Experiment {
     /// in submission order (and start notifications in completion-race
     /// order), and the total cell count is returned.
     ///
-    /// The unprotected baseline each cell is normalized against does not
-    /// depend on the defense axis, so each *distinct* baseline (unique
-    /// baseline configuration × workload) is simulated once and shared
-    /// across every defense that needs it — a multi-defense sweep does not
-    /// pay for duplicate baseline runs.
+    /// Two layers of work sharing keep a grid from re-simulating what it
+    /// already knows:
+    ///
+    /// * **Prefix sharing** (default, see [`Experiment::with_share_prefixes`]):
+    ///   benign cells that differ only in their mitigation axes (defense,
+    ///   threshold, tracker, swap rate) form a group that executes the
+    ///   common simulation prefix once on a shared trunk and forks each
+    ///   cell at its first mitigation feedback; the trunk doubles as the
+    ///   group's normalization baseline. Results are bit-identical to
+    ///   from-scratch runs (test-enforced).
+    /// * **Baseline sharing**: cells outside any group (attacked cells,
+    ///   singleton groups, or everything when sharing is disabled) still
+    ///   deduplicate their unprotected baselines — each distinct baseline
+    ///   configuration × workload is simulated once across the defense
+    ///   axis.
     fn run_streaming(&self, mut handle: impl FnMut(RunEvent<'_>)) -> usize {
         let scenarios = self.scenarios();
+        let total = scenarios.len();
+        let configs: Vec<SystemConfig> = scenarios.iter().map(|s| self.config_for(s)).collect();
 
-        // Phase 1: deduplicate and run the baselines. Keyed by the actual
-        // baseline configuration (not just the axis values), so a patch or
-        // legacy config function that varies non-defense fields per defense
-        // still gets distinct baselines.
+        // Partition the grid into shared-prefix groups (≥ 2 benign cells
+        // with equal workload and equal mitigation-neutralized
+        // configuration) and solo cells. Keying by the *actual* neutralized
+        // configuration means a patch or legacy config function that varies
+        // non-mitigation fields per defense keeps those cells solo.
+        let mut group_of: Vec<Option<usize>> = vec![None; total];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        if self.share_prefixes {
+            let mut keys: Vec<(&str, SystemConfig)> = Vec::new();
+            for (i, scenario) in scenarios.iter().enumerate() {
+                if scenario.attack.is_some() {
+                    // The closed-loop attacker adapts to the defense's swap
+                    // threshold from its first read: attacked cells have no
+                    // shared prefix across the mitigation axes.
+                    continue;
+                }
+                let key = crate::share::neutral_key(&configs[i]);
+                let g = keys
+                    .iter()
+                    .position(|(w, k)| *w == scenario.workload.name && *k == key)
+                    .unwrap_or_else(|| {
+                        keys.push((scenario.workload.name, key));
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                groups[g].push(i);
+                group_of[i] = Some(g);
+            }
+            // A group of one shares nothing; run it on the solo path (which
+            // still shares baselines across such cells).
+            for members in &groups {
+                if members.len() < 2 {
+                    for &i in members {
+                        group_of[i] = None;
+                    }
+                }
+            }
+            groups.retain(|members| members.len() >= 2);
+        }
+
+        // Phase 1: deduplicate and run the solo cells' baselines.
+        let solo: Vec<usize> = (0..total).filter(|&i| group_of[i].is_none()).collect();
         let mut baseline_jobs: Vec<(SystemConfig, NamedWorkload)> = Vec::new();
-        let mut baseline_of: Vec<usize> = Vec::with_capacity(scenarios.len());
-        for scenario in &scenarios {
-            let mut baseline_config = self.config_for(scenario);
+        let mut baseline_of: FxHashMap<usize, usize> = FxHashMap::default();
+        for &i in &solo {
+            let mut baseline_config = configs[i].clone();
             baseline_config.defense = DefenseKind::Baseline;
             let key = baseline_jobs
                 .iter()
-                .position(|(c, w)| w.name == scenario.workload.name && *c == baseline_config)
+                .position(|(c, w)| w.name == scenarios[i].workload.name && *c == baseline_config)
                 .unwrap_or_else(|| {
-                    baseline_jobs.push((baseline_config, scenario.workload.clone()));
+                    baseline_jobs.push((baseline_config, scenarios[i].workload.clone()));
                     baseline_jobs.len() - 1
                 });
-            baseline_of.push(key);
+            baseline_of.insert(i, key);
         }
         let baselines: Vec<SimResult> =
             parallel_map_ordered(baseline_jobs, self.threads, |(config, workload)| {
                 run_workload(&config, &workload)
             });
 
-        // Phase 2: the defended runs, normalized against their shared
-        // baseline and streamed out as their prefix completes. A cell whose
-        // defense *is* the baseline was already simulated in phase 1 (its
-        // configuration is the baseline configuration), so its result is
-        // reused rather than re-run.
-        let jobs: Vec<(usize, SystemConfig, f64, Option<SimResult>)> = scenarios
+        // Phase 2: one job per solo cell and one per shared group, ordered
+        // by first cell index; each yields its cells' results.
+        // Jobs are transient (moved once into a worker, consumed there), so
+        // the variant size asymmetry costs nothing; boxing would add a
+        // per-job allocation for no benefit.
+        #[allow(clippy::large_enum_variant)]
+        enum Job {
+            Solo { index: usize, config: SystemConfig, baseline_ipc: f64, reuse: Option<SimResult> },
+            Group { cells: Vec<crate::share::SharedCell>, workload: NamedWorkload },
+        }
+        let mut jobs: Vec<(usize, Job)> = Vec::new();
+        for &i in &solo {
+            let reuse = (scenarios[i].defense == DefenseKind::Baseline)
+                .then(|| baselines[baseline_of[&i]].clone());
+            jobs.push((
+                i,
+                Job::Solo {
+                    index: i,
+                    config: configs[i].clone(),
+                    baseline_ipc: baselines[baseline_of[&i]].total_ipc(),
+                    reuse,
+                },
+            ));
+        }
+        for members in &groups {
+            let cells: Vec<crate::share::SharedCell> = members
+                .iter()
+                .map(|&i| crate::share::SharedCell {
+                    index: i,
+                    scenario: scenarios[i].clone(),
+                    config: configs[i].clone(),
+                })
+                .collect();
+            jobs.push((
+                members[0],
+                Job::Group { workload: scenarios[members[0]].workload.clone(), cells },
+            ));
+        }
+        jobs.sort_by_key(|&(first, _)| first);
+        // Cell lists per job, for start notifications.
+        let job_cells: Vec<Vec<usize>> = jobs
             .iter()
-            .zip(&baseline_of)
-            .map(|(s, &key)| {
-                let config = self.config_for(s);
-                let reuse = (s.defense == DefenseKind::Baseline).then(|| baselines[key].clone());
-                (s.index, config, baselines[key].total_ipc(), reuse)
+            .map(|(_, job)| match job {
+                Job::Solo { index, .. } => vec![*index],
+                Job::Group { cells, .. } => cells.iter().map(|c| c.index).collect(),
             })
             .collect();
-        let total = scenarios.len();
+        let jobs: Vec<Job> = jobs.into_iter().map(|(_, job)| job).collect();
+
+        // Jobs complete in submission order, but a group's cells are
+        // scattered across the grid's index space; buffer and re-emit so
+        // the handler still observes cell indices 0, 1, 2, ...
         let scenarios = &scenarios;
+        let mut slots: Vec<Option<ScenarioResult>> = (0..total).map(|_| None).collect();
+        let mut next_cell = 0usize;
         parallel_for_each_ordered(
             jobs,
             self.threads,
-            |(index, config, baseline_ipc, reuse)| {
-                let scenario = &scenarios[index];
-                let defended = reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
-                let result = normalize_against(defended, baseline_ipc, config.t_rh);
-                ScenarioResult { scenario: scenario.clone(), result }
+            |job| -> Vec<(usize, ScenarioResult)> {
+                match job {
+                    Job::Solo { index, config, baseline_ipc, reuse } => {
+                        let scenario = &scenarios[index];
+                        let defended =
+                            reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
+                        let result = normalize_against(defended, baseline_ipc, config.t_rh);
+                        vec![(index, ScenarioResult { scenario: scenario.clone(), result })]
+                    }
+                    Job::Group { cells, workload } => {
+                        crate::share::run_shared_group(&cells, &workload)
+                    }
+                }
             },
             |event| match event {
-                JobEvent::Started(index) => handle(RunEvent::Started(&scenarios[index])),
-                JobEvent::Finished(_, result) => handle(RunEvent::Finished(result)),
+                JobEvent::Started(job) => {
+                    for &i in &job_cells[job] {
+                        handle(RunEvent::Started(&scenarios[i]));
+                    }
+                }
+                JobEvent::Finished(_, outputs) => {
+                    for (index, result) in outputs {
+                        debug_assert!(slots[index].is_none(), "cell {index} produced twice");
+                        slots[index] = Some(result);
+                    }
+                    while next_cell < total {
+                        let Some(result) = slots[next_cell].take() else { break };
+                        handle(RunEvent::Finished(result));
+                        next_cell += 1;
+                    }
+                }
             },
         );
+        assert!(next_cell == total, "grid execution left cells unfinished");
         total
     }
 }
@@ -507,6 +643,10 @@ impl ToJson for ScenarioResult {
 /// the per-figure grouping the benches print (pass to
 /// [`crate::runner::suite_averages`]).
 ///
+/// Returns borrowed results: the group is a view into the result set, so
+/// selecting and averaging (the whole figure-printing path) never clones a
+/// result record.
+///
 /// The group is meant to be averaged, so it must correspond to *one*
 /// configuration: if the matching cells span more than one tracker, seed,
 /// core count or attack (an experiment built with several values on those
@@ -523,7 +663,7 @@ pub fn results_for(
     results: &[ScenarioResult],
     defense: DefenseKind,
     t_rh: u64,
-) -> Vec<NormalizedResult> {
+) -> Vec<&NormalizedResult> {
     let matching: Vec<&ScenarioResult> = results
         .iter()
         .filter(|r| r.scenario.defense == defense && r.scenario.t_rh == t_rh)
@@ -546,17 +686,18 @@ pub fn results_for(
             );
         }
     }
-    matching.into_iter().map(|r| r.result.clone()).collect()
+    matching.into_iter().map(|r| &r.result).collect()
 }
 
 /// The normalized results of the cells matching an arbitrary scenario
 /// predicate, for grids that sweep axes beyond defense and threshold.
+/// Borrowed, like [`results_for`].
 #[must_use]
 pub fn results_where(
     results: &[ScenarioResult],
     predicate: impl Fn(&Scenario) -> bool,
-) -> Vec<NormalizedResult> {
-    results.iter().filter(|r| predicate(&r.scenario)).map(|r| r.result.clone()).collect()
+) -> Vec<&NormalizedResult> {
+    results.iter().filter(|r| predicate(&r.scenario)).map(|r| &r.result).collect()
 }
 
 /// The worker-thread budget experiments use unless overridden with

@@ -32,7 +32,7 @@ struct RowPressure {
 }
 
 /// Streaming accumulator of Row Hammer disturbance pressure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SecurityTracker {
     t_rh: u64,
     rows_per_bank: u64,

@@ -288,6 +288,13 @@ pub struct ExperimentSpec {
     pub workloads: Vec<String>,
     /// Worker-thread budget; `None` uses the engine default.
     pub threads: Option<usize>,
+    /// Sharing-aware execution: benign cells differing only in their
+    /// mitigation axes execute their common simulation prefix once and
+    /// fork at each cell's first mitigation feedback (bit-identical to the
+    /// unshared plan, just faster). Defaults to `true`; `srs-cli run
+    /// --no-share` (or `"share_prefixes": false`) forces the from-scratch
+    /// plan.
+    pub share_prefixes: bool,
 }
 
 impl Default for ExperimentSpec {
@@ -306,6 +313,7 @@ impl Default for ExperimentSpec {
             attacks: Vec::new(),
             workloads: vec!["all".to_string()],
             threads: None,
+            share_prefixes: true,
         }
     }
 }
@@ -348,6 +356,9 @@ impl ExperimentSpec {
                 "attacks" => spec.attacks = string_list("attacks", value)?,
                 "workloads" => spec.workloads = string_list("workloads", value)?,
                 "threads" => spec.threads = Some(usize_field("threads", value)?),
+                "share_prefixes" => {
+                    spec.share_prefixes = bool_field("share_prefixes", value)?;
+                }
                 _ => {
                     return Err(SpecError::UnknownName {
                         field: "spec",
@@ -399,7 +410,8 @@ impl ExperimentSpec {
             .with_attacks(attacks)
             .with_workloads(workloads)
             .with_preset(self.preset)
-            .with_patch(self.patch.clone());
+            .with_patch(self.patch.clone())
+            .with_share_prefixes(self.share_prefixes);
         if let Some(threads) = self.threads {
             experiment = experiment.with_threads(threads);
         }
@@ -420,6 +432,7 @@ const SPEC_KEYS: &[&str] = &[
     "attacks",
     "workloads",
     "threads",
+    "share_prefixes",
 ];
 
 impl ToJson for ExperimentSpec {
@@ -439,6 +452,7 @@ impl ToJson for ExperimentSpec {
         if let Some(threads) = self.threads {
             pairs.push(("threads", threads.into()));
         }
+        pairs.push(("share_prefixes", self.share_prefixes.into()));
         obj(pairs)
     }
 }
@@ -857,9 +871,25 @@ mod tests {
             attacks: vec!["juggernaut".to_string()],
             workloads: vec!["suite:gups".to_string(), "gcc".to_string()],
             threads: Some(3),
+            share_prefixes: false,
         };
         let text = spec.to_json_string();
         assert_eq!(ExperimentSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn share_prefixes_defaults_on_and_reaches_the_experiment() {
+        let spec = ExperimentSpec::parse("{}").unwrap();
+        assert!(spec.share_prefixes, "sharing must default on");
+        assert!(spec.to_experiment().unwrap().share_prefixes());
+
+        let spec = ExperimentSpec::parse(r#"{"share_prefixes": false}"#).unwrap();
+        assert!(!spec.share_prefixes);
+        assert!(!spec.to_experiment().unwrap().share_prefixes());
+
+        // Wrong shapes are structured field errors, not panics.
+        let err = ExperimentSpec::parse(r#"{"share_prefixes": "yes"}"#).unwrap_err();
+        assert!(err.to_string().contains("share_prefixes"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,40 @@ struct DeferredAccess {
     origin: Option<(usize, AccessToken)>,
 }
 
+/// A passively observed (tracker, defense) pair riding along a shared
+/// trunk simulation.
+///
+/// The sharing-aware grid executor runs the common prefix of several grid
+/// cells once, on a trunk system whose own mitigation is inert; each
+/// branch cell's tracker and defense are attached as a probe that observes
+/// the very same activation stream, window rollovers and tick times the
+/// cell's from-scratch run would feed them. The probe *fires* at the first
+/// tick where its cell would feed anything back into the simulation — a
+/// mitigation trigger of an acting defense, or tracker-generated DRAM
+/// traffic (Hydra's counter-table fills) — which is exactly the point up
+/// to which the trunk's trajectory and the cell's from-scratch trajectory
+/// are bit-identical.
+pub(crate) struct MitigationProbe {
+    pub(crate) tracker: Box<dyn AggressorTracker + Send>,
+    pub(crate) defense: Box<dyn RowSwapDefense + Send>,
+    /// Whether a `mitigate` decision feeds back into the simulation (false
+    /// for the baseline defense, whose trigger handler does nothing).
+    pub(crate) acts_on_mitigate: bool,
+    /// The tick time during which the first feedback decision occurred.
+    pub(crate) fired_at: Option<u64>,
+}
+
+impl Clone for MitigationProbe {
+    fn clone(&self) -> Self {
+        Self {
+            tracker: self.tracker.clone_box(),
+            defense: self.defense.clone_box(),
+            acts_on_mitigate: self.acts_on_mitigate,
+            fired_at: self.fired_at,
+        }
+    }
+}
+
 /// The full-system simulator for one workload under one configuration.
 ///
 /// The core set is heterogeneous: trace-replaying victim cores plus the
@@ -46,6 +80,12 @@ struct DeferredAccess {
 /// engine's `next_ready_ns` contract — but are stored concretely-typed so
 /// the per-tick engine loops keep static (inlinable) dispatch; a request's
 /// global core index is its position in victims-then-attackers order.
+///
+/// A `System` is an explicit state machine over simulated time: the engine
+/// clock lives in the struct, so a run can be advanced partway
+/// ([`System::run_until_ns`]), snapshotted ([`System::fork`] — a deep copy
+/// down to RNG and queue state), and resumed on either copy with results
+/// bit-identical to an uninterrupted run.
 pub struct System {
     config: SystemConfig,
     workload: String,
@@ -72,6 +112,41 @@ pub struct System {
     max_row_activations: u64,
     rows_pinned: u64,
     pinned_hits: u64,
+    /// The engine clock: the next tick [`System::engine_step`] will execute.
+    now: u64,
+    /// Whether the previous tick scheduled a demand request (the only way
+    /// controller queue space appears); gates the deferred-retry pass.
+    freed_queue_slot: bool,
+    /// Branch probes of the sharing-aware executor (`None` once taken for a
+    /// fork); empty on every normally-constructed system.
+    probes: Vec<Option<MitigationProbe>>,
+}
+
+impl Clone for System {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            workload: self.workload.clone(),
+            cores: self.cores.clone(),
+            attackers: self.attackers.clone(),
+            security: self.security.clone(),
+            core_finish_ns: self.core_finish_ns.clone(),
+            controller: self.controller.clone(),
+            tracker: self.tracker.clone_box(),
+            defense: self.defense.clone_box(),
+            pinned_rows: self.pinned_rows.clone(),
+            pending: self.pending.clone(),
+            deferred: self.deferred.clone(),
+            next_window_ns: self.next_window_ns,
+            bank_activations: self.bank_activations.clone(),
+            max_row_activations: self.max_row_activations,
+            rows_pinned: self.rows_pinned,
+            pinned_hits: self.pinned_hits,
+            now: self.now,
+            freed_queue_slot: self.freed_queue_slot,
+            probes: self.probes.clone(),
+        }
+    }
 }
 
 /// The streaming observer wired into the controller for one tick: it feeds
@@ -89,6 +164,9 @@ struct TickObserver<'a> {
     pending: &'a mut FxHashMap<RequestId, (usize, AccessToken)>,
     bank_activations: &'a mut [FxHashMap<u64, u64>],
     max_row_activations: &'a mut u64,
+    /// Passive branch probes of the sharing-aware executor (empty outside
+    /// shared trunk runs).
+    probes: &'a mut [Option<MitigationProbe>],
     timing: DramTiming,
     now: u64,
     actions: Vec<MitigationAction>,
@@ -133,6 +211,21 @@ impl ActivationSink for TickObserver<'_> {
         let count = self.bank_activations[bank].entry(logical_row).or_insert(0);
         *count += 1;
         *self.max_row_activations = (*self.max_row_activations).max(*count);
+
+        // Branch probes observe the identical demand-activation stream a
+        // from-scratch run of their cell would feed its tracker; the first
+        // decision that would feed back into the simulation marks the
+        // divergence tick and freezes the probe.
+        for slot in self.probes.iter_mut() {
+            let Some(probe) = slot else { continue };
+            if probe.fired_at.is_some() {
+                continue;
+            }
+            let decision = probe.tracker.record_activation(bank, logical_row);
+            if decision.extra_memory_accesses > 0 || (decision.mitigate && probe.acts_on_mitigate) {
+                probe.fired_at = Some(self.now);
+            }
+        }
 
         let decision = self.tracker.record_activation(bank, logical_row);
         if decision.extra_memory_accesses > 0 {
@@ -181,7 +274,41 @@ fn complete_source_read(
     }
 }
 
-fn build_tracker(config: &SystemConfig) -> Box<dyn AggressorTracker + Send> {
+/// The inert tracker installed on a shared trunk: the trunk's own
+/// mitigation must never observe, fire, or generate traffic — every branch
+/// cell's real tracker rides along as a [`MitigationProbe`] instead.
+#[derive(Debug, Clone)]
+pub(crate) struct NullTracker;
+
+impl AggressorTracker for NullTracker {
+    fn record_activation(&mut self, _bank: usize, _row: u64) -> srs_trackers::TrackerDecision {
+        srs_trackers::TrackerDecision::none()
+    }
+
+    fn estimated_count(&self, _bank: usize, _row: u64) -> u64 {
+        0
+    }
+
+    fn reset_epoch(&mut self) {}
+
+    fn swap_threshold(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn AggressorTracker + Send> {
+        Box::new(NullTracker)
+    }
+
+    fn may_emit_memory_traffic(&self) -> bool {
+        false
+    }
+}
+
+pub(crate) fn build_tracker(config: &SystemConfig) -> Box<dyn AggressorTracker + Send> {
     let mitigation = config.mitigation_config();
     let ts = mitigation.swap_threshold();
     match config.tracker {
@@ -266,6 +393,9 @@ impl System {
             max_row_activations: 0,
             rows_pinned: 0,
             pinned_hits: 0,
+            now: 0,
+            freed_queue_slot: false,
+            probes: Vec::new(),
             config,
         }
     }
@@ -394,6 +524,19 @@ impl System {
             self.tracker.reset_epoch();
             let actions = self.defense.on_new_window(boundary);
             self.apply_actions(actions);
+            // Branch probes see the same epoch boundaries their cell's
+            // from-scratch run would. A pre-divergence defense has nothing
+            // swapped, so its window work produces no actions — were it to
+            // produce any, the trunk and the cell would already have
+            // diverged, which the probe protocol rules out.
+            for slot in &mut self.probes {
+                let Some(probe) = slot else { continue };
+                if probe.fired_at.is_none() {
+                    probe.tracker.reset_epoch();
+                    let actions = probe.defense.on_new_window(boundary);
+                    debug_assert!(actions.is_empty(), "pre-divergence window work acted");
+                }
+            }
             self.pinned_rows.clear();
             for shard in &mut self.bank_activations {
                 shard.clear();
@@ -446,8 +589,15 @@ impl System {
 
         // Let every core issue work available at this time. `try_issue`
         // re-evaluates the core's status itself, so the loop only consults
-        // `status` on the not-issuable path to stamp finish times.
+        // `status` on the not-issuable path to stamp finish times. A core
+        // whose finish time is already stamped is done for good (retired
+        // work only grows), so the loop skips it outright — on mixed-speed
+        // runs the tail of the simulation stops paying per-tick issue
+        // probes for every long-finished core.
         for core_idx in 0..self.cores.len() {
+            if self.core_finish_ns[core_idx].is_some() {
+                continue;
+            }
             if self.deferred.len() > 512 {
                 break;
             }
@@ -490,6 +640,7 @@ impl System {
             pending: &mut self.pending,
             bank_activations: &mut self.bank_activations,
             max_row_activations: &mut self.max_row_activations,
+            probes: &mut self.probes,
             timing: self.config.dram.timing,
             now,
             actions: Vec::new(),
@@ -508,6 +659,16 @@ impl System {
         let actions = self.defense.on_tick(now);
         if !actions.is_empty() {
             self.apply_actions(actions);
+        }
+        // Probe defenses receive the identical tick cadence (SRS reschedules
+        // its place-back deadline relative to the tick clock even while its
+        // queue is empty); pre-divergence they never emit work.
+        for slot in &mut self.probes {
+            let Some(probe) = slot else { continue };
+            if probe.fired_at.is_none() {
+                let actions = probe.defense.on_tick(now);
+                debug_assert!(actions.is_empty(), "pre-divergence tick work acted");
+            }
         }
     }
 
@@ -549,7 +710,8 @@ impl System {
         // O(1) read) is within one step on almost every tick of a
         // memory-saturated run. The remaining branches below return the
         // same value in that case, just more slowly.
-        if self.controller.next_event_ns(now) <= now + STEP_NS {
+        let controller_next = self.controller.next_event_ns(now);
+        if controller_next <= now + STEP_NS {
             return now + STEP_NS;
         }
         // One pass over the cores collects everything the decision needs:
@@ -587,7 +749,7 @@ impl System {
             return now + STEP_NS;
         }
         let mut next = self.config.max_sim_ns.min(self.next_window_ns);
-        next = next.min(self.controller.next_event_ns(now));
+        next = next.min(controller_next);
         if let Some(t) = self.defense.next_action_ns() {
             next = next.min(t);
         }
@@ -610,42 +772,121 @@ impl System {
     /// one grid-aligned event to the next instead of sweeping every bank
     /// and core each 25 ns. Produces bit-identical results to
     /// [`System::run_fixed_step`].
-    pub fn run(self) -> SimResult {
-        self.run_engine(true)
+    pub fn run(mut self) -> SimResult {
+        while !self.engine_done() {
+            self.engine_step(true);
+        }
+        self.into_result()
     }
 
     /// Run the simulation with the reference fixed-step engine, visiting
     /// every 25 ns tick. Kept as the oracle the event-driven engine is
     /// equivalence-tested against; prefer [`System::run`].
-    pub fn run_fixed_step(self) -> SimResult {
-        self.run_engine(false)
+    pub fn run_fixed_step(mut self) -> SimResult {
+        while !self.engine_done() {
+            self.engine_step(false);
+        }
+        self.into_result()
     }
 
-    fn run_engine(mut self, event_driven: bool) -> SimResult {
-        let mut now: u64 = 0;
-        let mut freed_queue_slot = false;
-        loop {
-            if now >= self.config.max_sim_ns {
-                break;
-            }
-            if self.is_complete() {
-                break;
-            }
-            if self.stop_requested() {
-                break;
-            }
-            let demand_before = self.controller.stats().reads + self.controller.stats().writes;
-            self.step_at(now, freed_queue_slot);
-            let scheduled = self.controller.stats().reads + self.controller.stats().writes;
-            freed_queue_slot = scheduled != demand_before;
-            now = if event_driven {
-                self.next_event_time(now, freed_queue_slot)
-            } else {
-                now + STEP_NS
-            };
-        }
+    /// The engine clock: the next tick this system will execute.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
 
-        let elapsed = now.max(1);
+    /// Whether the run has reached one of its exit conditions (time cap,
+    /// all work drained, or a requested stop at the first TRH crossing).
+    #[must_use]
+    pub(crate) fn engine_done(&self) -> bool {
+        self.now >= self.config.max_sim_ns || self.is_complete() || self.stop_requested()
+    }
+
+    /// Execute exactly one engine iteration: the tick at `self.now`, then
+    /// advance the clock — to the next grid-aligned event under the
+    /// event-driven engine, or by one step under the fixed-step oracle.
+    pub(crate) fn engine_step(&mut self, event_driven: bool) {
+        let demand_before = self.controller.stats().reads + self.controller.stats().writes;
+        let (now, retry) = (self.now, self.freed_queue_slot);
+        self.step_at(now, retry);
+        let scheduled = self.controller.stats().reads + self.controller.stats().writes;
+        self.freed_queue_slot = scheduled != demand_before;
+        self.now = if event_driven {
+            self.next_event_time(self.now, self.freed_queue_slot)
+        } else {
+            self.now + STEP_NS
+        };
+    }
+
+    /// Advance the event-driven engine until the clock reaches `t` (or the
+    /// run finishes, whichever comes first). Resuming afterwards — on this
+    /// system or on a [`System::fork`] of it — produces results
+    /// bit-identical to an uninterrupted [`System::run`].
+    pub fn run_until_ns(&mut self, t: u64) {
+        while self.now < t && !self.engine_done() {
+            self.engine_step(true);
+        }
+    }
+
+    /// Snapshot this simulation: a deep, independent copy of every piece of
+    /// mutable state — cores, controller queues, tracker tables, the
+    /// defense's RIT/counters/RNG, security accounting and the engine
+    /// clock. Running the fork and the original produces bit-identical
+    /// results.
+    #[must_use]
+    pub fn fork(&self) -> System {
+        self.clone()
+    }
+
+    /// Replace the mitigation pair (and the cell configuration labelling
+    /// results) on this system — the second half of the sharing-aware
+    /// fork: the memory-system state comes from the trunk snapshot, the
+    /// tracker/defense state from the branch's probe.
+    ///
+    /// The caller guarantees `config` agrees with the trunk's configuration
+    /// on everything that shaped the shared prefix (geometry, cores, seed,
+    /// workload scale); only the mitigation axes (defense, `t_rh`, tracker,
+    /// swap rate) may differ.
+    pub(crate) fn fork_with_mitigation(
+        &self,
+        config: SystemConfig,
+        tracker: Box<dyn AggressorTracker + Send>,
+        defense: Box<dyn RowSwapDefense + Send>,
+    ) -> System {
+        let mut forked = self.clone();
+        forked.probes.clear();
+        forked.config = config;
+        forked.tracker = tracker;
+        forked.defense = defense;
+        forked
+    }
+
+    /// Swap the tracker out (trunk construction installs the inert
+    /// [`NullTracker`] so the trunk's own mitigation never fires).
+    pub(crate) fn set_tracker(&mut self, tracker: Box<dyn AggressorTracker + Send>) {
+        self.tracker = tracker;
+    }
+
+    /// Attach a branch probe; returns its index.
+    pub(crate) fn attach_probe(&mut self, probe: MitigationProbe) -> usize {
+        self.probes.push(Some(probe));
+        self.probes.len() - 1
+    }
+
+    /// The tick during which probe `index` first fired, if it has.
+    pub(crate) fn probe_fired_at(&self, index: usize) -> Option<u64> {
+        self.probes[index].as_ref().and_then(|p| p.fired_at)
+    }
+
+    /// Detach probe `index`, yielding its tracker/defense state as of the
+    /// start of the current tick.
+    pub(crate) fn take_probe(&mut self, index: usize) -> MitigationProbe {
+        self.probes[index].take().expect("probe already taken")
+    }
+
+    /// Fold the finished run into its [`SimResult`].
+    pub(crate) fn into_result(mut self) -> SimResult {
+        let elapsed = self.now.max(1);
         for slot in &mut self.core_finish_ns {
             if slot.is_none() {
                 *slot = Some(elapsed);

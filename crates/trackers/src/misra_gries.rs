@@ -4,8 +4,14 @@
 //! counter. The table is sized so that any row receiving more than `TS`
 //! activations within a tracking epoch is guaranteed to be present — the
 //! classic Misra-Gries guarantee requires `entries ≥ ACT_max / TS`.
+//!
+//! The table is stored as flat slot arrays (rows and counters side by side)
+//! with a small open-addressed index mapping row → slot, mirroring the
+//! direct-indexed SRAM structure of the hardware: the per-activation lookup
+//! is a couple of contiguous loads, the eviction scan sweeps a dense counter
+//! array, an epoch reset is a memset of the index, and a snapshot of the
+//! tracker is a plain memcpy of a few flat `Vec`s.
 
-use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::tracker::{AggressorTracker, TrackerDecision};
@@ -42,12 +48,33 @@ impl MisraGriesConfig {
     }
 }
 
+/// Fibonacci-hash a row tag into a table of `1 << bits` slots: one multiply,
+/// top bits as the bucket — deterministic, seedless, and well-spread for the
+/// sequential/strided row patterns DRAM traffic produces.
+#[inline]
+fn bucket_of(row: u64, bits: u32) -> usize {
+    (row.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+/// One bank's tracking table: dense slot storage plus an open-addressed
+/// row → slot index (linear probing, backward-shift deletion).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct BankTable {
-    entries: FxHashMap<u64, u64>,
+    /// Row tag of each live slot (`0..len`).
+    rows: Vec<u64>,
+    /// Estimated counter of each live slot (`0..len`).
+    counts: Vec<u64>,
+    /// Open-addressed index: `slot + 1` keyed by row hash, 0 = empty. Always
+    /// a power of two at least twice `capacity`, so probe chains stay short
+    /// even with the table full.
+    index: Vec<u32>,
+    /// log2 of `index.len()`.
+    index_bits: u32,
+    /// Live slots.
+    len: usize,
     spillover: u64,
     capacity: usize,
-    /// A lower bound on the smallest counter in `entries`. Counters only
+    /// A lower bound on the smallest counter in the table. Counters only
     /// grow, so the bound can run stale-low (costing a scan that finds
     /// nothing) but never stale-high; while it exceeds the spillover
     /// counter, the eviction scan provably cannot find a victim and is
@@ -58,22 +85,95 @@ struct BankTable {
 
 impl BankTable {
     fn new(capacity: usize) -> Self {
-        // The table fills to exactly `capacity` live entries; reserving up
-        // front keeps rehashing (and its per-activation amortized cost) off
-        // the hot path.
-        let entries = FxHashMap::with_capacity_and_hasher(capacity, Default::default());
-        Self { entries, spillover: 0, capacity, min_bound: 0 }
+        let capacity = capacity.max(1);
+        let slots = (2 * capacity).next_power_of_two().max(8);
+        Self {
+            rows: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            index: vec![0; slots],
+            index_bits: slots.trailing_zeros(),
+            len: 0,
+            spillover: 0,
+            capacity,
+            min_bound: 0,
+        }
+    }
+
+    /// The slot currently holding `row`, if any.
+    #[inline]
+    fn slot_of(&self, row: u64) -> Option<usize> {
+        let mask = self.index.len() - 1;
+        let mut pos = bucket_of(row, self.index_bits);
+        loop {
+            match self.index[pos] {
+                0 => return None,
+                s if self.rows[(s - 1) as usize] == row => return Some((s - 1) as usize),
+                _ => pos = (pos + 1) & mask,
+            }
+        }
+    }
+
+    /// Point the index at `slot` for its current row tag.
+    fn index_insert(&mut self, slot: usize) {
+        let mask = self.index.len() - 1;
+        let mut pos = bucket_of(self.rows[slot], self.index_bits);
+        while self.index[pos] != 0 {
+            pos = (pos + 1) & mask;
+        }
+        self.index[pos] = (slot + 1) as u32;
+    }
+
+    /// Remove `row` from the index using backward-shift deletion, keeping
+    /// every remaining probe chain intact without tombstones.
+    fn index_remove(&mut self, row: u64) {
+        let mask = self.index.len() - 1;
+        let mut pos = bucket_of(row, self.index_bits);
+        loop {
+            match self.index[pos] {
+                0 => return,
+                s if self.rows[(s - 1) as usize] == row => break,
+                _ => pos = (pos + 1) & mask,
+            }
+        }
+        let mut hole = pos;
+        let mut probe = (pos + 1) & mask;
+        while self.index[probe] != 0 {
+            let home = bucket_of(self.rows[(self.index[probe] - 1) as usize], self.index_bits);
+            // The entry may move back into the hole only if its home bucket
+            // does not lie strictly between the hole and its current slot
+            // (cyclic comparison).
+            let between = if hole <= probe {
+                home > hole && home <= probe
+            } else {
+                home > hole || home <= probe
+            };
+            if !between {
+                self.index[hole] = self.index[probe];
+                hole = probe;
+            }
+            probe = (probe + 1) & mask;
+        }
+        self.index[hole] = 0;
     }
 
     /// Returns the row's new estimated count.
     fn observe(&mut self, row: u64) -> u64 {
-        if let Some(count) = self.entries.get_mut(&row) {
-            *count += 1;
-            return *count;
+        if let Some(slot) = self.slot_of(row) {
+            self.counts[slot] += 1;
+            return self.counts[slot];
         }
-        if self.entries.len() < self.capacity {
+        if self.len < self.capacity {
             let start = self.spillover + 1;
-            self.entries.insert(row, start);
+            let slot = self.len;
+            if slot == self.rows.len() {
+                self.rows.push(row);
+                self.counts.push(start);
+            } else {
+                self.rows[slot] = row;
+                self.counts[slot] = start;
+            }
+            self.len += 1;
+            self.index_insert(slot);
             self.min_bound = self.min_bound.min(start);
             return start;
         }
@@ -82,16 +182,20 @@ impl BankTable {
         // their lead over untracked ones). The bound check skips the scan
         // whenever it cannot succeed.
         if self.min_bound <= self.spillover {
-            if let Some((&victim, _)) = self.entries.iter().find(|(_, &c)| c <= self.spillover) {
-                self.entries.remove(&victim);
+            let spillover = self.spillover;
+            if let Some(victim) = self.counts[..self.len].iter().position(|&c| c <= spillover) {
+                let old_row = self.rows[victim];
+                self.index_remove(old_row);
                 let start = self.spillover + 1;
-                self.entries.insert(row, start);
+                self.rows[victim] = row;
+                self.counts[victim] = start;
+                self.index_insert(victim);
                 return start;
             }
             // The scan proved every counter exceeds the spillover level;
             // remember the exact minimum so future misses skip the scan
             // until the spillover counter catches up.
-            self.min_bound = self.entries.values().copied().min().unwrap_or(u64::MAX);
+            self.min_bound = self.counts[..self.len].iter().copied().min().unwrap_or(u64::MAX);
         }
         self.spillover += 1;
         self.spillover
@@ -100,8 +204,50 @@ impl BankTable {
     fn reset_row(&mut self, row: u64) {
         // After a mitigation the row starts counting from the spillover
         // level again, mirroring Graphene's counter reset on a swap.
-        self.entries.insert(row, self.spillover);
+        if let Some(slot) = self.slot_of(row) {
+            self.counts[slot] = self.spillover;
+        } else if self.len < self.capacity {
+            let slot = self.len;
+            if slot == self.rows.len() {
+                self.rows.push(row);
+                self.counts.push(self.spillover);
+            } else {
+                self.rows[slot] = row;
+                self.counts[slot] = self.spillover;
+            }
+            self.len += 1;
+            self.index_insert(slot);
+        } else {
+            // Full table: the mitigated row earns a slot through the same
+            // Misra-Gries eviction rule `observe` applies — replace an
+            // entry at or below the spillover level, so the reset row's
+            // counter subsequently tracks its *own* activations instead of
+            // riding the shared spillover counter. If every tracked row
+            // strictly exceeds the spillover level, each of them carries
+            // more evidence than the freshly reset row and the row
+            // (correctly, for a Misra-Gries summary) stays untracked at
+            // the spillover estimate.
+            let spillover = self.spillover;
+            if let Some(victim) = self.counts[..self.len].iter().position(|&c| c <= spillover) {
+                let old_row = self.rows[victim];
+                self.index_remove(old_row);
+                self.rows[victim] = row;
+                self.counts[victim] = spillover;
+                self.index_insert(victim);
+            }
+        }
         self.min_bound = self.min_bound.min(self.spillover);
+    }
+
+    fn estimate(&self, row: u64) -> u64 {
+        self.slot_of(row).map_or(self.spillover, |slot| self.counts[slot])
+    }
+
+    fn clear(&mut self) {
+        self.index.fill(0);
+        self.len = 0;
+        self.spillover = 0;
+        self.min_bound = 0;
     }
 }
 
@@ -133,7 +279,7 @@ impl MisraGriesTracker {
     /// Panics if `bank` is out of range.
     #[must_use]
     pub fn tracked_rows(&self, bank: usize) -> usize {
-        self.banks[bank].entries.len()
+        self.banks[bank].len
     }
 }
 
@@ -151,14 +297,12 @@ impl AggressorTracker for MisraGriesTracker {
 
     fn estimated_count(&self, bank: usize, row: u64) -> u64 {
         let bank = bank % self.banks.len();
-        self.banks[bank].entries.get(&row).copied().unwrap_or(self.banks[bank].spillover)
+        self.banks[bank].estimate(row)
     }
 
     fn reset_epoch(&mut self) {
         for b in &mut self.banks {
-            b.entries.clear();
-            b.spillover = 0;
-            b.min_bound = 0;
+            b.clear();
         }
     }
 
@@ -169,6 +313,17 @@ impl AggressorTracker for MisraGriesTracker {
     fn storage_bits(&self) -> u64 {
         let entry_bits = u64::from(self.config.row_tag_bits + self.config.counter_bits);
         self.config.banks as u64 * self.config.entries_per_bank as u64 * entry_bits
+    }
+
+    fn clone_box(&self) -> Box<dyn AggressorTracker + Send> {
+        Box::new(self.clone())
+    }
+
+    fn may_emit_memory_traffic(&self) -> bool {
+        // Misra-Gries lives entirely in SRAM: it never produces DRAM
+        // traffic of its own, so its only feedback channel into the
+        // simulation is the mitigation trigger itself.
+        false
     }
 }
 
@@ -270,5 +425,74 @@ mod tests {
             t.record_activation(0, 7777); // heavy hitter, 1/2 of traffic
         }
         assert!(t.estimated_count(0, 7777) >= 5_000, "estimate too low");
+    }
+
+    #[test]
+    fn eviction_churn_keeps_the_index_consistent() {
+        // A table of 8 slots thrashed by hundreds of distinct rows: every
+        // evicted row must become unfindable, every inserted row findable,
+        // exercising backward-shift deletion across wrapped probe chains.
+        let mut b = BankTable::new(8);
+        for i in 0..2_000u64 {
+            b.observe(i * 131);
+            assert!(b.len <= 8);
+        }
+        // Every slot's row must be findable through the index and point back
+        // at its own slot.
+        for slot in 0..b.len {
+            assert_eq!(b.slot_of(b.rows[slot]), Some(slot), "slot {slot} lost its index entry");
+        }
+        let live: std::collections::BTreeSet<u64> = b.rows[..b.len].iter().copied().collect();
+        assert_eq!(live.len(), b.len, "duplicate rows in the slot array");
+        // The index holds exactly `len` non-empty buckets.
+        assert_eq!(b.index.iter().filter(|&&s| s != 0).count(), b.len);
+    }
+
+    #[test]
+    fn reset_on_a_full_table_evicts_a_spillover_level_entry() {
+        // Saturate a 4-slot table, then drive the spillover counter to the
+        // threshold so an *untracked* row fires: the reset must seat the
+        // fired row in a slot (evicting a spillover-level entry) so its
+        // counter subsequently grows only with its own activations rather
+        // than riding the shared spillover counter.
+        let mut t = MisraGriesTracker::new(MisraGriesConfig {
+            swap_threshold: 40,
+            entries_per_bank: 4,
+            banks: 1,
+            row_tag_bits: 17,
+            counter_bits: 13,
+        });
+        let mut fired_row = None;
+        for i in 0..10_000u64 {
+            let row = 100 + (i % 64);
+            if t.record_activation(0, row).mitigate && !t.banks[0].counts[..4].contains(&0) {
+                fired_row = Some(row);
+                break;
+            }
+        }
+        let row = fired_row.expect("a saturating sweep must eventually fire");
+        assert!(
+            t.banks[0].slot_of(row).is_some(),
+            "the mitigated row must own a slot after its counter reset"
+        );
+        let slot = t.banks[0].slot_of(row).unwrap();
+        let before = t.banks[0].counts[slot];
+        let spill_before = t.banks[0].spillover;
+        // Another row's miss moves spillover but not the reset row's count.
+        t.record_activation(0, 9_999);
+        assert_eq!(t.banks[0].counts[slot], before);
+        assert!(t.banks[0].spillover >= spill_before);
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let mut t = tracker(100);
+        for _ in 0..50 {
+            t.record_activation(0, 7);
+        }
+        let fork: Box<dyn AggressorTracker + Send> = t.clone_box();
+        t.record_activation(0, 7);
+        assert_eq!(fork.estimated_count(0, 7) + 1, t.estimated_count(0, 7));
+        assert!(!t.may_emit_memory_traffic());
     }
 }

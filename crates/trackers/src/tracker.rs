@@ -68,6 +68,25 @@ pub trait AggressorTracker {
 
     /// Total SRAM storage the tracker requires, in bits.
     fn storage_bits(&self) -> u64;
+
+    /// Deep-copy this tracker behind a fresh box — the snapshot primitive
+    /// the sharing-aware grid executor uses to fork a simulation.
+    fn clone_box(&self) -> Box<dyn AggressorTracker + Send>;
+
+    /// Whether [`AggressorTracker::record_activation`] can ever report
+    /// `extra_memory_accesses > 0`. Purely-SRAM trackers (Misra-Gries)
+    /// return `false`, which lets a prefix-sharing planner prove that a
+    /// baseline cell with such a tracker never feeds anything back into the
+    /// simulation.
+    fn may_emit_memory_traffic(&self) -> bool {
+        true
+    }
+}
+
+impl Clone for Box<dyn AggressorTracker + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

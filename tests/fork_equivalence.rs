@@ -1,0 +1,146 @@
+//! The snapshot/fork primitive and the sharing-aware grid executor are
+//! pure optimizations: a run resumed from a fork must be **bit-identical**
+//! — `SimResult` and `SecurityReport` included — to an uninterrupted
+//! from-scratch run, and a grid executed with prefix sharing must be
+//! bit-identical to the same grid simulated cell by cell.
+
+use proptest::prelude::*;
+
+use scale_srs::attack::engine::{AttackPattern, AttackSpec};
+use scale_srs::core::DefenseKind;
+use scale_srs::sim::spec::ConfigPatch;
+use scale_srs::sim::{Experiment, System, SystemConfig};
+use scale_srs::trackers::TrackerKind;
+use scale_srs::workloads::{all_workloads, AccessPattern, NamedWorkload, Trace, WorkloadSpec};
+
+fn fork_config(defense: DefenseKind, tracker: TrackerKind, attacked: bool) -> SystemConfig {
+    let mut config = SystemConfig::scaled_for_speed(defense, if attacked { 300 } else { 1200 });
+    config.tracker = tracker;
+    config.cores = 2;
+    config.core.target_instructions = 4_000;
+    config.trace_records_per_core = 1_500;
+    config.dram.refresh_window_ns = 400_000;
+    config.max_sim_ns = 2_000_000;
+    if attacked {
+        config.cores = 1;
+        config.core.target_instructions = u64::MAX / 2;
+        config.dram.refresh_window_ns = 8_000_000;
+        config.attack =
+            Some(AttackSpec::new("fork-single", AttackPattern::SingleSided { bank: 0, row: 64 }));
+    }
+    config
+}
+
+fn fork_trace(records: usize) -> Trace {
+    WorkloadSpec {
+        name: "fork-hot".to_string(),
+        footprint_bytes: 1 << 24,
+        base_addr: 0,
+        read_fraction: 0.7,
+        mean_gap: 2,
+        pattern: AccessPattern::HotRows { hot_rows: 2, hot_fraction: 0.6 },
+    }
+    .generate(records, 11)
+}
+
+proptest! {
+    /// A run forked from a snapshot at an arbitrary point — across every
+    /// defense, both trackers, attacked and benign cells — must match the
+    /// uninterrupted run bit for bit, and so must the snapshotted original
+    /// resumed after the fork (deep-copy independence).
+    #[test]
+    fn forked_run_is_bit_identical_to_from_scratch(
+        defense in prop::sample::select(vec![
+            DefenseKind::Baseline,
+            DefenseKind::Rrs { immediate_unswap: true },
+            DefenseKind::Rrs { immediate_unswap: false },
+            DefenseKind::Srs,
+            DefenseKind::ScaleSrs,
+        ]),
+        tracker in prop::sample::select(vec![TrackerKind::MisraGries, TrackerKind::Hydra]),
+        attacked in prop::bool::ANY,
+        fork_tenths in 1u64..10,
+    ) {
+        let config = fork_config(defense, tracker, attacked);
+        let trace = fork_trace(1_500);
+        let reference = System::new(config.clone(), trace.clone()).run();
+
+        let mut original = System::new(config, trace);
+        original.run_until_ns(reference.elapsed_ns * fork_tenths / 10);
+        let forked = original.fork();
+
+        // The fork continues to the reference result...
+        prop_assert_eq!(&forked.run(), &reference);
+        // ...and the original, resumed after the fork was taken, does too.
+        prop_assert_eq!(&original.run(), &reference);
+    }
+}
+
+fn tiny() -> ConfigPatch {
+    ConfigPatch {
+        cores: Some(2),
+        target_instructions: Some(4_000),
+        trace_records_per_core: Some(1_500),
+        refresh_window_ns: Some(500_000),
+        max_sim_ns: Some(3_000_000),
+        ..ConfigPatch::default()
+    }
+}
+
+fn grid_workloads() -> Vec<NamedWorkload> {
+    all_workloads().into_iter().filter(|w| w.name == "gups" || w.name == "gcc").collect()
+}
+
+/// The real gate on the sharing-aware executor: a grid crossing every
+/// defense (the baseline included, so baseline cells flow through the
+/// trunk-relabel path), both trackers (Hydra diverges on counter-table
+/// traffic, not on mitigation), and two thresholds must produce exactly
+/// the same result stream with sharing on and off.
+#[test]
+fn shared_grid_is_bit_identical_to_unshared() {
+    let experiment = Experiment::new()
+        .with_defenses(vec![
+            DefenseKind::Baseline,
+            DefenseKind::Rrs { immediate_unswap: true },
+            DefenseKind::Srs,
+            DefenseKind::ScaleSrs,
+        ])
+        .with_trackers(vec![TrackerKind::MisraGries, TrackerKind::Hydra])
+        .with_thresholds(vec![1200, 2400])
+        .with_workloads(grid_workloads())
+        .with_patch(tiny())
+        .with_threads(4);
+    assert!(experiment.share_prefixes(), "sharing must be the default");
+    let shared = experiment.clone().run();
+    let unshared = experiment.with_share_prefixes(false).run();
+    assert_eq!(shared.len(), 32);
+    for (s, u) in shared.iter().zip(&unshared) {
+        assert_eq!(
+            s, u,
+            "{} on {} trh={} tracker={} diverged between shared and unshared",
+            s.scenario.defense, s.scenario.workload.name, s.scenario.t_rh, s.scenario.tracker
+        );
+    }
+}
+
+/// Attacked cells never join a prefix group (the attacker adapts to the
+/// defense's threshold from its first read); a mixed grid must still be
+/// bit-identical under both execution plans, with every attacked cell
+/// carrying its security report.
+#[test]
+fn mixed_attacked_grid_is_bit_identical_to_unshared() {
+    let attack = AttackSpec::new("single", AttackPattern::SingleSided { bank: 0, row: 64 });
+    let experiment = Experiment::new()
+        .with_defenses(vec![DefenseKind::Baseline, DefenseKind::Srs, DefenseKind::ScaleSrs])
+        .with_thresholds(vec![600])
+        .with_attacks(vec![attack])
+        .with_workloads(grid_workloads())
+        .with_patch(tiny())
+        .with_threads(4);
+    let shared = experiment.clone().run();
+    let unshared = experiment.with_share_prefixes(false).run();
+    assert_eq!(shared, unshared);
+    for r in &shared {
+        assert!(r.result.detail.security.is_some(), "attacked cells carry a security report");
+    }
+}

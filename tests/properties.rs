@@ -26,7 +26,7 @@ proptest! {
     /// permutation (no two rows ever resolve to the same location).
     #[test]
     fn rit_stays_a_permutation(ops in proptest::collection::vec((0u64..64, 0u64..64, prop::bool::ANY), 1..200)) {
-        let mut rit = BankRit::new(256);
+        let mut rit = BankRit::new(256, 64);
         for (row, target, unswap) in ops {
             if unswap {
                 rit.unswap(row, 0);
@@ -125,7 +125,7 @@ proptest! {
     fn translate_is_a_self_inverse_permutation_with_occupant(
         ops in proptest::collection::vec((0u64..48, 0u64..48, prop::bool::ANY), 1..150),
     ) {
-        let mut rit = BankRit::new(256);
+        let mut rit = BankRit::new(256, 64);
         for (row, target, unswap) in ops {
             if unswap {
                 rit.unswap(row, 0);

@@ -26,6 +26,7 @@ proptest! {
             1..4,
         ),
         paper in prop::bool::ANY,
+        share_prefixes in prop::bool::ANY,
         attacks in prop::collection::vec(
             prop::sample::select(vec!["juggernaut", "blacksmith", "single-sided"]),
             0..3,
@@ -53,6 +54,7 @@ proptest! {
             attacks: attacks.iter().map(ToString::to_string).collect(),
             workloads: workloads.iter().map(ToString::to_string).collect(),
             threads: None,
+            share_prefixes,
         };
 
         // Both wire forms decode back to the identical spec.
