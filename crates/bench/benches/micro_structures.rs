@@ -32,6 +32,41 @@ fn bench_tracker(c: &mut Criterion) {
             black_box(tracker.record_activation((i % 16) as usize, i % 4096));
         });
     });
+    // The Misra-Gries worst case: a full table fed a low-locality stream, so
+    // every activation misses and the eviction path — the chunked
+    // first-at-or-below scan over the dense counter array, or the min-bound
+    // skip when it cannot succeed — runs on every call.
+    c.bench_function("misra_gries_eviction_scan_pressure", |b| {
+        let mut tracker = MisraGriesTracker::new(MisraGriesConfig {
+            swap_threshold: u64::MAX,
+            entries_per_bank: 512,
+            banks: 1,
+            row_tag_bits: 17,
+            counter_bits: 13,
+        });
+        for row in 0..512 {
+            tracker.record_activation(0, row);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tracker.record_activation(0, 1_000 + (i * 131) % 16_384));
+        });
+    });
+}
+
+fn bench_rit_live_walk(c: &mut Criterion) {
+    // The defense polls `stale_rows` on a timer for every bank, almost
+    // always finding nothing: the walk over the dense live-epoch mirror is
+    // the hot shape, priced here with a half-full table whose entries are
+    // all current (no stale hits, pure scan).
+    c.bench_function("rit_stale_live_walk", |b| {
+        let mut rit = BankRit::new(4096, 65_536);
+        for i in 0..2048u64 {
+            rit.swap_to(i, 32_768 + i, 7);
+        }
+        b.iter(|| black_box(rit.stale_rows(black_box(6))));
+    });
 }
 
 fn bench_defense_trigger(c: &mut Criterion) {
@@ -75,6 +110,7 @@ criterion_group!(
     benches,
     bench_rit,
     bench_tracker,
+    bench_rit_live_walk,
     bench_defense_trigger,
     bench_attack_model,
     bench_cache

@@ -19,7 +19,12 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { min_batch_time: Duration::from_millis(200) }
+        // `SRS_BENCH_SMOKE=1` (the workspace-wide bench smoke switch) cuts
+        // the per-benchmark batch target so CI can execute every harness
+        // end to end without pretending its wall times are stable numbers.
+        let smoke = std::env::var_os("SRS_BENCH_SMOKE").is_some_and(|v| v == "1");
+        let millis = if smoke { 10 } else { 200 };
+        Self { min_batch_time: Duration::from_millis(millis) }
     }
 }
 

@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::open_map::OpenMap;
+
 /// Width of the epoch-id field in each counter.
 pub const EPOCH_ID_BITS: u32 = 19;
 /// Width of the activation-count field in each counter.
@@ -20,21 +22,22 @@ pub const COUNTER_BITS: u32 = 32;
 
 /// The swap-tracking counter state for one bank.
 ///
-/// The model mirrors the hardware layout directly: one packed
-/// `(epoch_id + 1, count)` word per row, direct-indexed by row number — the
-/// flat-array equivalent of the reserved-DRAM table whose footprint
-/// [`SwapCounters::reserved_dram_bytes`] reports. The array is allocated on
-/// the bank's first swap, so banks that never swap (all banks of a benign
-/// or baseline run) hold no storage, and a snapshot of a touched bank is a
-/// single memcpy.
+/// The hardware reserves one packed `(epoch_id, count)` word per row, whose
+/// DRAM footprint [`SwapCounters::reserved_dram_bytes`] reports. The model
+/// only materialises the words of rows that have actually swapped: a
+/// compact row-keyed index over a dense word array, so banks that never
+/// swap (all banks of a benign or baseline run) hold no storage and a
+/// touched bank snapshots in kilobytes — the earlier direct-indexed array
+/// zeroed a megabyte per bank on its first swap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwapCounters {
     rows_per_bank: u64,
     row_size_bytes: u64,
     epoch_register: u64,
-    /// `(epoch_id + 1) << 32 | count`, indexed by physical row; 0 = never
-    /// touched. Lazily allocated.
-    counters: Vec<u64>,
+    /// Physical row → index into `words` for rows that have swapped.
+    index: OpenMap,
+    /// `(epoch_id + 1) << 32 | count` per touched row; 0 = stale.
+    words: Vec<u64>,
     counter_row_accesses: u64,
 }
 
@@ -53,7 +56,8 @@ impl SwapCounters {
             rows_per_bank,
             row_size_bytes,
             epoch_register: 0,
-            counters: Vec::new(),
+            index: OpenMap::new(),
+            words: Vec::new(),
             counter_row_accesses: 0,
         }
     }
@@ -74,7 +78,7 @@ impl SwapCounters {
             self.epoch_register = 0;
             // The scrub rewrites every counter row; epoch-id 0 becomes
             // current again, so stale words must not alias it.
-            self.counters.fill(0);
+            self.words.fill(0);
             true
         } else {
             false
@@ -89,11 +93,16 @@ impl SwapCounters {
     /// Each call models one read-modify-write of the counter row.
     pub fn record_swap(&mut self, row: u64, activations: u64) -> u64 {
         self.counter_row_accesses += 1;
-        if self.counters.is_empty() {
-            self.counters = vec![0; self.rows_per_bank as usize];
-        }
+        let idx = match self.index.get(row as u32) {
+            Some(idx) => idx as usize,
+            None => {
+                self.index.insert(row as u32, self.words.len() as u32);
+                self.words.push(0);
+                self.words.len() - 1
+            }
+        };
         let max_count = (1u64 << ACTIVATION_COUNT_BITS) - 1;
-        let slot = &mut self.counters[row as usize];
+        let slot = &mut self.words[idx];
         let count = if *slot >> 32 == self.epoch_register + 1 { *slot & 0xFFFF_FFFF } else { 0 };
         let count = (count + activations).min(max_count);
         *slot = pack(self.epoch_register, count);
@@ -104,8 +113,8 @@ impl SwapCounters {
     /// touched).
     #[must_use]
     pub fn count(&self, row: u64) -> u64 {
-        match self.counters.get(row as usize) {
-            Some(&word) if word >> 32 == self.epoch_register + 1 => word & 0xFFFF_FFFF,
+        match self.index.get(row as u32).map(|idx| self.words[idx as usize]) {
+            Some(word) if word >> 32 == self.epoch_register + 1 => word & 0xFFFF_FFFF,
             _ => 0,
         }
     }

@@ -40,6 +40,7 @@ pub mod baseline;
 pub mod config;
 pub mod counters;
 pub mod defense;
+pub mod open_map;
 pub mod power;
 pub mod rit;
 pub mod rrs;

@@ -19,16 +19,20 @@
 //! architecturally visible properties: a bounded entry count and the
 //! guarantee that an insertion below capacity always succeeds.
 //!
-//! Storage model: the geometry is known at construction time, so both
-//! look-up directions are flat direct-indexed arrays (`location + 1` by
-//! logical row and `row + 1` by location, 0 meaning identity) plus a
-//! compact list of the live mappings for iteration. The per-access
-//! `translate` is a single bounds-checked load, and the arrays are only
-//! allocated on the first recorded swap — a bank that never swaps (every
-//! bank of a baseline or not-yet-triggered run) costs nothing to hold,
-//! clone or snapshot.
+//! Storage model: live mappings sit in dense parallel arrays (row,
+//! location, epoch — the latter two doubling as the iteration surface for
+//! the place-back scan), and both look-up directions are compact
+//! open-addressed indexes over those arrays ([`OpenMap`]). The index
+//! space is `rows_per_bank` but only `capacity` entries are ever live, so
+//! the kilobyte-sized tables stay L1-resident, a bank that never swaps
+//! costs nothing to hold, and cloning a touched bank copies kilobytes —
+//! the earlier direct-indexed `rows_per_bank`-sized arrays zeroed ~2 MB
+//! per bank on its first swap, which dominated the defense wall time of
+//! the saturated quickstart cells.
 
 use serde::{Deserialize, Serialize};
+
+use crate::open_map::OpenMap;
 
 /// Capacity and sizing parameters of a per-bank RIT.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,17 +95,17 @@ pub struct SwapRecord {
 /// The per-bank Row Indirection Table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BankRit {
-    /// `location + 1` indexed by logical row; 0 = identity. Allocated on
-    /// the first recorded swap.
-    forward: Vec<u32>,
-    /// `row + 1` indexed by location; 0 = identity.
-    reverse: Vec<u32>,
-    /// `epoch + 1` of each live mapping, indexed by logical row; 0 = none.
-    epoch_of: Vec<u32>,
-    /// `position + 1` of each live row in `live`; 0 = absent.
-    live_pos: Vec<u32>,
+    /// Logical row → index into the dense live arrays.
+    fwd: OpenMap,
+    /// Physical location → index into the dense live arrays.
+    rev: OpenMap,
     /// The live (remapped) logical rows, unordered.
     live: Vec<u32>,
+    /// Where each live row's data currently lives, parallel to `live`.
+    live_locs: Vec<u32>,
+    /// `epoch + 1` of each live mapping, parallel to `live`, so the
+    /// stale-row walk scans one dense array.
+    live_epochs: Vec<u32>,
     rows: u64,
     capacity: usize,
 }
@@ -117,24 +121,13 @@ impl BankRit {
     pub fn new(capacity: usize, rows: u64) -> Self {
         assert!(rows < u64::from(u32::MAX), "rows_per_bank exceeds the RIT's row encoding");
         Self {
-            forward: Vec::new(),
-            reverse: Vec::new(),
-            epoch_of: Vec::new(),
-            live_pos: Vec::new(),
+            fwd: OpenMap::new(),
+            rev: OpenMap::new(),
             live: Vec::new(),
+            live_locs: Vec::new(),
+            live_epochs: Vec::new(),
             rows,
             capacity,
-        }
-    }
-
-    /// Allocate the direct-indexed tables on the first recorded mapping.
-    fn ensure_tables(&mut self) {
-        if self.forward.is_empty() {
-            let n = self.rows as usize;
-            self.forward = vec![0; n];
-            self.reverse = vec![0; n];
-            self.epoch_of = vec![0; n];
-            self.live_pos = vec![0; n];
         }
     }
 
@@ -142,9 +135,12 @@ impl BankRit {
     #[inline]
     #[must_use]
     pub fn translate(&self, row: u64) -> u64 {
-        match self.forward.get(row as usize) {
-            Some(&mapped) if mapped != 0 => u64::from(mapped - 1),
-            _ => row,
+        if row >= self.rows {
+            return row;
+        }
+        match self.fwd.get(row as u32) {
+            Some(idx) => u64::from(self.live_locs[idx as usize]),
+            None => row,
         }
     }
 
@@ -152,9 +148,12 @@ impl BankRit {
     #[inline]
     #[must_use]
     pub fn occupant(&self, location: u64) -> u64 {
-        match self.reverse.get(location as usize) {
-            Some(&mapped) if mapped != 0 => u64::from(mapped - 1),
-            _ => location,
+        if location >= self.rows {
+            return location;
+        }
+        match self.rev.get(location as u32) {
+            Some(idx) => u64::from(self.live[idx as usize]),
+            None => location,
         }
     }
 
@@ -162,7 +161,7 @@ impl BankRit {
     #[inline]
     #[must_use]
     pub fn is_remapped(&self, row: u64) -> bool {
-        self.forward.get(row as usize).is_some_and(|&mapped| mapped != 0)
+        row < self.rows && self.fwd.get(row as u32).is_some()
     }
 
     /// Number of live (non-identity) mappings.
@@ -186,14 +185,36 @@ impl BankRit {
 
     /// Logical rows whose mapping was created in an epoch before
     /// `current_epoch` (candidates for lazy place-back).
+    ///
+    /// The defense polls this on a timer for every bank, usually finding
+    /// nothing; the walk therefore runs over the dense `live_epochs` mirror
+    /// in chunks of eight branchlessly-compared lanes, touching the `live`
+    /// row list only for the (rare) stale hits.
     #[must_use]
     pub fn stale_rows(&self, current_epoch: u64) -> Vec<u64> {
-        let mut rows: Vec<u64> = self
-            .live
-            .iter()
-            .filter(|&&r| u64::from(self.epoch_of[r as usize]) < current_epoch + 1)
-            .map(|&r| u64::from(r))
-            .collect();
+        // `live_epochs` stores `epoch + 1` exactly as `epoch_of` does, so
+        // the stale predicate keeps the original encoding and comparison.
+        let cutoff = current_epoch + 1;
+        let mut rows: Vec<u64> = Vec::new();
+        let mut chunks = self.live_epochs.chunks_exact(8);
+        let mut base = 0;
+        for chunk in &mut chunks {
+            let mut mask = 0u32;
+            for (lane, &epoch) in chunk.iter().enumerate() {
+                mask |= u32::from(u64::from(epoch) < cutoff) << lane;
+            }
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                rows.push(u64::from(self.live[base + lane]));
+            }
+            base += 8;
+        }
+        for (tail, &epoch) in chunks.remainder().iter().enumerate() {
+            if u64::from(epoch) < cutoff {
+                rows.push(u64::from(self.live[base + tail]));
+            }
+        }
         rows.sort_unstable();
         rows
     }
@@ -206,42 +227,61 @@ impl BankRit {
         rows
     }
 
-    fn live_insert(&mut self, row: usize) {
-        if self.live_pos[row] == 0 {
-            self.live.push(row as u32);
-            self.live_pos[row] = self.live.len() as u32;
+    /// Remove dense entry `idx`, patching the indexes of the entry swapped
+    /// into its place. The reverse index is only patched when it still
+    /// points at the moved entry: between the two [`Self::set_mapping`]
+    /// calls of a swap, a location's reverse entry may already have been
+    /// taken over by the other half of the pair.
+    fn live_swap_remove(&mut self, idx: usize) {
+        let last = self.live.len() - 1;
+        self.live.swap_remove(idx);
+        self.live_locs.swap_remove(idx);
+        self.live_epochs.swap_remove(idx);
+        if idx < last {
+            self.fwd.insert(self.live[idx], idx as u32);
+            let moved_loc = self.live_locs[idx];
+            if self.rev.get(moved_loc) == Some(last as u32) {
+                self.rev.insert(moved_loc, idx as u32);
+            }
         }
-    }
-
-    fn live_remove(&mut self, row: usize) {
-        let pos = self.live_pos[row];
-        if pos == 0 {
-            return;
-        }
-        let idx = (pos - 1) as usize;
-        let last = self.live.pop().expect("live list non-empty");
-        if idx < self.live.len() {
-            self.live[idx] = last;
-            self.live_pos[last as usize] = pos;
-        }
-        self.live_pos[row] = 0;
     }
 
     fn set_mapping(&mut self, row: u64, location: u64, epoch: u64) {
-        self.ensure_tables();
-        let (r, l) = (row as usize, location as usize);
+        let key_row = row as u32;
         if row == location {
-            self.forward[r] = 0;
-            self.reverse[l] = 0;
-            self.epoch_of[r] = 0;
-            self.live_remove(r);
+            // Restore identity: drop the row's mapping and, when it still
+            // points here, the reverse entry of the location it vacates.
+            if let Some(idx) = self.fwd.remove(key_row) {
+                let loc = self.live_locs[idx as usize];
+                if self.rev.get(loc) == Some(idx) {
+                    self.rev.remove(loc);
+                }
+                self.live_swap_remove(idx as usize);
+            }
         } else {
-            self.live_insert(r);
-            self.forward[r] = location as u32 + 1;
-            self.reverse[l] = row as u32 + 1;
             // Window counts stay far below 2^32 over any simulated run; the
             // saturation only defends the cast.
-            self.epoch_of[r] = u32::try_from(epoch + 1).unwrap_or(u32::MAX);
+            let encoded = u32::try_from(epoch + 1).unwrap_or(u32::MAX);
+            let key_loc = location as u32;
+            if let Some(idx) = self.fwd.get(key_row) {
+                let i = idx as usize;
+                let old_loc = self.live_locs[i];
+                if old_loc != key_loc {
+                    if self.rev.get(old_loc) == Some(idx) {
+                        self.rev.remove(old_loc);
+                    }
+                    self.live_locs[i] = key_loc;
+                    self.rev.insert(key_loc, idx);
+                }
+                self.live_epochs[i] = encoded;
+            } else {
+                let idx = self.live.len() as u32;
+                self.live.push(key_row);
+                self.live_locs.push(key_loc);
+                self.live_epochs.push(encoded);
+                self.fwd.insert(key_row, idx);
+                self.rev.insert(key_loc, idx);
+            }
         }
     }
 
@@ -294,32 +334,28 @@ impl BankRit {
 
     /// Remove every mapping (end-of-simulation or bulk unswap accounting).
     pub fn clear(&mut self) {
-        // Undo through the live list rather than re-zeroing the full
-        // arrays: only the touched slots need clearing.
-        while let Some(&row) = self.live.last() {
-            let r = row as usize;
-            let location = (self.forward[r] - 1) as usize;
-            self.forward[r] = 0;
-            self.reverse[location] = 0;
-            self.epoch_of[r] = 0;
-            self.live_remove(r);
-        }
+        self.fwd.clear();
+        self.rev.clear();
+        self.live.clear();
+        self.live_locs.clear();
+        self.live_epochs.clear();
     }
 
     /// Check the internal bijection invariant; used by tests.
     #[must_use]
     pub fn invariants_hold(&self) -> bool {
-        let reverse_live = self.reverse.iter().filter(|&&m| m != 0).count();
-        if reverse_live != self.live.len() {
+        if self.live_locs.len() != self.live.len()
+            || self.live_epochs.len() != self.live.len()
+            || self.fwd.len() != self.live.len()
+            || self.rev.len() != self.live.len()
+        {
             return false;
         }
-        self.live.iter().all(|&r| {
-            let row = u64::from(r);
-            let mapped = self.forward[r as usize];
-            mapped != 0
-                && self.occupant(u64::from(mapped - 1)) == row
-                && self.epoch_of[r as usize] != 0
-                && self.live_pos[r as usize] != 0
+        self.live.iter().enumerate().all(|(pos, &r)| {
+            self.live_locs[pos] != r
+                && self.live_epochs[pos] != 0
+                && self.fwd.get(r) == Some(pos as u32)
+                && self.rev.get(self.live_locs[pos]) == Some(pos as u32)
         })
     }
 }
@@ -492,6 +528,37 @@ mod tests {
         assert!(stale.contains(&1));
         assert!(stale.contains(&10));
         assert!(!stale.contains(&2));
+    }
+
+    #[test]
+    fn stale_scan_matches_gather_on_wide_tables() {
+        // Enough live mappings to cover several 8-lane chunks plus a tail,
+        // across two epochs, with churn (unswaps) so the live list and its
+        // epoch mirror go through swap-remove compaction.
+        let mut r = BankRit::new(128, 4096);
+        for i in 0..12u64 {
+            r.swap_to(i, 1000 + i, 0).unwrap();
+        }
+        for i in 12..21u64 {
+            r.swap_to(i, 1000 + i, 3).unwrap();
+        }
+        r.unswap(4, 3).unwrap();
+        r.unswap(15, 3).unwrap();
+        assert!(r.invariants_hold());
+        // Reference: the direct gather through the forward index.
+        let mut expected: Vec<u64> = r
+            .remapped_rows()
+            .into_iter()
+            .filter(|&row| {
+                let idx = r.fwd.get(row as u32).expect("remapped row is indexed");
+                u64::from(r.live_epochs[idx as usize]) < 3 + 1
+            })
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(r.stale_rows(3), expected);
+        assert!(!expected.is_empty(), "epoch-0 mappings must be stale at epoch 3");
+        // Every mapping is stale once the epoch advances past both batches.
+        assert_eq!(r.stale_rows(10), r.remapped_rows());
     }
 
     #[test]

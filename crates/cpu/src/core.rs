@@ -89,6 +89,13 @@ pub struct TraceCore {
     outstanding: Vec<OutstandingRead>,
     next_token: u64,
     stats: CoreStats,
+    /// Earliest time the next [`TraceCore::try_issue`] could succeed, as of
+    /// the last failed issue attempt: `u64::MAX` when only a read
+    /// completion (or retirement bookkeeping) can ready the core again, `0`
+    /// when unknown. Lets a caller's per-tick issue loop skip the whole
+    /// status walk for blocked cores with one comparison; failing issues
+    /// refresh it and [`TraceCore::complete_read`] invalidates it.
+    wake_hint_ns: u64,
 }
 
 impl TraceCore {
@@ -120,6 +127,7 @@ impl TraceCore {
             outstanding: Vec::new(),
             next_token: 0,
             stats: CoreStats::default(),
+            wake_hint_ns: 0,
         }
     }
 
@@ -161,6 +169,19 @@ impl TraceCore {
         self.runahead_ns
     }
 
+    /// Earliest time a [`TraceCore::try_issue`] call could possibly succeed
+    /// — a cached hint, not a promise of success. A caller polling many
+    /// cores per tick may skip any core whose hint lies in the future;
+    /// calling `try_issue` anyway is always correct, just slower. The hint
+    /// is conservative: issue attempts and completions keep it at or below
+    /// the true readiness time, and it never masks a state change (a core's
+    /// readiness only changes through `try_issue` and `complete_read`
+    /// themselves).
+    #[must_use]
+    pub fn wake_hint_ns(&self) -> u64 {
+        self.wake_hint_ns
+    }
+
     /// What the core wants to do at time `now`.
     #[must_use]
     pub fn status(&self, now: u64) -> CoreStatus {
@@ -184,8 +205,20 @@ impl TraceCore {
     pub fn try_issue(&mut self, now: u64) -> Option<MemoryIssue> {
         match self.status(now) {
             CoreStatus::ReadyAt(t) if t <= now => {}
-            _ => return None,
+            CoreStatus::ReadyAt(t) => {
+                // Not ready before `t`, and nothing but this core's own
+                // clock gets it there sooner.
+                self.wake_hint_ns = t;
+                return None;
+            }
+            _ => {
+                // Blocked or finished: inert until a completion arrives
+                // (which clears the hint) or forever.
+                self.wake_hint_ns = u64::MAX;
+                return None;
+            }
         }
+        self.wake_hint_ns = 0;
         let record = self.records[self.position];
         self.position += 1;
         if self.position >= self.records.len() {
@@ -247,6 +280,7 @@ impl TraceCore {
     /// eagerly by the simulator without bookkeeping here).
     pub fn complete_read(&mut self, token: AccessToken, now: u64) {
         if let Some(idx) = self.outstanding.iter().position(|o| o.token == token) {
+            self.wake_hint_ns = 0;
             let read = self.outstanding.remove(idx);
             if now > read.blocks_at_ns {
                 self.stats.stall_ns += now - read.blocks_at_ns;

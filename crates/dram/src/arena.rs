@@ -1,0 +1,296 @@
+//! A slab arena with intrusive FIFO lists, backing the controller's
+//! per-bank queues.
+//!
+//! Earlier revisions stored every bank queue as its own `VecDeque`
+//! (`VecDeque<Option<PendingRequest>>` with tombstones for the transaction
+//! queues, plus a `VecDeque` each for maintenance and undelivered
+//! completions). That is 3 × banks independently growing ring buffers:
+//! every queue pays its own allocator traffic as it warms up, a clone of
+//! the controller (the `System::fork` snapshot primitive) walks ~100 heap
+//! blocks, and the FR-FCFS mid-queue removal needs tombstones plus an
+//! amortized compaction pass to stay O(1).
+//!
+//! The arena replaces all of that with one flat slot array per payload
+//! type: entries are indexed by `u32` handles, each per-bank queue is an
+//! intrusive singly-linked FIFO threaded through a parallel `links` array,
+//! and freed slots form a free list through the same links. Enqueue and
+//! dequeue never touch the allocator after warm-up, mid-queue removal is a
+//! pointer splice (no tombstones, no compaction), and a snapshot of all
+//! queue state is the memcpy of two flat `Vec`s.
+
+/// The null handle, terminating both queue chains and the free list.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// A vacant placeholder left in a freed slot, so non-`Copy` payloads drop
+/// their heap allocations as soon as they leave the arena.
+pub(crate) trait Vacant {
+    /// The placeholder value stored in free slots.
+    fn vacant() -> Self;
+}
+
+/// One intrusive FIFO threaded through an [`Arena`]'s link array.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fifo {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Self { head: NIL, tail: NIL, len: 0 }
+    }
+}
+
+impl Fifo {
+    /// Number of entries queued.
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the queue holds no entries.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The slab arena: flat payload storage plus one link word per slot.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<T> {
+    slots: Vec<T>,
+    /// `links[i]` is the next entry of whatever chain slot `i` is on: a
+    /// FIFO's successor for live slots, the next free slot otherwise.
+    links: Vec<u32>,
+    free_head: u32,
+}
+
+impl<T: Vacant> Arena<T> {
+    /// An empty arena with room for `capacity` entries before regrowing.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            links: Vec::with_capacity(capacity),
+            free_head: NIL,
+        }
+    }
+
+    /// Claim a slot for `value`: the free list if one is vacant, fresh
+    /// growth otherwise (amortized — slots are never returned to the
+    /// allocator, so a warmed-up arena allocates nothing).
+    fn alloc(&mut self, value: T) -> u32 {
+        if self.free_head == NIL {
+            let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 handles");
+            self.slots.push(value);
+            self.links.push(NIL);
+            idx
+        } else {
+            let idx = self.free_head;
+            self.free_head = self.links[idx as usize];
+            self.slots[idx as usize] = value;
+            self.links[idx as usize] = NIL;
+            idx
+        }
+    }
+
+    /// Release a slot back to the free list, returning its payload.
+    fn release(&mut self, idx: u32) -> T {
+        let value = std::mem::replace(&mut self.slots[idx as usize], T::vacant());
+        self.links[idx as usize] = self.free_head;
+        self.free_head = idx;
+        value
+    }
+
+    /// The payload of a live slot.
+    #[inline]
+    pub(crate) fn get(&self, idx: u32) -> &T {
+        &self.slots[idx as usize]
+    }
+
+    /// The FIFO successor of a live slot.
+    #[inline]
+    pub(crate) fn next(&self, idx: u32) -> u32 {
+        self.links[idx as usize]
+    }
+
+    /// Append `value` to `queue`, returning its handle.
+    pub(crate) fn push_back(&mut self, queue: &mut Fifo, value: T) -> u32 {
+        let idx = self.alloc(value);
+        if queue.tail == NIL {
+            queue.head = idx;
+        } else {
+            self.links[queue.tail as usize] = idx;
+        }
+        queue.tail = idx;
+        queue.len += 1;
+        idx
+    }
+
+    /// The payload at the front of `queue`, if any.
+    pub(crate) fn front<'a>(&'a self, queue: &Fifo) -> Option<&'a T> {
+        (queue.head != NIL).then(|| self.get(queue.head))
+    }
+
+    /// The payload at the back of `queue`, if any.
+    pub(crate) fn back<'a>(&'a self, queue: &Fifo) -> Option<&'a T> {
+        (queue.tail != NIL).then(|| self.get(queue.tail))
+    }
+
+    /// Pop the front of `queue`.
+    pub(crate) fn pop_front(&mut self, queue: &mut Fifo) -> Option<T> {
+        if queue.head == NIL {
+            return None;
+        }
+        Some(self.remove(queue, NIL, queue.head))
+    }
+
+    /// Splice the entry `idx` (whose predecessor in `queue` is `prev`,
+    /// `NIL` for the head) out of the queue, returning its payload.
+    pub(crate) fn remove(&mut self, queue: &mut Fifo, prev: u32, idx: u32) -> T {
+        let next = self.links[idx as usize];
+        if prev == NIL {
+            queue.head = next;
+        } else {
+            self.links[prev as usize] = next;
+        }
+        if queue.tail == idx {
+            queue.tail = prev;
+        }
+        queue.len -= 1;
+        self.release(idx)
+    }
+
+    /// Insert `value` after `prev` (`NIL` to insert at the head). Cold
+    /// path: the controller's completion queues only take mid-queue
+    /// insertions through the ordered-insert safety net.
+    pub(crate) fn insert_after(&mut self, queue: &mut Fifo, prev: u32, value: T) -> u32 {
+        let idx = self.alloc(value);
+        if prev == NIL {
+            self.links[idx as usize] = queue.head;
+            if queue.head == NIL {
+                queue.tail = idx;
+            }
+            queue.head = idx;
+        } else {
+            self.links[idx as usize] = self.links[prev as usize];
+            self.links[prev as usize] = idx;
+            if queue.tail == prev {
+                queue.tail = idx;
+            }
+        }
+        queue.len += 1;
+        idx
+    }
+
+    /// The queue's entries in FIFO order, as `(handle, payload)` pairs.
+    pub(crate) fn iter<'a>(&'a self, queue: &Fifo) -> ArenaIter<'a, T> {
+        ArenaIter { arena: self, cursor: queue.head }
+    }
+}
+
+/// Iterator over one FIFO's live entries.
+pub(crate) struct ArenaIter<'a, T> {
+    arena: &'a Arena<T>,
+    cursor: u32,
+}
+
+impl<'a, T: Vacant> Iterator for ArenaIter<'a, T> {
+    type Item = (u32, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let idx = self.cursor;
+        self.cursor = self.arena.next(idx);
+        Some((idx, self.arena.get(idx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Vacant for u64 {
+        fn vacant() -> Self {
+            0
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_reuse() {
+        let mut arena: Arena<u64> = Arena::with_capacity(4);
+        let mut q = Fifo::default();
+        for v in 10..14 {
+            arena.push_back(&mut q, v);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(arena.front(&q), Some(&10));
+        assert_eq!(arena.back(&q), Some(&13));
+        assert_eq!(arena.pop_front(&mut q), Some(10));
+        assert_eq!(arena.pop_front(&mut q), Some(11));
+        // Freed slots are recycled before the arena grows.
+        let slots_before = arena.slots.len();
+        arena.push_back(&mut q, 14);
+        assert_eq!(arena.slots.len(), slots_before);
+        let order: Vec<u64> = arena.iter(&q).map(|(_, &v)| v).collect();
+        assert_eq!(order, vec![12, 13, 14]);
+    }
+
+    #[test]
+    fn mid_queue_removal_splices() {
+        let mut arena: Arena<u64> = Arena::with_capacity(4);
+        let mut q = Fifo::default();
+        let handles: Vec<u32> = (0..5).map(|v| arena.push_back(&mut q, v)).collect();
+        // Remove the middle entry (prev = handle of 1).
+        assert_eq!(arena.remove(&mut q, handles[1], handles[2]), 2);
+        // Remove the head.
+        assert_eq!(arena.remove(&mut q, NIL, handles[0]), 0);
+        // Remove the tail (prev = handle of 3).
+        assert_eq!(arena.remove(&mut q, handles[3], handles[4]), 4);
+        let order: Vec<u64> = arena.iter(&q).map(|(_, &v)| v).collect();
+        assert_eq!(order, vec![1, 3]);
+        assert_eq!(arena.back(&q), Some(&3));
+        // The spliced queue keeps working as a FIFO.
+        arena.push_back(&mut q, 9);
+        assert_eq!(arena.pop_front(&mut q), Some(1));
+        assert_eq!(arena.pop_front(&mut q), Some(3));
+        assert_eq!(arena.pop_front(&mut q), Some(9));
+        assert_eq!(arena.pop_front(&mut q), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insert_after_covers_head_middle_and_tail() {
+        let mut arena: Arena<u64> = Arena::with_capacity(4);
+        let mut q = Fifo::default();
+        let b = arena.push_back(&mut q, 2);
+        arena.insert_after(&mut q, NIL, 1); // head
+        arena.insert_after(&mut q, b, 4); // tail (after 2)
+        arena.insert_after(&mut q, b, 3); // middle (after 2, before 4)
+        let order: Vec<u64> = arena.iter(&q).map(|(_, &v)| v).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+        assert_eq!(arena.back(&q), Some(&4));
+        // Insert at the head of an empty queue.
+        let mut empty = Fifo::default();
+        arena.insert_after(&mut empty, NIL, 7);
+        assert_eq!(arena.front(&empty), Some(&7));
+        assert_eq!(arena.back(&empty), Some(&7));
+    }
+
+    #[test]
+    fn independent_queues_share_one_arena() {
+        let mut arena: Arena<u64> = Arena::with_capacity(8);
+        let mut a = Fifo::default();
+        let mut b = Fifo::default();
+        for v in 0..4 {
+            arena.push_back(&mut a, v);
+            arena.push_back(&mut b, 100 + v);
+        }
+        assert_eq!(arena.pop_front(&mut a), Some(0));
+        assert_eq!(arena.pop_front(&mut b), Some(100));
+        let a_order: Vec<u64> = arena.iter(&a).map(|(_, &v)| v).collect();
+        let b_order: Vec<u64> = arena.iter(&b).map(|(_, &v)| v).collect();
+        assert_eq!(a_order, vec![1, 2, 3]);
+        assert_eq!(b_order, vec![101, 102, 103]);
+    }
+}

@@ -44,19 +44,32 @@ pub struct MemRequest {
     /// space the aggressor trackers reason about. `None` when the issuer
     /// performs no remapping.
     pub logical_row: Option<RowId>,
+    /// Opaque completion token of the agent waiting on this access, carried
+    /// through the controller and handed back with the [`CompletedAccess`].
+    /// `None` when nothing waits (writes, prefetches). Riding inside the
+    /// request keeps the issuer from needing a side table keyed by
+    /// [`RequestId`] on the per-access hot path.
+    pub wait_token: Option<u64>,
 }
 
 impl MemRequest {
     /// Create a new demand request.
     #[must_use]
     pub fn new(addr: PhysAddr, kind: AccessKind, core: usize, arrival_ns: Nanos) -> Self {
-        Self { addr, kind, core, arrival_ns, logical_row: None }
+        Self { addr, kind, core, arrival_ns, logical_row: None, wait_token: None }
     }
 
     /// Tag the request with the pre-remap (logical) row address.
     #[must_use]
     pub fn with_logical_row(mut self, row: RowId) -> Self {
         self.logical_row = Some(row);
+        self
+    }
+
+    /// Attach the issuing agent's completion token.
+    #[must_use]
+    pub fn with_wait_token(mut self, token: u64) -> Self {
+        self.wait_token = Some(token);
         self
     }
 }

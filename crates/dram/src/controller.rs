@@ -1,12 +1,15 @@
 //! The memory controller: per-bank transaction queues, FR-FCFS scheduling,
 //! refresh, maintenance (mitigation) operations and activation accounting.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::address::{AddressMapper, BankId, PhysAddr, PowDiv, RowId};
+use crate::arena::{Arena, Fifo, Vacant, NIL};
 use crate::bank::Bank;
 use crate::command::{
-    AccessKind, ActivationEvent, CompletedAccess, MaintenanceOp, MemRequest, RequestId,
+    AccessKind, ActivationEvent, CompletedAccess, MaintenanceKind, MaintenanceOp, MemRequest,
+    RequestId,
 };
 use crate::config::{DramConfig, PagePolicy};
 use crate::error::DramError;
@@ -22,73 +25,40 @@ struct PendingRequest {
     row: RowId,
 }
 
-/// A per-bank FR-FCFS transaction queue.
-///
-/// FR-FCFS removes from the *middle* of the queue on row hits, and the
-/// relative order of the remaining requests must be preserved (it is the
-/// FCFS tiebreak). A plain `VecDeque::remove` preserves order by shuffling
-/// up to half the queue per removal; this queue instead leaves a tombstone
-/// (`None`) in place — O(1) — and reclaims tombstones when they reach the
-/// front, plus an amortized compaction pass when they outnumber live
-/// entries.
-#[derive(Debug, Clone, Default)]
-struct BankQueue {
-    slots: VecDeque<Option<PendingRequest>>,
-    live: usize,
+impl Vacant for PendingRequest {
+    fn vacant() -> Self {
+        Self {
+            id: RequestId(0),
+            request: MemRequest::new(PhysAddr::new(0), AccessKind::Read, 0, 0),
+            row: 0,
+        }
+    }
 }
 
-impl BankQueue {
-    /// Number of live (schedulable) requests.
-    fn len(&self) -> usize {
-        self.live
+impl Vacant for MaintenanceOp {
+    fn vacant() -> Self {
+        MaintenanceOp::new(BankId::new(0), 0, Vec::new(), MaintenanceKind::Other)
     }
+}
 
-    fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    fn push_back(&mut self, pending: PendingRequest) {
-        self.slots.push_back(Some(pending));
-        self.live += 1;
-    }
-
-    /// Live requests in FCFS order, with their slot positions.
-    fn iter_live(&self) -> impl Iterator<Item = (usize, &PendingRequest)> {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| slot.as_ref().map(|p| (i, p)))
-    }
-
-    /// The slot position of the oldest live request.
-    fn front_pos(&self) -> Option<usize> {
-        self.slots.iter().position(Option::is_some)
-    }
-
-    /// Remove and return the request at slot `pos`, leaving a tombstone if
-    /// it is not at the front.
-    fn take_at(&mut self, pos: usize) -> Option<PendingRequest> {
-        let taken = self.slots.get_mut(pos)?.take()?;
-        self.live -= 1;
-        while matches!(self.slots.front(), Some(None)) {
-            self.slots.pop_front();
+impl Vacant for CompletedAccess {
+    fn vacant() -> Self {
+        Self {
+            request_id: RequestId(0),
+            request: MemRequest::new(PhysAddr::new(0), AccessKind::Read, 0, 0),
+            finish_ns: 0,
+            row_hit: false,
         }
-        // Keep tombstones from dominating the scan: once they outnumber the
-        // live entries, compact in one order-preserving pass (amortized O(1)
-        // per removal, since a pass of length n needs n/2 prior removals).
-        if self.slots.len() > 2 * self.live + 4 {
-            self.slots.retain(Option::is_some);
-        }
-        Some(taken)
     }
 }
 
 /// A dense bit set over bank indices, used to track which banks currently
-/// have work queued or completions undelivered.
+/// have demand or maintenance work queued.
 ///
-/// The simulator ticks the controller millions of times; sweeping every
-/// bank's queues on every tick costs more than the actual scheduling. The
-/// controller instead keeps these sets incrementally up to date so a tick
-/// only touches banks with something to do. Iteration is in ascending bank
-/// order — the same order the full sweep used — because bank order is
-/// observable through the shared channel bus.
+/// The set answers the membership question behind the lazy wake-heap
+/// scheme: a popped alarm for a bank no longer in the set is stale and gets
+/// dropped, and an enqueue only arms a new alarm on the no-work → work
+/// transition the set detects.
 #[derive(Debug, Clone, Default)]
 struct BankSet {
     words: Vec<u64>,
@@ -108,22 +78,36 @@ impl BankSet {
     fn remove(&mut self, bank: usize) {
         self.words[bank / 64] &= !(1 << (bank % 64));
     }
+
+    #[inline]
+    fn contains(&self, bank: usize) -> bool {
+        self.words[bank / 64] & (1 << (bank % 64)) != 0
+    }
 }
 
 /// A transaction-level DDR4 memory controller.
 ///
-/// The controller owns one [`Bank`] model and one transaction queue per
-/// global bank, a per-channel data bus, and a per-rank refresh schedule.
-/// Demand requests are scheduled FR-FCFS (row hits first under the open-page
-/// policy, otherwise first-come-first-served) and maintenance operations
-/// take priority over demand requests of the same bank.
+/// The controller owns one [`Bank`] model per global bank, a per-channel
+/// data bus, and a per-rank refresh schedule. Demand requests are scheduled
+/// FR-FCFS (row hits first under the open-page policy, otherwise
+/// first-come-first-served) and maintenance operations take priority over
+/// demand requests of the same bank.
 ///
-/// Events stream out rather than buffering up: every `ACT` issued is pushed
-/// into the caller's [`ActivationSink`] the moment it happens, and demand
-/// completions wait in a small per-bank queue (finish times are monotone
-/// within a bank) until simulated time passes them, at which point
-/// [`MemoryController::tick_into`] pushes them into the caller's
-/// [`AccessSink`]. Nothing is drained or re-scanned per epoch.
+/// All per-bank queues — demand transactions, maintenance operations, and
+/// undelivered completions — live in three shared slab [`Arena`]s threaded
+/// with intrusive per-bank FIFOs. Enqueue/dequeue touch no allocator after
+/// warm-up, the FR-FCFS mid-queue removal is a pointer splice, and cloning
+/// the controller (the `System::fork` snapshot primitive) copies a handful
+/// of flat arrays instead of three `VecDeque`s per bank.
+///
+/// Events stream out rather than buffering up: activations issued during a
+/// bank's scheduling visit are delivered to the caller's [`ActivationSink`]
+/// as one per-bank batch (see [`ActivationSink::on_activation_batch`];
+/// [`MemoryController::set_batched_drain`] switches back to per-event
+/// delivery), and demand completions wait in a small per-bank queue (finish
+/// times are monotone within a bank) until simulated time passes them, at
+/// which point [`MemoryController::tick_into`] pushes them into the
+/// caller's [`AccessSink`]. Nothing is drained or re-scanned per epoch.
 ///
 /// The controller is `Clone`: a clone is an independent snapshot of the
 /// whole memory system (bank states, queues, undelivered completions,
@@ -134,18 +118,43 @@ pub struct MemoryController {
     config: DramConfig,
     mapper: AddressMapper,
     banks: Vec<Bank>,
-    queues: Vec<BankQueue>,
-    maintenance: Vec<VecDeque<MaintenanceOp>>,
+    /// Slab behind every bank's demand transaction queue.
+    requests: Arena<PendingRequest>,
+    queues: Vec<Fifo>,
+    /// Slab behind every bank's maintenance queue.
+    maint_arena: Arena<MaintenanceOp>,
+    maintenance: Vec<Fifo>,
     bus_free_ns: Vec<Nanos>,
     next_refresh_ns: Vec<Nanos>,
     next_window_ns: Nanos,
-    completions: Vec<VecDeque<CompletedAccess>>,
+    /// Slab behind every bank's undelivered-completion queue.
+    done_arena: Arena<CompletedAccess>,
+    completions: Vec<Fifo>,
+    /// Exact count of undelivered completions across all banks, maintained
+    /// incrementally so [`MemoryController::pending_completions`] — queried
+    /// every drain step — never walks the queues.
+    pending_completion_count: usize,
     /// Banks with queued demand or maintenance work: set on enqueue,
     /// cleared by the scheduling visit that drains the bank, so ticks can
     /// skip every unset bank.
     work_banks: BankSet,
-    /// Banks with undelivered completions.
-    done_banks: BankSet,
+    /// Lazy min-heap of `(wake_ns, bank)` scheduling alarms. Invariant:
+    /// every bank in `work_banks` has at least one entry whose wake time is
+    /// at or before the moment the bank can actually schedule, so a tick
+    /// only pops the banks that are due instead of sweeping every bank with
+    /// work. Entries are allowed to go stale (the bank drained, or a
+    /// refresh pushed its busy time out); a stale pop is dropped or
+    /// re-armed, never acted on.
+    work_wakes: BinaryHeap<Reverse<(Nanos, u32)>>,
+    /// Lazy min-heap of `(finish_ns, bank)` completion alarms: one live
+    /// entry per bank with undelivered completions, keyed by the finish
+    /// time at the front of that bank's (sorted) completion queue.
+    done_wakes: BinaryHeap<Reverse<(Nanos, u32)>>,
+    /// Scratch list of due bank indices for one tick, reused across ticks.
+    /// The due set is sorted ascending before the banks are visited, so the
+    /// visit order matches the full sweep (bank order is observable through
+    /// the shared channel bus).
+    due_scratch: Vec<u32>,
     /// Exact count of queued demand requests plus maintenance operations
     /// (the original `is_idle` definition, kept O(1)).
     outstanding_work: usize,
@@ -160,6 +169,13 @@ pub struct MemoryController {
     /// scratch on every [`MemoryController::tick_into`] and lowered by
     /// enqueues in between; see [`MemoryController::next_event_ns`].
     next_event_hint: Nanos,
+    /// Scratch batch of activations issued by the bank currently being
+    /// scheduled; flushed to the sink at the end of each bank visit. Always
+    /// empty between ticks.
+    act_batch: Vec<ActivationEvent>,
+    /// Whether activations flush through `on_activation_batch` (default) or
+    /// one `on_activation` call per event.
+    batched_drain: bool,
     stats: ControllerStats,
     next_request_id: u64,
 }
@@ -190,20 +206,28 @@ impl MemoryController {
         let mapper = AddressMapper::new(config.clone());
         Ok(Self {
             banks: vec![Bank::new(); total_banks],
-            queues: vec![BankQueue::default(); total_banks],
-            maintenance: vec![VecDeque::new(); total_banks],
+            requests: Arena::with_capacity(total_banks * 4),
+            queues: vec![Fifo::default(); total_banks],
+            maint_arena: Arena::with_capacity(total_banks),
+            maintenance: vec![Fifo::default(); total_banks],
             bus_free_ns: vec![0; config.channels],
             next_refresh_ns: vec![config.timing.t_refi; total_ranks],
             next_window_ns: config.refresh_window_ns,
-            completions: vec![VecDeque::new(); total_banks],
+            done_arena: Arena::with_capacity(total_banks * 4),
+            completions: vec![Fifo::default(); total_banks],
+            pending_completion_count: 0,
             work_banks: BankSet::new(total_banks),
-            done_banks: BankSet::new(total_banks),
+            work_wakes: BinaryHeap::with_capacity(total_banks * 2),
+            done_wakes: BinaryHeap::with_capacity(total_banks * 2),
+            due_scratch: Vec::with_capacity(total_banks),
             outstanding_work: 0,
             banks_per_channel: PowDiv::new(
                 (config.ranks_per_channel * config.banks_per_rank) as u64,
             ),
             busy_mirror: vec![0; total_banks],
             next_event_hint: config.timing.t_refi.min(config.refresh_window_ns),
+            act_batch: Vec::with_capacity(16),
+            batched_drain: true,
             stats: ControllerStats::default(),
             next_request_id: 0,
             mapper,
@@ -229,16 +253,26 @@ impl MemoryController {
         &self.stats
     }
 
+    /// Toggle batched activation delivery (on by default).
+    ///
+    /// Per-event mode routes every activation through
+    /// [`ActivationSink::on_activation`] individually, exactly as earlier
+    /// revisions did. The equivalence suites and the throughput bench use
+    /// it to pin the batched path bit-identical to per-event delivery.
+    pub fn set_batched_drain(&mut self, batched: bool) {
+        self.batched_drain = batched;
+    }
+
     /// Number of requests currently queued for the given bank.
     #[must_use]
     pub fn queue_depth(&self, bank: BankId) -> usize {
-        self.queues.get(bank.index()).map_or(0, BankQueue::len)
+        self.queues.get(bank.index()).map_or(0, Fifo::len)
     }
 
     /// Total requests queued across all banks.
     #[must_use]
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(BankQueue::len).sum()
+        self.queues.iter().map(Fifo::len).sum()
     }
 
     /// Whether the controller has any outstanding demand or maintenance work.
@@ -248,10 +282,11 @@ impl MemoryController {
     }
 
     /// Demand accesses that have been scheduled but whose finish time has
-    /// not been reached by any `tick_into` call yet.
+    /// not been reached by any `tick_into` call yet. O(1): the count is
+    /// maintained incrementally instead of walking every bank's queue.
     #[must_use]
     pub fn pending_completions(&self) -> usize {
-        self.completions.iter().map(VecDeque::len).sum()
+        self.pending_completion_count
     }
 
     /// Enqueue a demand request.
@@ -286,18 +321,17 @@ impl MemoryController {
         if idx >= self.queues.len() {
             return Err(DramError::BankOutOfRange { bank: idx, total_banks: self.queues.len() });
         }
-        let queue = &mut self.queues[idx];
-        if queue.len() >= self.config.queue_capacity {
+        if self.queues[idx].len() >= self.config.queue_capacity {
             return Err(DramError::QueueFull { bank: idx });
         }
         let id = RequestId(self.next_request_id);
         self.next_request_id += 1;
-        queue.push_back(PendingRequest { id, request, row });
-        self.work_banks.insert(idx);
+        self.requests.push_back(&mut self.queues[idx], PendingRequest { id, request, row });
+        self.arm_work_bank(idx);
         self.outstanding_work += 1;
         // The bank becomes schedulable once free (possibly immediately; the
         // clamp in `next_event_ns` turns a past time into "next tick").
-        self.next_event_hint = self.next_event_hint.min(self.banks[idx].busy_until());
+        self.next_event_hint = self.next_event_hint.min(self.busy_mirror[idx]);
         Ok(id)
     }
 
@@ -325,10 +359,10 @@ impl MemoryController {
         if idx >= self.banks.len() {
             return Err(DramError::BankOutOfRange { bank: idx, total_banks: self.banks.len() });
         }
-        self.maintenance[idx].push_back(op);
-        self.work_banks.insert(idx);
+        self.maint_arena.push_back(&mut self.maintenance[idx], op);
+        self.arm_work_bank(idx);
         self.outstanding_work += 1;
-        self.next_event_hint = self.next_event_hint.min(self.banks[idx].busy_until());
+        self.next_event_hint = self.next_event_hint.min(self.busy_mirror[idx]);
         Ok(())
     }
 
@@ -369,51 +403,82 @@ impl MemoryController {
     }
 
     /// Advance the controller to time `now`, scheduling any work that can
-    /// start at or before `now`. Every activation issued while scheduling is
-    /// pushed into `sink` as it happens, and every demand access whose
-    /// finish time has been reached is delivered through `sink`.
+    /// start at or before `now`. Activations issued while scheduling are
+    /// delivered into `sink` as one batch per bank visit (or one call per
+    /// event after [`MemoryController::set_batched_drain`]`(false)`), and
+    /// every demand access whose finish time has been reached is delivered
+    /// through `sink`.
     pub fn tick_into(&mut self, now: Nanos, sink: &mut (impl ActivationSink + AccessSink)) {
         self.handle_window_rollover(now);
         self.handle_refresh(now);
-        let mut hint = self.next_window_ns;
-        // Scheduling sweep, in ascending bank order (bank order is
-        // observable through the shared channel bus): only banks with work
-        // need a look — free ones schedule, busy ones just contribute
-        // their wake-up time to the next-event hint.
-        for word_idx in 0..self.work_banks.words.len() {
-            let base = word_idx * 64;
-            let mut bits = self.work_banks.words[word_idx];
-            while bits != 0 {
-                let bank_idx = base + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if self.busy_mirror[bank_idx] <= now {
-                    self.schedule_bank(bank_idx, now, sink);
-                    if self.work_banks.words[word_idx] & (1 << (bank_idx - base)) == 0 {
-                        continue;
-                    }
-                    // Work remains behind the bank's new busy time.
-                }
-                hint = hint.min(self.busy_mirror[bank_idx]);
+        // Scheduling, driven by the wake heap: pop every alarm that has
+        // come due, then visit the due banks in ascending bank order (the
+        // order the full sweep used — bank order is observable through the
+        // shared channel bus). Banks that turn out not to be ready (a
+        // refresh pushed their busy time past the alarm) re-arm at their
+        // true wake time; alarms for drained banks are dropped.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some(&Reverse((wake, bank))) = self.work_wakes.peek() {
+            if wake > now {
+                break;
+            }
+            self.work_wakes.pop();
+            if self.work_banks.contains(bank as usize) {
+                due.push(bank);
             }
         }
-        // Completion delivery, with the next undeliverable finish time (per
-        // bank, the front: finish times are kept sorted) joining the hint.
-        for word_idx in 0..self.done_banks.words.len() {
-            let base = word_idx * 64;
-            let mut bits = self.done_banks.words[word_idx];
-            while bits != 0 {
-                let bank_idx = base + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let queue = &mut self.completions[bank_idx];
-                while queue.front().is_some_and(|c| c.finish_ns <= now) {
-                    let done = queue.pop_front().expect("front was just checked");
-                    sink.on_access(&done);
-                }
-                match self.completions[bank_idx].front() {
-                    Some(pending) => hint = hint.min(pending.finish_ns),
-                    None => self.done_banks.remove(bank_idx),
-                }
+        if due.len() > 1 {
+            due.sort_unstable();
+            due.dedup();
+        }
+        for &bank in &due {
+            let bank_idx = bank as usize;
+            if self.busy_mirror[bank_idx] <= now {
+                self.schedule_bank(bank_idx, now, sink);
             }
+            if self.work_banks.contains(bank_idx) {
+                // Work remains behind the bank's (possibly new) busy time.
+                self.work_wakes.push(Reverse((self.busy_mirror[bank_idx], bank)));
+            }
+        }
+        // Completion delivery, same due-alarm scheme keyed by each bank's
+        // front finish time (finish times are kept sorted per bank).
+        due.clear();
+        while let Some(&Reverse((wake, bank))) = self.done_wakes.peek() {
+            if wake > now {
+                break;
+            }
+            self.done_wakes.pop();
+            due.push(bank);
+        }
+        if due.len() > 1 {
+            due.sort_unstable();
+            due.dedup();
+        }
+        for &bank in &due {
+            let bank_idx = bank as usize;
+            let queue = &mut self.completions[bank_idx];
+            while self.done_arena.front(queue).is_some_and(|c| c.finish_ns <= now) {
+                let done = self.done_arena.pop_front(queue).expect("front was just checked");
+                self.pending_completion_count -= 1;
+                sink.on_access(&done);
+            }
+            if let Some(pending) = self.done_arena.front(&self.completions[bank_idx]) {
+                let finish = pending.finish_ns;
+                self.done_wakes.push(Reverse((finish, bank)));
+            }
+        }
+        self.due_scratch = due;
+        // The next-event hint is the earliest surviving alarm (alarms never
+        // run late — at worst a stale-early one costs a no-op visit), or
+        // the next periodic deadline.
+        let mut hint = self.next_window_ns;
+        if let Some(&Reverse((wake, _))) = self.work_wakes.peek() {
+            hint = hint.min(wake);
+        }
+        if let Some(&Reverse((wake, _))) = self.done_wakes.peek() {
+            hint = hint.min(wake);
         }
         for &refresh in &self.next_refresh_ns {
             hint = hint.min(refresh);
@@ -421,13 +486,24 @@ impl MemoryController {
         self.next_event_hint = hint;
     }
 
-    /// Convenience wrapper over [`MemoryController::tick_into`] that
-    /// materializes the completions into a `Vec` (and discards activations).
-    /// Prefer `tick_into` in simulation loops.
-    pub fn tick(&mut self, now: Nanos) -> Vec<CompletedAccess> {
-        let mut collector = EventCollector::new();
-        self.tick_into(now, &mut collector);
-        collector.completions
+    /// Mark a bank as having queued work and, on the no-work → work
+    /// transition, arm a scheduling alarm at its current busy-until time.
+    /// Banks already armed keep their existing (never-late) alarm.
+    #[inline]
+    fn arm_work_bank(&mut self, idx: usize) {
+        if !self.work_banks.contains(idx) {
+            self.work_banks.insert(idx);
+            self.work_wakes.push(Reverse((self.busy_mirror[idx], idx as u32)));
+        }
+    }
+
+    /// Convenience wrapper over [`MemoryController::tick_into`] that appends
+    /// this tick's events to a caller-owned collector. The collector is
+    /// reused across calls — nothing is allocated per tick — so clear it
+    /// between calls when stale events are unwanted. Prefer `tick_into`
+    /// with a streaming sink in simulation loops.
+    pub fn tick(&mut self, now: Nanos, events: &mut EventCollector) {
+        self.tick_into(now, events);
     }
 
     /// Advance until all queued demand and maintenance work has completed
@@ -451,12 +527,11 @@ impl MemoryController {
         now
     }
 
-    /// Convenience wrapper over [`MemoryController::drain_into`] returning
-    /// the completions as a `Vec`.
-    pub fn drain(&mut self, now: Nanos, step_ns: Nanos) -> (Vec<CompletedAccess>, Nanos) {
-        let mut collector = EventCollector::new();
-        let end = self.drain_into(now, step_ns, &mut collector);
-        (collector.completions, end)
+    /// Convenience wrapper over [`MemoryController::drain_into`] that
+    /// appends the drained events to a caller-owned (reusable) collector
+    /// and returns the final time.
+    pub fn drain(&mut self, now: Nanos, step_ns: Nanos, events: &mut EventCollector) -> Nanos {
+        self.drain_into(now, step_ns, events)
     }
 
     fn handle_window_rollover(&mut self, now: Nanos) {
@@ -494,15 +569,14 @@ impl MemoryController {
                 break;
             }
             // Maintenance has priority.
-            if let Some(op) = self.maintenance[bank_idx].pop_front() {
+            if let Some(op) = self.maint_arena.pop_front(&mut self.maintenance[bank_idx]) {
                 self.outstanding_work -= 1;
-                self.execute_maintenance(bank_idx, &op, now, sink);
+                self.execute_maintenance(bank_idx, &op, now);
                 continue;
             }
-            let Some(pos) = self.pick_request(bank_idx) else { break };
-            let pending = self.queues[bank_idx].take_at(pos).expect("index valid");
+            let Some(pending) = self.take_request(bank_idx) else { break };
             self.outstanding_work -= 1;
-            self.execute_demand(bank_idx, pending, now, sink);
+            self.execute_demand(bank_idx, pending, now);
         }
         if self.queues[bank_idx].is_empty() && self.maintenance[bank_idx].is_empty() {
             // Drained on every path (including "became busy mid-loop"), so
@@ -510,32 +584,57 @@ impl MemoryController {
             // keep waking the event engine at their busy-until times.
             self.work_banks.remove(bank_idx);
         }
+        self.flush_activations(sink);
     }
 
-    /// FR-FCFS: prefer the oldest request that hits the open row; otherwise
-    /// the oldest request. Returns a slot position for [`BankQueue::take_at`].
-    fn pick_request(&self, bank_idx: usize) -> Option<usize> {
-        let queue = &self.queues[bank_idx];
+    /// Deliver the activations accumulated during one bank's scheduling
+    /// visit. Within a visit only this bank's events accumulate and they
+    /// flush before the sweep moves to the next bank, so the global event
+    /// order is identical to per-event streaming.
+    fn flush_activations(&mut self, sink: &mut impl ActivationSink) {
+        if self.act_batch.is_empty() {
+            return;
+        }
+        if self.batched_drain {
+            sink.on_activation_batch(&self.act_batch);
+        } else {
+            for event in &self.act_batch {
+                sink.on_activation(event);
+            }
+        }
+        self.act_batch.clear();
+    }
+
+    /// FR-FCFS: remove and return the oldest request that hits the open
+    /// row, falling back to the oldest request overall. One walk of the
+    /// bank's intrusive queue with a trailing predecessor makes the
+    /// mid-queue removal an O(1) splice (the relative order of the
+    /// remaining requests — the FCFS tiebreak — is untouched).
+    fn take_request(&mut self, bank_idx: usize) -> Option<PendingRequest> {
+        let queue = &mut self.queues[bank_idx];
         if queue.is_empty() {
             return None;
         }
         if self.config.page_policy == PagePolicy::OpenPage {
             if let Some(open) = self.banks[bank_idx].open_row() {
-                if let Some((pos, _)) = queue.iter_live().find(|(_, p)| p.row == open) {
-                    return Some(pos);
+                let mut prev = NIL;
+                let mut hit = NIL;
+                for (handle, pending) in self.requests.iter(queue) {
+                    if pending.row == open {
+                        hit = handle;
+                        break;
+                    }
+                    prev = handle;
+                }
+                if hit != NIL {
+                    return Some(self.requests.remove(queue, prev, hit));
                 }
             }
         }
-        queue.front_pos()
+        self.requests.pop_front(queue)
     }
 
-    fn execute_maintenance(
-        &mut self,
-        bank_idx: usize,
-        op: &MaintenanceOp,
-        now: Nanos,
-        sink: &mut impl ActivationSink,
-    ) {
+    fn execute_maintenance(&mut self, bank_idx: usize, op: &MaintenanceOp, now: Nanos) {
         let start = self.banks[bank_idx].busy_until().max(now);
         let finish = start + op.duration_ns;
         self.banks[bank_idx].occupy_until(finish);
@@ -546,7 +645,7 @@ impl MemoryController {
         for &row in &op.activations {
             self.banks[bank_idx].activate(row);
             self.banks[bank_idx].precharge();
-            sink.on_activation(&ActivationEvent {
+            self.act_batch.push(ActivationEvent {
                 bank: BankId::new(bank_idx),
                 row,
                 logical_row: row,
@@ -558,13 +657,7 @@ impl MemoryController {
         self.stats.record_maintenance(op.label, op.duration_ns, op.activations.len() as u64);
     }
 
-    fn execute_demand(
-        &mut self,
-        bank_idx: usize,
-        pending: PendingRequest,
-        now: Nanos,
-        sink: &mut impl ActivationSink,
-    ) {
+    fn execute_demand(&mut self, bank_idx: usize, pending: PendingRequest, now: Nanos) {
         let timing = self.config.timing;
         let channel = self.banks_per_channel.div(bank_idx as u64) as usize;
         let bank_ready = self.banks[bank_idx].busy_until().max(now).max(pending.request.arrival_ns);
@@ -593,7 +686,7 @@ impl MemoryController {
 
         if !row_hit {
             self.banks[bank_idx].activate(pending.row);
-            sink.on_activation(&ActivationEvent {
+            self.act_batch.push(ActivationEvent {
                 bank: BankId::new(bank_idx),
                 row: pending.row,
                 logical_row: pending.request.logical_row.unwrap_or(pending.row),
@@ -625,21 +718,36 @@ impl MemoryController {
         // queue sorted; the ordered insert below is a safety net should a
         // future scheduling change break that property.
         let queue = &mut self.completions[bank_idx];
-        match queue.back() {
+        // A completion alarm is keyed by the front finish time, so one is
+        // armed exactly when this insert creates a new front.
+        let becomes_front =
+            self.done_arena.front(queue).is_none_or(|front| done.finish_ns < front.finish_ns);
+        let finish_ns = done.finish_ns;
+        match self.done_arena.back(queue) {
             Some(last) if last.finish_ns > done.finish_ns => {
-                let pos = queue.partition_point(|c| c.finish_ns <= done.finish_ns);
-                queue.insert(pos, done);
+                let mut prev = NIL;
+                for (handle, queued) in self.done_arena.iter(queue) {
+                    if queued.finish_ns > done.finish_ns {
+                        break;
+                    }
+                    prev = handle;
+                }
+                self.done_arena.insert_after(queue, prev, done);
             }
-            _ => queue.push_back(done),
+            _ => {
+                self.done_arena.push_back(queue, done);
+            }
         }
-        self.done_banks.insert(bank_idx);
+        if becomes_front {
+            self.done_wakes.push(Reverse((finish_ns, bank_idx as u32)));
+        }
+        self.pending_completion_count += 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::command::MaintenanceKind;
 
     fn small_config() -> DramConfig {
         DramConfig {
@@ -655,12 +763,19 @@ mod tests {
         mc.mapper().address_of(BankId::new(bank), row).unwrap()
     }
 
+    /// Drain into a fresh collector and return the completions.
+    fn drain_completions(mc: &mut MemoryController, step: Nanos) -> Vec<CompletedAccess> {
+        let mut events = EventCollector::new();
+        mc.drain(0, step, &mut events);
+        events.completions
+    }
+
     #[test]
     fn single_read_completes_with_closed_page_latency() {
         let mut mc = MemoryController::new(small_config());
         let addr = addr_for(&mc, 0, 5);
         let id = mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
-        let (done, _) = mc.drain(0, 5);
+        let done = drain_completions(&mut mc, 5);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].request_id, id);
         assert!(!done[0].row_hit);
@@ -684,7 +799,7 @@ mod tests {
         for _ in 0..4 {
             mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
         }
-        let (done, _) = mc.drain(0, 5);
+        let done = drain_completions(&mut mc, 5);
         assert_eq!(done.len(), 4);
         assert!(done.iter().all(|d| !d.row_hit));
         assert_eq!(mc.stats().activations, 4);
@@ -699,7 +814,7 @@ mod tests {
         for _ in 0..4 {
             mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
         }
-        let (done, _) = mc.drain(0, 5);
+        let done = drain_completions(&mut mc, 5);
         assert_eq!(done.len(), 4);
         assert_eq!(done.iter().filter(|d| d.row_hit).count(), 3);
         assert_eq!(mc.stats().activations, 1);
@@ -759,6 +874,43 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_per_event_drain_produce_the_same_stream() {
+        // Same request sequence twice, once per delivery mode: the collected
+        // event streams (activations and completions, in order) must match.
+        let run = |batched: bool| {
+            let mut cfg = small_config();
+            cfg.page_policy = PagePolicy::OpenPage;
+            let mut mc = MemoryController::new(cfg);
+            mc.set_batched_drain(batched);
+            let swap_ns = mc.config().swap_latency_ns();
+            mc.enqueue_maintenance(MaintenanceOp::new(
+                BankId::new(1),
+                swap_ns,
+                vec![40, 41],
+                MaintenanceKind::Swap,
+            ))
+            .unwrap();
+            for (bank, row) in [(0, 7), (0, 1), (1, 3), (0, 7), (1, 3)] {
+                let addr = addr_for(&mc, bank, row);
+                mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+            }
+            let mut events = EventCollector::new();
+            mc.drain_into(0, 5, &mut events);
+            events
+        };
+        let batched = run(true);
+        let per_event = run(false);
+        assert_eq!(batched.activations, per_event.activations);
+        assert_eq!(batched.completions.len(), per_event.completions.len());
+        for (b, p) in batched.completions.iter().zip(&per_event.completions) {
+            assert_eq!(
+                (b.request_id, b.finish_ns, b.row_hit),
+                (p.request_id, p.finish_ns, p.row_hit)
+            );
+        }
+    }
+
+    #[test]
     fn completions_stream_once_and_in_finish_order() {
         let mut mc = MemoryController::new(small_config());
         for row in 0..4 {
@@ -777,11 +929,28 @@ mod tests {
     }
 
     #[test]
+    fn pending_completion_count_tracks_scheduled_but_undelivered_work() {
+        let mut mc = MemoryController::new(small_config());
+        for bank in 0..2 {
+            let addr = addr_for(&mc, bank, 5);
+            mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
+        }
+        assert_eq!(mc.pending_completions(), 0);
+        let mut events = EventCollector::new();
+        mc.tick_into(0, &mut events);
+        // Both accesses scheduled, neither finish time reached yet.
+        assert_eq!(mc.pending_completions(), 2);
+        mc.drain_into(0, 5, &mut events);
+        assert_eq!(mc.pending_completions(), 0);
+        assert_eq!(events.completions.len(), 2);
+    }
+
+    #[test]
     fn refresh_blocks_all_banks_in_rank() {
         let mut mc = MemoryController::new(small_config());
         let t_refi = mc.config().timing.t_refi;
         // Advance past one refresh interval with no work queued.
-        mc.tick(t_refi + 1);
+        mc.tick(t_refi + 1, &mut EventCollector::new());
         assert_eq!(mc.stats().refreshes, 1);
         // Banks are now busy until roughly t_refi + t_rfc.
         assert!(mc.bank_busy_until(BankId::new(0)) >= t_refi);
@@ -793,9 +962,10 @@ mod tests {
         let mut mc = MemoryController::new(small_config());
         let addr = addr_for(&mc, 0, 3);
         mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
-        let (_, t) = mc.drain(0, 5);
+        let mut events = EventCollector::new();
+        let t = mc.drain(0, 5, &mut events);
         assert!(t < mc.config().refresh_window_ns);
-        mc.tick(mc.config().refresh_window_ns + 1);
+        mc.tick(mc.config().refresh_window_ns + 1, &mut events);
         assert_eq!(mc.stats().windows_elapsed, 1);
     }
 
@@ -806,7 +976,7 @@ mod tests {
         let a1 = addr_for(&mc, 1, 1);
         mc.enqueue(MemRequest::new(a0, AccessKind::Read, 0, 0)).unwrap();
         mc.enqueue(MemRequest::new(a1, AccessKind::Read, 0, 0)).unwrap();
-        let (done, _) = mc.drain(0, 1);
+        let done = drain_completions(&mut mc, 1);
         assert_eq!(done.len(), 2);
         // Bank-parallel accesses should not serialize on tRC; only the burst
         // serializes on the shared channel bus.
@@ -874,14 +1044,15 @@ mod tests {
         let t_refi = mc.config().timing.t_refi;
         let addr = addr_for(&mc, 0, 5);
         mc.enqueue(MemRequest::new(addr, AccessKind::Read, 0, 0)).unwrap();
-        let (_, end) = mc.drain(0, 5);
+        let mut events = EventCollector::new();
+        let end = mc.drain(0, 5, &mut events);
         // Fully drained: every reported event from here on is a refresh
         // deadline, until the window rollover overtakes them.
         let mut now = end;
         for _ in 0..4 {
             let next = mc.next_event_ns(now);
             assert_eq!(next % t_refi, 0, "expected a tREFI multiple, got {next}");
-            mc.tick(next);
+            mc.tick(next, &mut events);
             now = next;
         }
         assert!(mc.stats().refreshes >= 4);

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub(crate) mod arena;
 pub mod bank;
 pub mod command;
 pub mod config;

@@ -23,6 +23,21 @@ use crate::command::{ActivationEvent, CompletedAccess};
 pub trait ActivationSink {
     /// One row was activated.
     fn on_activation(&mut self, event: &ActivationEvent);
+
+    /// A batch of row activations issued by one bank during one scheduling
+    /// visit, in issue order.
+    ///
+    /// The controller's batched drain delivers activations through this
+    /// method — one virtual call per bank per visit instead of one per
+    /// event. The default forwards every event to
+    /// [`ActivationSink::on_activation`], so existing sinks observe the
+    /// identical per-event stream; hot-path sinks override it to hoist
+    /// per-event dispatch and loop-invariant checks out of the inner loop.
+    fn on_activation_batch(&mut self, events: &[ActivationEvent]) {
+        for event in events {
+            self.on_activation(event);
+        }
+    }
 }
 
 /// Observer of completed demand accesses, called by the controller as
@@ -38,6 +53,8 @@ pub struct NullSink;
 
 impl ActivationSink for NullSink {
     fn on_activation(&mut self, _event: &ActivationEvent) {}
+
+    fn on_activation_batch(&mut self, _events: &[ActivationEvent]) {}
 }
 
 impl AccessSink for NullSink {
@@ -68,6 +85,10 @@ impl EventCollector {
 impl ActivationSink for EventCollector {
     fn on_activation(&mut self, event: &ActivationEvent) {
         self.activations.push(*event);
+    }
+
+    fn on_activation_batch(&mut self, events: &[ActivationEvent]) {
+        self.activations.extend_from_slice(events);
     }
 }
 

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod config;
 pub mod json;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod sink;
 pub mod spec;
 pub mod system;
 
+pub use attribution::{AttributionReport, SubsystemTimers};
 pub use config::SystemConfig;
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};

@@ -9,20 +9,22 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
-use fxhash::{FxHashMap, FxHashSet};
+use fxhash::FxHashSet;
 use srs_attack::engine::{AttackerCore, AttackerStats};
 use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
 use srs_cpu::{AccessToken, CoreStatus, RequestSource, TraceCore};
 use srs_dram::{
     AccessKind, AccessSink, ActivationEvent, ActivationSink, BankId, CompletedAccess, DramAddress,
-    DramTiming, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController, PhysAddr, RequestId,
+    DramTiming, MaintenanceKind, MaintenanceOp, MemRequest, MemoryController, PhysAddr,
 };
 use srs_trackers::{
     AggressorTracker, HydraConfig, HydraTracker, MisraGriesConfig, MisraGriesTracker, TrackerKind,
 };
 use srs_workloads::{Trace, TraceRecord};
 
+use crate::attribution::{AttributionReport, SubsystemTimers};
 use crate::config::SystemConfig;
 use crate::metrics::SimResult;
 use crate::security::{ReportContext, SecurityTracker};
@@ -36,6 +38,104 @@ struct DeferredAccess {
     bank: BankId,
     is_write: bool,
     origin: Option<(usize, AccessToken)>,
+}
+
+/// Exact per-row activation counts for one bank over the current refresh
+/// window: a linear-probed open-addressed table of `(row + 1, count)` pairs
+/// keyed by a Fibonacci hash.
+///
+/// This sits on the per-activation hot path, where a general-purpose hash
+/// map pays for its abstraction twice — hasher plumbing on every lookup and
+/// a non-deterministic-by-default seed. The dedicated table is a pair of
+/// flat arrays the increment touches at a single probe position in the
+/// common case, and the maximum is taken by scanning the dense count array
+/// at window rollover instead of comparing on every activation (the counts
+/// are write-only until then).
+#[derive(Debug, Clone)]
+struct WindowRowCounts {
+    /// `row + 1` of each occupied probe position, 0 = empty.
+    keys: Vec<u64>,
+    /// Activation count of the row at the same probe position; zero wherever
+    /// `keys` is zero, so a maximum scan can sweep it without consulting the
+    /// keys.
+    counts: Vec<u64>,
+    /// Occupied positions; the table doubles at 7/8 load.
+    len: usize,
+}
+
+impl WindowRowCounts {
+    /// Initial probe positions per bank shard; grows by doubling. 512 covers
+    /// the distinct-rows-per-bank-per-window of every packaged workload
+    /// without rehashing.
+    const INITIAL_SLOTS: usize = 512;
+
+    fn new() -> Self {
+        Self { keys: vec![0; Self::INITIAL_SLOTS], counts: vec![0; Self::INITIAL_SLOTS], len: 0 }
+    }
+
+    /// Fibonacci-hash `key` into the current table.
+    #[inline]
+    fn bucket_of(key: u64, slots: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (slots - 1)
+    }
+
+    /// Count one activation of `row`.
+    #[inline]
+    fn increment(&mut self, row: u64) {
+        if self.len * 8 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let key = row + 1;
+        let mask = self.keys.len() - 1;
+        let mut pos = Self::bucket_of(key, self.keys.len());
+        loop {
+            let k = self.keys[pos];
+            if k == key {
+                self.counts[pos] += 1;
+                return;
+            }
+            if k == 0 {
+                self.keys[pos] = key;
+                self.counts[pos] = 1;
+                self.len += 1;
+                return;
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// The largest per-row count in the table (0 when empty): empty probe
+    /// positions hold a zero count, so this is a max-reduction over the
+    /// dense count array.
+    fn max_count(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(0);
+            self.counts.fill(0);
+            self.len = 0;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_slots]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_slots]);
+        let mask = new_slots - 1;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key == 0 {
+                continue;
+            }
+            let mut pos = Self::bucket_of(key, new_slots);
+            while self.keys[pos] != 0 {
+                pos = (pos + 1) & mask;
+            }
+            self.keys[pos] = key;
+            self.counts[pos] = count;
+        }
+    }
 }
 
 /// A passively observed (tracker, defense) pair riding along a shared
@@ -99,16 +199,20 @@ pub struct System {
     tracker: Box<dyn AggressorTracker + Send>,
     defense: Box<dyn RowSwapDefense + Send>,
     pinned_rows: FxHashSet<(usize, u64)>,
-    pending: FxHashMap<RequestId, (usize, AccessToken)>,
+    /// Reads enqueued in the controller whose completion a core still waits
+    /// on. The waiter's identity rides inside the request itself
+    /// ([`MemRequest::wait_token`]), so this is just the count — the
+    /// completeness checks need nothing more.
+    pending_reads: usize,
     deferred: VecDeque<DeferredAccess>,
     next_window_ns: u64,
     /// Per-bank shards of per-logical-row activation counts for the current
-    /// refresh window. Sharding by bank keeps each map small and lets the
+    /// refresh window. Sharding by bank keeps each table small and lets the
     /// window rollover reset state bank by bank without a global rebuild.
-    /// Keyed with the deterministic Fx hasher: these maps (like `pending`
-    /// and `pinned_rows`) sit on the per-activation hot path, where SipHash
-    /// with a random per-map seed costs both time and reproducibility.
-    bank_activations: Vec<FxHashMap<u64, u64>>,
+    bank_activations: Vec<WindowRowCounts>,
+    /// Maximum per-row activation count observed in any completed stretch of
+    /// a refresh window, folded from the shards at each rollover and once
+    /// more when the run ends — the per-activation path only increments.
     max_row_activations: u64,
     rows_pinned: u64,
     pinned_hits: u64,
@@ -120,6 +224,9 @@ pub struct System {
     /// Branch probes of the sharing-aware executor (`None` once taken for a
     /// fork); empty on every normally-constructed system.
     probes: Vec<Option<MitigationProbe>>,
+    /// Per-subsystem wall-time ledger; disarmed (and therefore never
+    /// reading the clock) except under [`System::run_attributed`].
+    timers: SubsystemTimers,
 }
 
 impl Clone for System {
@@ -135,7 +242,7 @@ impl Clone for System {
             tracker: self.tracker.clone_box(),
             defense: self.defense.clone_box(),
             pinned_rows: self.pinned_rows.clone(),
-            pending: self.pending.clone(),
+            pending_reads: self.pending_reads,
             deferred: self.deferred.clone(),
             next_window_ns: self.next_window_ns,
             bank_activations: self.bank_activations.clone(),
@@ -145,6 +252,7 @@ impl Clone for System {
             now: self.now,
             freed_queue_slot: self.freed_queue_slot,
             probes: self.probes.clone(),
+            timers: self.timers.clone(),
         }
     }
 }
@@ -161,9 +269,8 @@ struct TickObserver<'a> {
     /// origins index victims first, then attackers.
     attackers: &'a mut [AttackerCore],
     security: Option<&'a mut SecurityTracker>,
-    pending: &'a mut FxHashMap<RequestId, (usize, AccessToken)>,
-    bank_activations: &'a mut [FxHashMap<u64, u64>],
-    max_row_activations: &'a mut u64,
+    pending_reads: &'a mut usize,
+    bank_activations: &'a mut [WindowRowCounts],
     /// Passive branch probes of the sharing-aware executor (empty outside
     /// shared trunk runs).
     probes: &'a mut [Option<MitigationProbe>],
@@ -171,46 +278,50 @@ struct TickObserver<'a> {
     now: u64,
     actions: Vec<MitigationAction>,
     counter_ops: Vec<MaintenanceOp>,
+    /// Wall-time ledger (disarmed outside attribution runs); the batch path
+    /// laps its two phases into the security and tracker buckets.
+    timers: &'a mut SubsystemTimers,
 }
 
-impl ActivationSink for TickObserver<'_> {
-    fn on_activation(&mut self, event: &ActivationEvent) {
-        if !self.attackers.is_empty() {
-            // Closed-loop feedback: reactive sources (attacker cores) see
-            // every activation, including the defense's own maintenance
-            // activations — exactly the signal Juggernaut adapts to.
-            // Counter-table traffic is withheld: its sub-microsecond bank
-            // occupancy is below what an attacker can distinguish from
-            // demand interference, unlike a multi-microsecond row swap.
-            let counter_access = event.maintenance_kind == Some(MaintenanceKind::CounterAccess);
-            let bank = event.bank.index();
-            if !counter_access {
-                for attacker in self.attackers.iter_mut() {
-                    attacker.observe_activation(
-                        bank,
-                        event.row,
-                        event.logical_row,
-                        event.maintenance,
-                        self.now,
-                    );
-                }
-            }
-            if let Some(security) = self.security.as_deref_mut() {
-                security.on_activation(event);
+impl TickObserver<'_> {
+    /// Closed-loop feedback and security accounting for one activation.
+    ///
+    /// Reactive sources (attacker cores) see every activation, including
+    /// the defense's own maintenance activations — exactly the signal
+    /// Juggernaut adapts to. Counter-table traffic is withheld: its
+    /// sub-microsecond bank occupancy is below what an attacker can
+    /// distinguish from demand interference, unlike a multi-microsecond row
+    /// swap. Callers skip this entirely when `attackers` is empty.
+    fn feed_attack_loop(&mut self, event: &ActivationEvent) {
+        let counter_access = event.maintenance_kind == Some(MaintenanceKind::CounterAccess);
+        let bank = event.bank.index();
+        if !counter_access {
+            for attacker in self.attackers.iter_mut() {
+                attacker.observe_activation(
+                    bank,
+                    event.row,
+                    event.logical_row,
+                    event.maintenance,
+                    self.now,
+                );
             }
         }
-        if event.maintenance {
-            // Mitigation-issued activations are charged by the attack models
-            // and statistics, not by the aggressor tracker (matching the
-            // hardware, where the mitigation's own row movements do not feed
-            // back into its tracker).
-            return;
+        if let Some(security) = self.security.as_deref_mut() {
+            security.on_activation(event);
         }
+    }
+
+    /// Aggressor accounting for one demand activation: the per-row window
+    /// count, the branch probes, the tracker update and any mitigation it
+    /// triggers. Callers filter out maintenance activations first —
+    /// mitigation-issued activations are charged by the attack models and
+    /// statistics, not by the aggressor tracker (matching the hardware,
+    /// where the mitigation's own row movements do not feed back into its
+    /// tracker).
+    fn track_demand(&mut self, event: &ActivationEvent) {
         let bank = event.bank.index();
         let logical_row = event.logical_row;
-        let count = self.bank_activations[bank].entry(logical_row).or_insert(0);
-        *count += 1;
-        *self.max_row_activations = (*self.max_row_activations).max(*count);
+        self.bank_activations[bank].increment(logical_row);
 
         // Branch probes observe the identical demand-activation stream a
         // from-scratch run of their cell would feed its tracker; the first
@@ -238,19 +349,62 @@ impl ActivationSink for TickObserver<'_> {
             ));
         }
         if decision.mitigate {
+            let stamp = self.timers.stamp();
             self.actions.extend(self.defense.on_mitigation_trigger(bank, logical_row, self.now));
+            SubsystemTimers::lap(stamp, &mut self.timers.defense_trigger_ns);
         }
+    }
+}
+
+impl ActivationSink for TickObserver<'_> {
+    fn on_activation(&mut self, event: &ActivationEvent) {
+        if !self.attackers.is_empty() {
+            self.feed_attack_loop(event);
+        }
+        if event.maintenance {
+            return;
+        }
+        self.track_demand(event);
+    }
+
+    /// The batched drain path: one virtual call per bank visit instead of
+    /// one per activation.
+    ///
+    /// The batch is processed in two phases — attack-loop fan-out for every
+    /// event first, then aggressor accounting for the demand events. The
+    /// phases touch disjoint state (attackers and the security tracker
+    /// versus window counts, probes, the tracker and the defense), and the
+    /// events within a batch all carry the same controller visit, so the
+    /// phase split is observationally identical to the per-event
+    /// interleaving: every subsystem still sees the activations of one bank
+    /// visit in issue order, before any event of the next visit.
+    fn on_activation_batch(&mut self, events: &[ActivationEvent]) {
+        if !self.attackers.is_empty() {
+            let stamp = self.timers.stamp();
+            for event in events {
+                self.feed_attack_loop(event);
+            }
+            SubsystemTimers::lap(stamp, &mut self.timers.security_ns);
+        }
+        let stamp = self.timers.stamp();
+        for event in events {
+            if !event.maintenance {
+                self.track_demand(event);
+            }
+        }
+        SubsystemTimers::lap(stamp, &mut self.timers.tracker_raw_ns);
     }
 }
 
 impl AccessSink for TickObserver<'_> {
     fn on_access(&mut self, done: &CompletedAccess) {
-        if let Some((core, token)) = self.pending.remove(&done.request_id) {
+        if let Some(token) = done.request.wait_token {
+            *self.pending_reads -= 1;
             complete_source_read(
                 self.cores,
                 self.attackers,
-                core,
-                token,
+                done.request.core,
+                AccessToken(token),
                 done.finish_ns.max(self.now),
             );
         }
@@ -380,22 +534,17 @@ impl System {
             tracker,
             defense,
             pinned_rows: FxHashSet::default(),
-            pending: FxHashMap::with_capacity_and_hasher(
-                config.cores * config.core.max_outstanding_misses,
-                Default::default(),
-            ),
+            pending_reads: 0,
             deferred: VecDeque::new(),
             next_window_ns: window,
-            bank_activations: vec![
-                FxHashMap::with_capacity_and_hasher(512, Default::default());
-                total_banks
-            ],
+            bank_activations: vec![WindowRowCounts::new(); total_banks],
             max_row_activations: 0,
             rows_pinned: 0,
             pinned_hits: 0,
             now: 0,
             freed_queue_slot: false,
             probes: Vec::new(),
+            timers: SubsystemTimers::default(),
             config,
         }
     }
@@ -493,14 +642,19 @@ impl System {
         // carries the logical row so the activation event can report it.
         // The remap never changes the bank, so the decode work above is
         // shared with the controller via `enqueue_at`.
+        let rit_stamp = self.timers.stamp();
         let (target, physical_row) = self.remapped_address(addr, &decoded, bank);
+        SubsystemTimers::lap(rit_stamp, &mut self.timers.rit_ns);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
         let core_id = origin.map_or(0, |(core, _)| core);
-        let request = MemRequest::new(target, kind, core_id, now).with_logical_row(logical_row);
+        let mut request = MemRequest::new(target, kind, core_id, now).with_logical_row(logical_row);
+        if let Some((_, token)) = origin {
+            request = request.with_wait_token(token.0);
+        }
         match self.controller.enqueue_at(bank, physical_row, request) {
-            Ok(id) => {
-                if let Some(origin) = origin {
-                    self.pending.insert(id, origin);
+            Ok(_) => {
+                if origin.is_some() {
+                    self.pending_reads += 1;
                 }
             }
             Err(_) => self.deferred.push_back(DeferredAccess { addr, bank, is_write, origin }),
@@ -539,6 +693,7 @@ impl System {
             }
             self.pinned_rows.clear();
             for shard in &mut self.bank_activations {
+                self.max_row_activations = self.max_row_activations.max(shard.max_count());
                 shard.clear();
             }
             if let Some(security) = self.security.as_mut() {
@@ -565,7 +720,7 @@ impl System {
     /// and the memory system holds no outstanding work.
     fn is_complete(&self) -> bool {
         self.all_cores_finished()
-            && self.pending.is_empty()
+            && self.pending_reads == 0
             && self.deferred.is_empty()
             && self.controller.is_idle()
     }
@@ -596,6 +751,14 @@ impl System {
         // probes for every long-finished core.
         for core_idx in 0..self.cores.len() {
             if self.core_finish_ns[core_idx].is_some() {
+                continue;
+            }
+            // A core whose cached wake hint lies in the future cannot issue
+            // at this tick (the hint is conservative, and completions clear
+            // it) — skip the whole status walk. On memory-saturated runs
+            // most cores are blocked on most ticks, so this comparison is
+            // the common case.
+            if self.cores[core_idx].wake_hint_ns() > now {
                 continue;
             }
             if self.deferred.len() > 512 {
@@ -631,23 +794,27 @@ impl System {
 
         // Advance the memory controller; activations stream into the
         // tracker/defense and completions into the cores as they happen.
+        // The stamp is taken before the observer borrows the ledger (it is
+        // a plain `Option<Instant>`, so it survives the borrow).
+        let controller_stamp = self.timers.stamp();
         let mut observer = TickObserver {
             tracker: self.tracker.as_mut(),
             defense: self.defense.as_mut(),
             cores: &mut self.cores,
             attackers: &mut self.attackers,
             security: self.security.as_mut(),
-            pending: &mut self.pending,
+            pending_reads: &mut self.pending_reads,
             bank_activations: &mut self.bank_activations,
-            max_row_activations: &mut self.max_row_activations,
             probes: &mut self.probes,
             timing: self.config.dram.timing,
             now,
             actions: Vec::new(),
             counter_ops: Vec::new(),
+            timers: &mut self.timers,
         };
         self.controller.tick_into(now, &mut observer);
         let TickObserver { actions, counter_ops, .. } = observer;
+        SubsystemTimers::lap(controller_stamp, &mut self.timers.controller_raw_ns);
         for op in counter_ops {
             let _ = self.controller.enqueue_maintenance(op);
         }
@@ -656,7 +823,9 @@ impl System {
         }
 
         // Lazy defense work (SRS place-back).
+        let lazy_stamp = self.timers.stamp();
         let actions = self.defense.on_tick(now);
+        SubsystemTimers::lap(lazy_stamp, &mut self.timers.defense_lazy_ns);
         if !actions.is_empty() {
             self.apply_actions(actions);
         }
@@ -739,7 +908,7 @@ impl System {
             }
         }
         let complete = all_finished
-            && self.pending.is_empty()
+            && self.pending_reads == 0
             && self.deferred.is_empty()
             && self.controller.is_idle();
         if complete || unrecorded_finish || self.stop_requested() {
@@ -787,6 +956,37 @@ impl System {
             self.engine_step(false);
         }
         self.into_result()
+    }
+
+    /// Run the simulation with the per-subsystem stopwatches armed,
+    /// returning the breakdown alongside the (bit-identical) results.
+    ///
+    /// The timed pass is meant to be *separate* from throughput
+    /// measurement: the stopwatch laps perturb the wall time by a few
+    /// percent, so record headline numbers from [`System::run`] and use
+    /// this run only for the breakdown. Attribution assumes the default
+    /// batched drain (the per-event fallback path skips the batch-phase
+    /// laps, leaving tracker and security time inside the controller
+    /// bucket).
+    pub fn run_attributed(mut self) -> (SimResult, AttributionReport) {
+        self.timers = SubsystemTimers::armed();
+        let start = Instant::now();
+        while !self.engine_done() {
+            self.engine_step(true);
+        }
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let timers = std::mem::take(&mut self.timers);
+        let report = AttributionReport::from_timers(&timers, wall_ns);
+        (self.into_result(), report)
+    }
+
+    /// Fall back to delivering activations to the tick observer one virtual
+    /// call at a time instead of one batch per bank visit. The two modes
+    /// produce bit-identical simulations (the equivalence suites assert
+    /// it); the per-event path exists as the comparison baseline and
+    /// escape hatch.
+    pub fn set_per_event_drain(&mut self, per_event: bool) {
+        self.controller.set_batched_drain(!per_event);
     }
 
     /// The engine clock: the next tick this system will execute.
@@ -887,6 +1087,12 @@ impl System {
     /// Fold the finished run into its [`SimResult`].
     pub(crate) fn into_result(mut self) -> SimResult {
         let elapsed = self.now.max(1);
+        // Fold the still-open window's shard maxima: the per-activation path
+        // only increments, so the running maximum is settled here and at
+        // each rollover, never per event.
+        for shard in &self.bank_activations {
+            self.max_row_activations = self.max_row_activations.max(shard.max_count());
+        }
         for slot in &mut self.core_finish_ns {
             if slot.is_none() {
                 *slot = Some(elapsed);

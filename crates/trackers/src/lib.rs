@@ -32,6 +32,7 @@
 
 pub mod hydra;
 pub mod misra_gries;
+pub mod scan;
 pub mod tracker;
 
 pub use hydra::{HydraConfig, HydraTracker};

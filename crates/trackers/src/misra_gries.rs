@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::scan;
 use crate::tracker::{AggressorTracker, TrackerDecision};
 
 /// Configuration of the Misra-Gries tracker.
@@ -67,8 +68,12 @@ struct BankTable {
     /// Open-addressed index: `slot + 1` keyed by row hash, 0 = empty. Always
     /// a power of two at least twice `capacity`, so probe chains stay short
     /// even with the table full.
-    index: Vec<u32>,
-    /// log2 of `index.len()`.
+    index_slots: Vec<u32>,
+    /// Row tag of each occupied index bucket, mirrored beside the slot so a
+    /// probe compares tags without a dependent load into the slot arrays —
+    /// the per-activation lookup touches only bucket-indexed memory.
+    index_rows: Vec<u64>,
+    /// log2 of `index_slots.len()`.
     index_bits: u32,
     /// Live slots.
     len: usize,
@@ -81,6 +86,15 @@ struct BankTable {
     /// skipped — the common case for low-locality (GUPS-like) streams that
     /// miss in a full table on every activation.
     min_bound: u64,
+    /// Where the next eviction scan starts. A replacement's counter starts
+    /// one above the spillover level, so within one spillover level the
+    /// remaining victims all sit at or past the previous one — the scan
+    /// resumes there instead of re-walking the (already replaced) prefix,
+    /// making sustained eviction churn cost a handful of lanes per miss
+    /// instead of half the table. Mitigation resets can seat a victim
+    /// behind the cursor, so a failed resumed scan retries the skipped
+    /// prefix before concluding the table has no victim.
+    scan_from: usize,
 }
 
 impl BankTable {
@@ -90,55 +104,76 @@ impl BankTable {
         Self {
             rows: Vec::with_capacity(capacity),
             counts: Vec::with_capacity(capacity),
-            index: vec![0; slots],
+            index_slots: vec![0; slots],
+            index_rows: vec![0; slots],
             index_bits: slots.trailing_zeros(),
             len: 0,
             spillover: 0,
             capacity,
             min_bound: 0,
+            scan_from: 0,
         }
+    }
+
+    /// The first slot at or below `bound`, preferring slots at or past the
+    /// round-robin cursor and wrapping to the skipped prefix only when the
+    /// resumed scan comes up empty.
+    #[inline]
+    fn find_victim(&self, bound: u64) -> Option<usize> {
+        let start = if self.scan_from < self.len { self.scan_from } else { 0 };
+        scan::first_at_or_below(&self.counts[start..self.len], bound)
+            .map(|v| start + v)
+            .or_else(|| scan::first_at_or_below(&self.counts[..start], bound))
     }
 
     /// The slot currently holding `row`, if any.
     #[inline]
     fn slot_of(&self, row: u64) -> Option<usize> {
-        let mask = self.index.len() - 1;
+        let mask = self.index_slots.len() - 1;
         let mut pos = bucket_of(row, self.index_bits);
         loop {
-            match self.index[pos] {
-                0 => return None,
-                s if self.rows[(s - 1) as usize] == row => return Some((s - 1) as usize),
-                _ => pos = (pos + 1) & mask,
+            let s = self.index_slots[pos];
+            if s == 0 {
+                return None;
             }
+            if self.index_rows[pos] == row {
+                return Some((s - 1) as usize);
+            }
+            pos = (pos + 1) & mask;
         }
     }
 
     /// Point the index at `slot` for its current row tag.
     fn index_insert(&mut self, slot: usize) {
-        let mask = self.index.len() - 1;
-        let mut pos = bucket_of(self.rows[slot], self.index_bits);
-        while self.index[pos] != 0 {
+        let mask = self.index_slots.len() - 1;
+        let row = self.rows[slot];
+        let mut pos = bucket_of(row, self.index_bits);
+        while self.index_slots[pos] != 0 {
             pos = (pos + 1) & mask;
         }
-        self.index[pos] = (slot + 1) as u32;
+        self.index_slots[pos] = (slot + 1) as u32;
+        self.index_rows[pos] = row;
     }
 
     /// Remove `row` from the index using backward-shift deletion, keeping
     /// every remaining probe chain intact without tombstones.
     fn index_remove(&mut self, row: u64) {
-        let mask = self.index.len() - 1;
+        let mask = self.index_slots.len() - 1;
         let mut pos = bucket_of(row, self.index_bits);
         loop {
-            match self.index[pos] {
-                0 => return,
-                s if self.rows[(s - 1) as usize] == row => break,
-                _ => pos = (pos + 1) & mask,
+            let s = self.index_slots[pos];
+            if s == 0 {
+                return;
             }
+            if self.index_rows[pos] == row {
+                break;
+            }
+            pos = (pos + 1) & mask;
         }
         let mut hole = pos;
         let mut probe = (pos + 1) & mask;
-        while self.index[probe] != 0 {
-            let home = bucket_of(self.rows[(self.index[probe] - 1) as usize], self.index_bits);
+        while self.index_slots[probe] != 0 {
+            let home = bucket_of(self.index_rows[probe], self.index_bits);
             // The entry may move back into the hole only if its home bucket
             // does not lie strictly between the hole and its current slot
             // (cyclic comparison).
@@ -148,12 +183,13 @@ impl BankTable {
                 home > hole || home <= probe
             };
             if !between {
-                self.index[hole] = self.index[probe];
+                self.index_slots[hole] = self.index_slots[probe];
+                self.index_rows[hole] = self.index_rows[probe];
                 hole = probe;
             }
             probe = (probe + 1) & mask;
         }
-        self.index[hole] = 0;
+        self.index_slots[hole] = 0;
     }
 
     /// Returns the row's new estimated count.
@@ -183,19 +219,20 @@ impl BankTable {
         // whenever it cannot succeed.
         if self.min_bound <= self.spillover {
             let spillover = self.spillover;
-            if let Some(victim) = self.counts[..self.len].iter().position(|&c| c <= spillover) {
+            if let Some(victim) = self.find_victim(spillover) {
                 let old_row = self.rows[victim];
                 self.index_remove(old_row);
                 let start = self.spillover + 1;
                 self.rows[victim] = row;
                 self.counts[victim] = start;
                 self.index_insert(victim);
+                self.scan_from = victim + 1;
                 return start;
             }
             // The scan proved every counter exceeds the spillover level;
             // remember the exact minimum so future misses skip the scan
             // until the spillover counter catches up.
-            self.min_bound = self.counts[..self.len].iter().copied().min().unwrap_or(u64::MAX);
+            self.min_bound = scan::min_value(&self.counts[..self.len]).unwrap_or(u64::MAX);
         }
         self.spillover += 1;
         self.spillover
@@ -228,12 +265,13 @@ impl BankTable {
             // (correctly, for a Misra-Gries summary) stays untracked at
             // the spillover estimate.
             let spillover = self.spillover;
-            if let Some(victim) = self.counts[..self.len].iter().position(|&c| c <= spillover) {
+            if let Some(victim) = self.find_victim(spillover) {
                 let old_row = self.rows[victim];
                 self.index_remove(old_row);
                 self.rows[victim] = row;
                 self.counts[victim] = spillover;
                 self.index_insert(victim);
+                self.scan_from = victim + 1;
             }
         }
         self.min_bound = self.min_bound.min(self.spillover);
@@ -244,10 +282,11 @@ impl BankTable {
     }
 
     fn clear(&mut self) {
-        self.index.fill(0);
+        self.index_slots.fill(0);
         self.len = 0;
         self.spillover = 0;
         self.min_bound = 0;
+        self.scan_from = 0;
     }
 }
 
@@ -285,10 +324,13 @@ impl MisraGriesTracker {
 
 impl AggressorTracker for MisraGriesTracker {
     fn record_activation(&mut self, bank: usize, row: u64) -> TrackerDecision {
-        let bank = bank % self.banks.len();
-        let count = self.banks[bank].observe(row);
+        // In-range bank indices (the only case on the hot path) skip the
+        // integer division entirely.
+        let bank = if bank < self.banks.len() { bank } else { bank % self.banks.len() };
+        let table = &mut self.banks[bank];
+        let count = table.observe(row);
         if count >= self.config.swap_threshold {
-            self.banks[bank].reset_row(row);
+            table.reset_row(row);
             TrackerDecision::mitigate_now()
         } else {
             TrackerDecision::none()
@@ -444,8 +486,14 @@ mod tests {
         }
         let live: std::collections::BTreeSet<u64> = b.rows[..b.len].iter().copied().collect();
         assert_eq!(live.len(), b.len, "duplicate rows in the slot array");
-        // The index holds exactly `len` non-empty buckets.
-        assert_eq!(b.index.iter().filter(|&&s| s != 0).count(), b.len);
+        // The index holds exactly `len` non-empty buckets, each mirroring
+        // its slot's row tag.
+        assert_eq!(b.index_slots.iter().filter(|&&s| s != 0).count(), b.len);
+        for (pos, &s) in b.index_slots.iter().enumerate() {
+            if s != 0 {
+                assert_eq!(b.index_rows[pos], b.rows[(s - 1) as usize]);
+            }
+        }
     }
 
     #[test]

@@ -114,6 +114,107 @@ fn event_driven_engine_matches_under_closed_loop_attack() {
 }
 
 #[test]
+fn batched_drain_is_bit_identical_to_per_event_on_a_scenario_grid() {
+    // The batched activation drain (one sink call per bank visit) against
+    // the per-event fallback (one virtual call per activation): a pure
+    // dispatch optimization, so every cell must match bit for bit.
+    let defenses = [
+        DefenseKind::Baseline,
+        DefenseKind::Rrs { immediate_unswap: true },
+        DefenseKind::Srs,
+        DefenseKind::ScaleSrs,
+    ];
+    let trackers = [TrackerKind::MisraGries, TrackerKind::Hydra];
+    type TraceMaker = fn() -> Trace;
+    let workloads: [(&str, TraceMaker); 2] = [
+        ("hot", || hot_trace(2_000)),
+        ("hammer", || hammer_trace("equiv-hammer", 0x10000, 2_000, 1 << 26, 5).into_trace()),
+    ];
+    for defense in defenses {
+        for tracker in trackers {
+            for (wname, make_trace) in workloads {
+                let cell = format!("{defense}/{tracker:?}/{wname}/drain");
+                let config = grid_config(defense, tracker, 1200);
+                let batched = System::new(config.clone(), make_trace()).run();
+                let mut system = System::new(config, make_trace());
+                system.set_per_event_drain(true);
+                assert_identical(&cell, &system.run(), &batched);
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_drain_matches_per_event_under_closed_loop_attack() {
+    // Attacked cells route every activation through the security tracker
+    // and the reactive attacker feedback loop — the batch path must hand
+    // both the identical event stream, security report included.
+    let mut config = grid_config(DefenseKind::Srs, TrackerKind::MisraGries, 300);
+    config.cores = 1;
+    config.core.target_instructions = u64::MAX / 2;
+    config.dram.refresh_window_ns = 8_000_000;
+    config.max_sim_ns = 2_500_000;
+    config.attack = Some(AttackSpec::new(
+        "equiv-juggernaut",
+        AttackPattern::Juggernaut { banks: 1, aggressor: 96, bias_rounds: u64::MAX },
+    ));
+    let batched = System::new(config.clone(), hot_trace(1_000)).run();
+    let mut system = System::new(config, hot_trace(1_000));
+    system.set_per_event_drain(true);
+    let per_event = system.run();
+    assert_identical("attacked/drain", &per_event, &batched);
+    assert_eq!(per_event.security, batched.security, "attacked/drain: security report diverged");
+}
+
+#[test]
+fn batched_drain_preserves_sink_event_order() {
+    // Controller-level ordering gate: a recording sink must observe the
+    // same activations and completions in the same order whether the
+    // controller delivers them per event or per bank-visit batch. Demand
+    // traffic across several banks plus a maintenance op (which drains
+    // through the same batch path) cover both event sources.
+    use scale_srs::dram::{
+        AccessKind, BankId, EventCollector, MaintenanceKind, MaintenanceOp, MemRequest,
+        MemoryController, PhysAddr,
+    };
+
+    let dram = grid_config(DefenseKind::Baseline, TrackerKind::MisraGries, 1200).dram;
+    let run = |batched: bool| {
+        let mut controller = MemoryController::new(dram.clone());
+        controller.set_batched_drain(batched);
+        let mut collector = EventCollector::new();
+        let mut addr = 0u64;
+        for tick in 0..4_000u64 {
+            let now = tick * 25;
+            if tick.is_multiple_of(3) {
+                // A rotating address stream that lands on many banks and
+                // alternates rows within each, forcing activations.
+                addr = addr.wrapping_add(0x1_0040).wrapping_mul(0x9E37) % (1 << 30);
+                let kind =
+                    if tick.is_multiple_of(5) { AccessKind::Write } else { AccessKind::Read };
+                let _ = controller.enqueue(MemRequest::new(PhysAddr::new(addr), kind, 0, now));
+            }
+            if tick == 1_000 {
+                let op = MaintenanceOp::new(BankId::new(0), 500, vec![7, 9], MaintenanceKind::Swap);
+                let _ = controller.enqueue_maintenance(op);
+            }
+            controller.tick_into(now, &mut collector);
+        }
+        collector
+    };
+    let per_event = run(false);
+    let batched = run(true);
+    assert!(!batched.activations.is_empty(), "stream must carry activations");
+    assert!(!batched.completions.is_empty(), "stream must carry completions");
+    assert!(
+        batched.activations.iter().any(|a| a.maintenance),
+        "stream must carry maintenance activations"
+    );
+    assert_eq!(per_event.activations, batched.activations, "activation order diverged");
+    assert_eq!(per_event.completions, batched.completions, "completion order diverged");
+}
+
+#[test]
 fn event_driven_engine_matches_at_the_simulated_time_cap() {
     // A run that hits max_sim_ns (instead of finishing its instruction
     // target) must report the same final clock under both engines.

@@ -74,6 +74,36 @@ proptest! {
         // ...and the original, resumed after the fork was taken, does too.
         prop_assert_eq!(&original.run(), &reference);
     }
+
+    /// The activation-drain mode is a pure dispatch choice, so it must
+    /// commute with snapshot/fork: a run whose prefix used one drain mode
+    /// and whose forked continuation uses the other must still match a
+    /// reference run executed entirely in the default (batched) mode —
+    /// across every defense, both trackers, attacked and benign cells.
+    #[test]
+    fn drain_mode_commutes_with_fork(
+        defense in prop::sample::select(vec![
+            DefenseKind::Baseline,
+            DefenseKind::Rrs { immediate_unswap: true },
+            DefenseKind::Srs,
+            DefenseKind::ScaleSrs,
+        ]),
+        tracker in prop::sample::select(vec![TrackerKind::MisraGries, TrackerKind::Hydra]),
+        attacked in prop::bool::ANY,
+        prefix_per_event in prop::bool::ANY,
+        fork_tenths in 1u64..10,
+    ) {
+        let config = fork_config(defense, tracker, attacked);
+        let trace = fork_trace(1_500);
+        let reference = System::new(config.clone(), trace.clone()).run();
+
+        let mut original = System::new(config, trace);
+        original.set_per_event_drain(prefix_per_event);
+        original.run_until_ns(reference.elapsed_ns * fork_tenths / 10);
+        let mut forked = original.fork();
+        forked.set_per_event_drain(!prefix_per_event);
+        prop_assert_eq!(&forked.run(), &reference);
+    }
 }
 
 fn tiny() -> ConfigPatch {

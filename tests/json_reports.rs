@@ -30,6 +30,49 @@ fn bench_throughput_report_matches_schema() {
     }
     assert!(doc.get("event_vs_fixed_speedup").and_then(Json::as_f64).is_some());
     assert!(doc.get("smoke").and_then(Json::as_bool).is_some());
+    // The saturated-cells section: drain-mode A/B plus (in full mode) the
+    // recorded PR 5 baseline the batched pipeline is compared against.
+    let saturated = doc.get("saturated").expect("saturated section");
+    for mode in ["per_event", "batched"] {
+        let m = saturated.get(mode).unwrap_or_else(|| panic!("missing saturated.{mode}"));
+        assert!(
+            m.get("wall_seconds").and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+            "saturated.{mode}.wall_seconds must be a positive number"
+        );
+        assert!(
+            m.get("simulated_ns").and_then(Json::as_u64).is_some_and(|v| v > 0),
+            "saturated.{mode}.simulated_ns must be a positive integer"
+        );
+    }
+    assert!(saturated.get("batched_vs_per_event_speedup").and_then(Json::as_f64).is_some());
+    // The per-subsystem wall-time attribution: a total breakdown plus one
+    // per saturated cell, every bucket a nanosecond count no larger than
+    // the instrumented wall time it partitions.
+    let attribution = doc.get("attribution").expect("attribution section");
+    let buckets =
+        ["controller_schedule_ns", "tracker_ns", "defense_ns", "rit_ns", "security_ns", "other_ns"];
+    let check_breakdown = |what: &str, m: &Json| {
+        let wall = m
+            .get("wall_ns")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{what}.wall_ns must be an integer"));
+        let mut sum = 0;
+        for key in buckets {
+            let v = m
+                .get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{what}.{key} must be an integer"));
+            sum += v;
+        }
+        assert!(sum <= wall, "{what}: exclusive buckets ({sum} ns) exceed wall ({wall} ns)");
+    };
+    check_breakdown("attribution.total", attribution.get("total").expect("attribution total"));
+    let cells = attribution.get("cells").and_then(Json::as_array).expect("attribution cells");
+    assert!(!cells.is_empty(), "attribution carries at least one saturated cell");
+    for cell in cells {
+        let label = cell.get("label").and_then(Json::as_str).expect("cell label");
+        check_breakdown(label, cell.get("breakdown").expect("cell breakdown"));
+    }
     // The committed artifact records the full-grid run, which carries the
     // pre-optimization baseline section for the perf trajectory.
     if doc.get("smoke").and_then(Json::as_bool) == Some(false) {
