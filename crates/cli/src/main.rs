@@ -6,56 +6,86 @@
 //!
 //! ```sh
 //! srs-cli run specs/quickstart.json            # stream results to JSONL
+//! srs-cli plan specs/fig12.json --shards 4     # split into shard manifests
+//! srs-cli run fig12.shard0.json                # run one shard
+//! srs-cli run fig12.shard0.json --resume       # continue after a crash
+//! srs-cli merge fig12.shard*.results.jsonl --out fig12.results.jsonl
 //! srs-cli validate specs/quickstart.json       # resolve registries, dry
 //! srs-cli validate quickstart.results.jsonl    # schema-check emitted rows
 //! srs-cli list defenses                        # registry contents
 //! srs-cli check-json BENCH_attack.json         # plain JSON well-formedness
 //! ```
 //!
-//! `run` streams every grid cell through a [`JsonlWriter`]
-//! ([`srs_sim::sink::ResultSink`]) as it completes — results land on disk
-//! incrementally, with live progress and ETA on standard error — and prints
-//! a per-(defense, TRH) summary once the grid drains.
+//! `run` streams every grid cell through a crash-safe
+//! [`srs_sim::campaign::CheckpointSink`] — results land on disk
+//! incrementally with an atomically updated `<out>.manifest.json` beside
+//! them, live progress and ETA go to standard error, and a per-(defense,
+//! TRH) summary prints once the grid drains. A killed run continues with
+//! `--resume`; a cell that keeps panicking is recorded in the manifest and
+//! the campaign degrades (exit code 3) instead of aborting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use srs_sim::campaign::{
+    merge_results, plan_shards, Campaign, CampaignSink, CellFailure, CheckpointSink, ShardManifest,
+};
 use srs_sim::json::Json;
-use srs_sim::sink::{Fanout, JsonlWriter, ProgressSink, ResultSink};
+use srs_sim::sink::{validate_result_record, ProgressSink, ResultSink};
 use srs_sim::spec::{
     attack_names, defense_names, preset_names, tracker_names, workload_selector_names,
     ExperimentSpec,
 };
-use srs_sim::ScenarioResult;
+use srs_sim::{FaultInjection, RetryPolicy, ScenarioResult};
 
 const USAGE: &str = "\
 srs-cli — spec-file driver for the scale-srs experiment engine
 
 USAGE:
-    srs-cli run <spec.json> [--out <file.jsonl>] [--threads <N>] [--quiet]
+    srs-cli run <spec.json | shard.json> [--out <file.jsonl>] [--resume]
+                [--force] [--threads <N>] [--retries <N>] [--quiet]
                 [--no-share]
-    srs-cli validate <spec.json | results.jsonl>
+    srs-cli plan <spec.json> --shards <N> [--out-dir <dir>]
+    srs-cli merge <results.jsonl>... --out <file.jsonl> [--force]
+    srs-cli validate <spec.json | shard.json | results.jsonl>
     srs-cli check-json <file.json>
     srs-cli list <defenses | trackers | workloads | attacks | presets>
 
 COMMANDS:
-    run         Resolve the spec and execute its scenario grid, streaming
-                one JSON object per cell (JSON Lines) to --out as cells
-                complete. Default --out: <spec stem>.results.jsonl in the
-                current directory. Progress and ETA go to standard error
-                (suppress with --quiet). --no-share disables sharing-aware
-                execution (cells that differ only in defense/TRH/tracker
-                normally run their common simulation prefix once and fork;
-                results are bit-identical either way).
-    validate    For a .json spec: parse it, resolve every registry name and
-                report the grid size without running anything. For a .jsonl
-                results file: check every line against the result-record
-                schema.
+    run         Resolve the spec (or shard manifest) and execute its cells,
+                streaming one JSON object per cell (JSON Lines) to --out as
+                cells complete, with a crash-safe checkpoint manifest at
+                <out>.manifest.json. Default --out: <input stem>.results.jsonl
+                in the current directory (the chosen path is printed; an
+                existing file is an error unless --force or --resume).
+                --resume continues an interrupted run: the manifest is
+                replayed, a torn final record is truncated, completed cells
+                are skipped and previously failed cells are retried.
+                --threads <N> sets the worker-thread count; 0 (or omitting
+                the flag) means auto — the machine's available parallelism,
+                capped at 8. --retries <N> sets attempts per cell before it
+                is recorded as failed (default 3). --no-share disables
+                sharing-aware execution (results are bit-identical either
+                way). Exit code 3 means the campaign completed degraded:
+                some cells failed and are listed in the manifest.
+    plan        Deterministically split a spec's grid into N shard
+                manifests (<stem>.shard<k>.json, self-contained; run each
+                with `srs-cli run`). Shared-prefix trunk groups are never
+                split across shards, so sharding never changes any cell's
+                bits.
+    merge       Validate shard result files (schema, no gaps, no duplicate
+                cell indices) and merge them into one submission-ordered
+                file, byte-identical to an uninterrupted unsharded run.
+    validate    For a .json spec or shard manifest: parse it, resolve every
+                registry name and report the grid size without running
+                anything. For a .jsonl results file: check every line
+                against the result-record schema (a truncated final line —
+                a crash artifact — is a warning, not an error).
     check-json  Parse any JSON document with the built-in codec; exits
                 non-zero on malformed input.
     list        Print a registry's valid names, one per line.
@@ -69,6 +99,8 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "plan" => cmd_plan(&args[1..]),
+        "merge" => cmd_merge(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
         "check-json" => cmd_check_json(&args[1..]),
         "list" => cmd_list(&args[1..]),
@@ -79,7 +111,7 @@ fn main() -> ExitCode {
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(CliError::Usage(message)) => {
             eprintln!("error: {message}\n");
             eprint!("{USAGE}");
@@ -92,6 +124,10 @@ fn main() -> ExitCode {
     }
 }
 
+/// Exit code for a campaign that completed but left failed cells behind.
+const EXIT_DEGRADED: u8 = 3;
+
+#[derive(Debug)]
 enum CliError {
     /// Bad invocation: exit code 2 plus usage text.
     Usage(String),
@@ -112,12 +148,51 @@ fn load_spec(path: &str) -> Result<ExperimentSpec, CliError> {
     ExperimentSpec::parse(&text).map_err(|e| fail(format!("{path}: {e}")))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), CliError> {
-    let mut spec_path: Option<&str> = None;
+/// What `run` was pointed at: a whole-grid spec, or one shard of one.
+enum RunInput {
+    Spec(ExperimentSpec),
+    Shard(ShardManifest),
+}
+
+/// Load a `run`/`validate` input, dispatching on the `shard_index` key
+/// (spec files reject unknown keys, so the two forms cannot be confused).
+fn load_run_input(path: &str) -> Result<RunInput, CliError> {
+    let text = read_file(path)?;
+    let json = Json::parse(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    if ShardManifest::is_shard_json(&json) {
+        Ok(RunInput::Shard(ShardManifest::from_json(path, &json).map_err(|e| fail(e.to_string()))?))
+    } else {
+        Ok(RunInput::Spec(
+            ExperimentSpec::from_json(&json).map_err(|e| fail(format!("{path}: {e}")))?,
+        ))
+    }
+}
+
+/// Derive `<stem>.<suffix>` in the current directory from an input path —
+/// or error when the path has no usable stem (e.g. `.json`), instead of
+/// silently inventing a name.
+fn derive_out_path(input: &str, suffix: &str) -> Result<PathBuf, CliError> {
+    let stem = Path::new(input)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        // A dotfile's "stem" is its whole name (`.json` -> `.json`);
+        // refuse to derive hidden output names from it.
+        .filter(|s| !s.is_empty() && !s.starts_with('.'))
+        .ok_or_else(|| {
+            CliError::Usage(format!("cannot derive an output name from '{input}'; pass --out"))
+        })?;
+    Ok(PathBuf::from(format!("{stem}.{suffix}")))
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut input_path: Option<&str> = None;
     let mut out_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut retries: Option<u32> = None;
     let mut quiet = false;
     let mut no_share = false;
+    let mut resume = false;
+    let mut force = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -135,55 +210,272 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                         .map_err(|_| CliError::Usage(format!("bad thread count '{value}'")))?,
                 );
             }
+            "--retries" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--retries needs a count".into()))?;
+                let attempts = value
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("bad retry count '{value}'")))?;
+                retries = Some(attempts);
+            }
             "--quiet" => quiet = true,
             "--no-share" => no_share = true,
-            other if spec_path.is_none() && !other.starts_with('-') => spec_path = Some(other),
+            "--resume" => resume = true,
+            "--force" => force = true,
+            other if input_path.is_none() && !other.starts_with('-') => input_path = Some(other),
             other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
         }
     }
-    let spec_path = spec_path.ok_or_else(|| CliError::Usage("run needs a spec file".into()))?;
-    let mut spec = load_spec(spec_path)?;
+    let input_path = input_path.ok_or_else(|| CliError::Usage("run needs a spec file".into()))?;
+    let (mut spec, shard) = match load_run_input(input_path)? {
+        RunInput::Spec(spec) => (spec, None),
+        RunInput::Shard(shard) => (shard.spec.clone(), Some(shard)),
+    };
     if let Some(threads) = threads {
         spec.threads = Some(threads);
     }
     if no_share {
         spec.share_prefixes = false;
     }
-    let experiment = spec.to_experiment().map_err(|e| fail(format!("{spec_path}: {e}")))?;
+    let experiment = spec.to_experiment().map_err(|e| fail(format!("{input_path}: {e}")))?;
+    let total_cells = experiment.job_count();
 
-    let out_path = out_path.unwrap_or_else(|| {
-        let stem = Path::new(spec_path).file_stem().and_then(|s| s.to_str()).unwrap_or("results");
-        PathBuf::from(format!("{stem}.results.jsonl"))
-    });
-    let file = std::fs::File::create(&out_path)
-        .map_err(|e| fail(format!("cannot create {}: {e}", out_path.display())))?;
-    let mut writer = JsonlWriter::new(BufWriter::new(file));
-    let mut summary = SummarySink::default();
-    let total = experiment.job_count();
+    // The cell set this invocation is responsible for, and the campaign
+    // name its manifest records (sibling shards share the name).
+    let (campaign_name, cells): (String, Vec<usize>) = match &shard {
+        Some(shard) => {
+            if shard.total_cells != total_cells {
+                return Err(fail(format!(
+                    "{input_path}: shard was planned over {} cells but the spec now \
+                     resolves to {total_cells}; re-plan the campaign",
+                    shard.total_cells
+                )));
+            }
+            (shard.campaign.clone(), shard.cells.clone())
+        }
+        None => (spec.name.clone(), (0..total_cells).collect()),
+    };
+
+    let out_path = match out_path {
+        Some(path) => path,
+        None => derive_out_path(input_path, "results.jsonl")?,
+    };
+    if !resume && !force && out_path.exists() {
+        return Err(fail(format!(
+            "{} already exists; pass --force to overwrite it or --resume to continue it",
+            out_path.display()
+        )));
+    }
+
+    // Open the crash-safe output: fresh, or resumed from its manifest.
+    let (checkpoint, completed, skipped) = if resume {
+        let (checkpoint, state) =
+            CheckpointSink::resume(&out_path, &campaign_name, total_cells, &cells)
+                .map_err(|e| fail(e.to_string()))?;
+        if state.truncated_bytes > 0 {
+            eprintln!(
+                "truncated a torn final record ({} bytes) left by a crashed run",
+                state.truncated_bytes
+            );
+        }
+        for failure in &state.retried_failures {
+            eprintln!(
+                "retrying cell {} (failed after {} attempts: {})",
+                failure.index, failure.attempts, failure.error
+            );
+        }
+        let skipped = state.completed.len();
+        (checkpoint, state.completed, skipped)
+    } else {
+        let checkpoint =
+            CheckpointSink::create(&out_path, &campaign_name, total_cells, cells.clone())
+                .map_err(|e| fail(e.to_string()))?;
+        (checkpoint, Vec::new(), 0)
+    };
+
+    let mut campaign = Campaign::new(experiment)
+        .with_cells(cells)
+        .with_completed(completed)
+        .with_fault(FaultInjection::from_env());
+    if let Some(max_attempts) = retries {
+        campaign = campaign.with_retry(RetryPolicy { max_attempts, ..RetryPolicy::default() });
+    }
+    let remaining = campaign.planned().len();
+    let shard_note = match &shard {
+        Some(s) => format!(", shard {}/{}", s.shard_index, s.shard_count),
+        None => String::new(),
+    };
     eprintln!(
-        "running '{}': {} cells ({} preset{}) -> {}",
-        spec.name,
-        total,
+        "running '{campaign_name}': {remaining} of {total_cells} cells ({} preset{}{}{}) -> {}",
         spec.preset,
         if spec.share_prefixes { ", shared prefixes" } else { ", no sharing" },
+        shard_note,
+        if skipped > 0 { format!(", {skipped} already done") } else { String::new() },
         out_path.display()
     );
 
-    {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut writer, &mut summary];
-        let mut progress = ProgressSink::new(total, std::io::stderr());
-        if !quiet {
-            sinks.push(&mut progress);
+    let mut sinks = RunSinks {
+        checkpoint,
+        summary: SummarySink::default(),
+        progress: (!quiet)
+            .then(|| ProgressSink::new(remaining, std::io::stderr()).with_offset(skipped)),
+    };
+    let report = campaign.run(&mut sinks);
+    let manifest = sinks.checkpoint.finish().map_err(|e| fail(e.to_string()))?;
+
+    println!(
+        "wrote {} records to {} ({} committed in total)",
+        report.completed,
+        out_path.display(),
+        manifest.completed.len()
+    );
+    sinks.summary.print(&mut std::io::stdout().lock());
+    if report.failed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "campaign degraded: {} cells failed (recorded in the manifest):",
+            report.failed.len()
+        );
+        for failure in &report.failed {
+            eprintln!(
+                "  cell {} after {} attempts: {}",
+                failure.index, failure.attempts, failure.error
+            );
         }
-        let mut fanout = Fanout::new(sinks);
-        experiment.run_with_sink(&mut fanout);
+        eprintln!("rerun with --resume to retry the failed cells");
+        Ok(ExitCode::from(EXIT_DEGRADED))
+    }
+}
+
+/// The `run` command's composite campaign sink: crash-safe JSONL + live
+/// progress + the end-of-run summary table.
+struct RunSinks {
+    checkpoint: CheckpointSink,
+    summary: SummarySink,
+    progress: Option<ProgressSink<std::io::Stderr>>,
+}
+
+impl CampaignSink for RunSinks {
+    fn on_scenario_start(&mut self, scenario: &srs_sim::Scenario) {
+        if let Some(progress) = &mut self.progress {
+            progress.on_scenario_start(scenario);
+        }
     }
 
-    let records = writer.records_written();
-    writer.finish().map_err(|e| fail(format!("writing {}: {e}", out_path.display())))?;
-    println!("wrote {records} records to {}", out_path.display());
-    summary.print(&mut std::io::stdout().lock());
-    Ok(())
+    fn on_result(&mut self, result: &ScenarioResult) {
+        self.checkpoint.on_result(result);
+        self.summary.on_result(result);
+        if let Some(progress) = &mut self.progress {
+            progress.on_result(result);
+        }
+    }
+
+    fn on_cell_failed(&mut self, failure: &CellFailure) {
+        self.checkpoint.on_cell_failed(failure);
+        eprintln!(
+            "cell {} failed after {} attempts: {}",
+            failure.index, failure.attempts, failure.error
+        );
+    }
+
+    fn on_finish(&mut self, report: &srs_sim::CampaignReport) {
+        if let Some(progress) = &mut self.progress {
+            progress.on_finish(report.completed);
+        }
+    }
+}
+
+fn cmd_plan(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut spec_path: Option<&str> = None;
+    let mut shards: Option<usize> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--shards needs a count".into()))?;
+                let count = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("bad shard count '{value}'")))?;
+                shards = Some(count);
+            }
+            "--out-dir" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--out-dir needs a path".into()))?;
+                out_dir = Some(PathBuf::from(value));
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => spec_path = Some(other),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| CliError::Usage("plan needs a spec file".into()))?;
+    let shards = shards.ok_or_else(|| CliError::Usage("plan needs --shards <N>".into()))?;
+    let spec = load_spec(spec_path)?;
+    let manifests = plan_shards(&spec, shards).map_err(|e| fail(format!("{spec_path}: {e}")))?;
+    let stem = derive_out_path(spec_path, "")?;
+    let stem = stem.to_str().expect("derive_out_path yields UTF-8").trim_end_matches('.');
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| fail(format!("cannot create {}: {e}", out_dir.display())))?;
+    let total: usize = manifests.iter().map(|m| m.cells.len()).sum();
+    println!(
+        "planned {} shards over {} cells of campaign '{}':",
+        manifests.len(),
+        total,
+        spec.name
+    );
+    for manifest in &manifests {
+        let path = out_dir.join(format!("{stem}.shard{}.json", manifest.shard_index));
+        let mut text = srs_sim::ToJson::to_json(manifest).to_pretty();
+        text.push('\n');
+        std::fs::write(&path, text)
+            .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+        println!("  {} ({} cells)", path.display(), manifest.cells.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_merge(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out_path: Option<PathBuf> = None;
+    let mut force = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                out_path = Some(PathBuf::from(value));
+            }
+            "--force" => force = true,
+            other if !other.starts_with('-') => inputs.push(PathBuf::from(other)),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    if inputs.is_empty() {
+        return Err(CliError::Usage("merge needs at least one results file".into()));
+    }
+    let out_path = out_path.ok_or_else(|| CliError::Usage("merge needs --out <file>".into()))?;
+    if !force && out_path.exists() {
+        return Err(fail(format!(
+            "{} already exists; pass --force to overwrite it",
+            out_path.display()
+        )));
+    }
+    let stats = merge_results(&inputs, &out_path).map_err(|e| fail(e.to_string()))?;
+    println!(
+        "merged {} records from {} inputs into {}",
+        stats.records,
+        stats.inputs,
+        out_path.display()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Streaming per-(defense, TRH) aggregation — the run summary accumulates
@@ -223,103 +515,119 @@ impl SummarySink {
     }
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     let [path] = args else {
         return Err(CliError::Usage("validate needs exactly one file".into()));
     };
     if Path::new(path).extension().is_some_and(|e| e == "jsonl") {
-        validate_results(path)
-    } else {
-        let spec = load_spec(path)?;
-        let experiment = spec.to_experiment().map_err(|e| fail(format!("{path}: {e}")))?;
-        println!(
-            "{path}: OK — '{}' resolves to {} cells ({} preset{})",
-            spec.name,
-            experiment.job_count(),
-            spec.preset,
-            if spec.patch.is_empty() { "" } else { ", patched" },
-        );
-        Ok(())
+        validate_results(path)?;
+        return Ok(ExitCode::SUCCESS);
     }
+    match load_run_input(path)? {
+        RunInput::Spec(spec) => {
+            let experiment = spec.to_experiment().map_err(|e| fail(format!("{path}: {e}")))?;
+            println!(
+                "{path}: OK — '{}' resolves to {} cells ({} preset{})",
+                spec.name,
+                experiment.job_count(),
+                spec.preset,
+                if spec.patch.is_empty() { "" } else { ", patched" },
+            );
+        }
+        RunInput::Shard(shard) => {
+            let experiment =
+                shard.spec.to_experiment().map_err(|e| fail(format!("{path}: {e}")))?;
+            if shard.total_cells != experiment.job_count() {
+                return Err(fail(format!(
+                    "{path}: shard was planned over {} cells but the spec now resolves \
+                     to {}; re-plan the campaign",
+                    shard.total_cells,
+                    experiment.job_count()
+                )));
+            }
+            println!(
+                "{path}: OK — shard {}/{} of '{}' runs {} of {} cells",
+                shard.shard_index,
+                shard.shard_count,
+                shard.campaign,
+                shard.cells.len(),
+                shard.total_cells,
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn validate_results(path: &str) -> Result<(), CliError> {
-    use std::io::BufRead;
+    use std::io::{BufRead, Read};
     // Results files are written streaming and can be arbitrarily large;
     // validate them line by line rather than slurping the whole file.
     let file = std::fs::File::open(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let mut reader = std::io::BufReader::new(file);
     let mut records = 0usize;
-    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
-        if line.trim().is_empty() {
+    let mut offset = 0u64;
+    let mut lineno = 0usize;
+    let mut line = String::new();
+    let mut truncated_at: Option<u64> = None;
+    loop {
+        line.clear();
+        let bytes =
+            reader.read_line(&mut line).map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
+        if bytes == 0 {
+            break;
+        }
+        lineno += 1;
+        let line_start = offset;
+        offset += bytes as u64;
+        let text = line.trim_end_matches('\n');
+        if text.trim().is_empty() {
             continue;
         }
-        let record = Json::parse(&line).map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
-        validate_result_record(&record)
-            .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
-        records += 1;
+        match Json::parse(text) {
+            Ok(record) => {
+                validate_result_record(&record)
+                    .map_err(|message| fail(format!("{path}:{lineno}: {message}")))?;
+                records += 1;
+            }
+            Err(error) => {
+                // A final line that does not parse is the signature of a
+                // run killed mid-write — a crash artifact, not data
+                // corruption. Anything unparseable mid-file is an error.
+                let mut rest = String::new();
+                reader.read_to_string(&mut rest).map_err(|e| fail(format!("{path}: {e}")))?;
+                if rest.trim().is_empty() && records > 0 {
+                    truncated_at = Some(line_start);
+                    break;
+                }
+                return Err(fail(format!("{path}:{lineno}: {error}")));
+            }
+        }
     }
     if records == 0 {
         return Err(fail(format!("{path}: no result records")));
     }
-    println!("{path}: OK — {records} result records");
-    Ok(())
-}
-
-/// The schema of one emitted result record
-/// (`srs_sim::scenario::ScenarioResult::to_json`).
-fn validate_result_record(record: &Json) -> Result<(), String> {
-    let scenario = record.get("scenario").ok_or("missing 'scenario'")?;
-    for key in ["defense", "tracker", "workload", "suite"] {
-        scenario
-            .get(key)
-            .and_then(Json::as_str)
-            .ok_or(format!("scenario.{key} must be a string"))?;
-    }
-    for key in ["index", "t_rh"] {
-        scenario
-            .get(key)
-            .and_then(Json::as_u64)
-            .ok_or(format!("scenario.{key} must be an integer"))?;
-    }
-    let result = record.get("result").ok_or("missing 'result'")?;
-    let norm = result
-        .get("normalized_performance")
-        .and_then(Json::as_f64)
-        .ok_or("result.normalized_performance must be a number")?;
-    if !(0.0..=1.5).contains(&norm) {
-        return Err(format!("normalized performance {norm} out of range"));
-    }
-    let detail = result.get("detail").ok_or("missing 'result.detail'")?;
-    for key in ["elapsed_ns", "instructions", "swaps"] {
-        detail.get(key).and_then(Json::as_u64).ok_or(format!("detail.{key} must be an integer"))?;
-    }
-    // Attacked cells must carry a security report, benign cells a null.
-    let attacked = scenario.get("attack").is_some_and(|a| !a.is_null());
-    let security = detail.get("security").ok_or("missing 'detail.security'")?;
-    if attacked && security.is_null() {
-        return Err("attacked cell has no security report".into());
-    }
-    if !security.is_null() {
-        security
-            .get("max_victim_pressure")
-            .and_then(Json::as_u64)
-            .ok_or("security.max_victim_pressure must be an integer")?;
+    match truncated_at {
+        Some(byte_offset) => println!(
+            "{path}: OK — {records} complete result records; warning: truncated final \
+             record at byte offset {byte_offset} (crash artifact — continue the run \
+             with `srs-cli run --resume`)"
+        ),
+        None => println!("{path}: OK — {records} result records"),
     }
     Ok(())
 }
 
-fn cmd_check_json(args: &[String]) -> Result<(), CliError> {
+fn cmd_check_json(args: &[String]) -> Result<ExitCode, CliError> {
     let [path] = args else {
         return Err(CliError::Usage("check-json needs exactly one file".into()));
     };
     let text = read_file(path)?;
     Json::parse(&text).map_err(|e| fail(format!("{path}: {e}")))?;
     println!("{path}: OK");
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_list(args: &[String]) -> Result<(), CliError> {
+fn cmd_list(args: &[String]) -> Result<ExitCode, CliError> {
     let [what] = args else {
         return Err(CliError::Usage(
             "list needs one of: defenses, trackers, workloads, attacks, presets".into(),
@@ -340,7 +648,7 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
     for name in names {
         println!("{name}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -369,5 +677,15 @@ mod tests {
 
         let broken = Json::parse(r#"{"scenario": {"index": 0}}"#).unwrap();
         assert!(validate_result_record(&broken).is_err());
+    }
+
+    #[test]
+    fn out_path_derivation_rejects_stemless_inputs() {
+        assert_eq!(
+            derive_out_path("specs/quickstart.json", "results.jsonl").unwrap(),
+            PathBuf::from("quickstart.results.jsonl")
+        );
+        assert!(matches!(derive_out_path(".json", "results.jsonl"), Err(CliError::Usage(_))));
+        assert!(matches!(derive_out_path("", "results.jsonl"), Err(CliError::Usage(_))));
     }
 }

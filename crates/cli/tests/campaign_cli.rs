@@ -1,0 +1,213 @@
+//! End-to-end campaign workflows through the `srs-cli` binary: crash →
+//! resume, plan → shard → merge, fault injection → degraded exit →
+//! repair — each proven byte-identical to an uninterrupted unsharded run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const TINY_SPEC: &str = r#"{
+    "name": "campaign_tiny",
+    "patch": {"cores": 1, "target_instructions": 2000,
+              "trace_records_per_core": 1000, "max_sim_ns": 2000000},
+    "defenses": ["baseline", "srs", "scale-srs"],
+    "workloads": ["gups", "gcc"],
+    "threads": 2
+}"#;
+
+/// A unique scratch directory per test holding the tiny spec.
+fn scratch(test: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("srs-cli-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let spec = dir.join("campaign_tiny.json");
+    std::fs::write(&spec, TINY_SPEC).expect("write tiny spec");
+    (dir, spec)
+}
+
+/// The CLI under test, with the campaign test hooks scrubbed from the
+/// inherited environment so only explicit `env` calls inject faults.
+fn cli(dir: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_srs-cli"));
+    cmd.current_dir(dir).env_remove("SRS_CAMPAIGN_FAIL").env_remove("SRS_CAMPAIGN_CRASH_AFTER");
+    cmd
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let output = cmd.output().expect("spawn srs-cli");
+    assert!(
+        output.status.success(),
+        "srs-cli failed ({:?}):\nstdout: {}\nstderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn reference_run(dir: &Path, spec: &Path) -> Vec<u8> {
+    run_ok(cli(dir).args(["run", spec.to_str().unwrap(), "--out", "reference.jsonl", "--quiet"]));
+    std::fs::read(dir.join("reference.jsonl")).expect("reference output")
+}
+
+#[test]
+fn killed_mid_run_then_resume_is_byte_identical_to_an_uninterrupted_run() {
+    let (dir, spec) = scratch("crash-resume");
+    let reference = reference_run(&dir, &spec);
+
+    // Crash after two committed records, mid-write of the third: the
+    // checkpoint sink writes half a line, flushes and aborts.
+    let crashed = cli(&dir)
+        .args(["run", spec.to_str().unwrap(), "--out", "out.jsonl", "--quiet"])
+        .env("SRS_CAMPAIGN_CRASH_AFTER", "2")
+        .output()
+        .expect("spawn srs-cli");
+    assert!(!crashed.status.success(), "the crash hook must kill the process");
+    let torn = std::fs::read(dir.join("out.jsonl")).expect("torn output exists");
+    assert!(!reference.starts_with(&torn) || torn.len() < reference.len(), "output is partial");
+
+    // The torn file fails a naive byte-diff but resume repairs it.
+    run_ok(cli(&dir).args([
+        "run",
+        spec.to_str().unwrap(),
+        "--out",
+        "out.jsonl",
+        "--resume",
+        "--quiet",
+    ]));
+    let resumed = std::fs::read(dir.join("out.jsonl")).unwrap();
+    assert_eq!(resumed, reference, "resume must reproduce the uninterrupted bytes");
+
+    // Resuming a finished campaign is a no-op that leaves the bytes alone.
+    let again = run_ok(cli(&dir).args([
+        "run",
+        spec.to_str().unwrap(),
+        "--out",
+        "out.jsonl",
+        "--resume",
+        "--quiet",
+    ]));
+    assert_eq!(std::fs::read(dir.join("out.jsonl")).unwrap(), reference);
+    let stderr = String::from_utf8_lossy(&again.stderr);
+    assert!(stderr.contains("0 of 6 cells"), "no-op resume plans nothing: {stderr}");
+}
+
+#[test]
+fn plan_run_shards_merge_is_byte_identical_and_merge_rejects_overlap() {
+    let (dir, spec) = scratch("shard-merge");
+    let reference = reference_run(&dir, &spec);
+
+    let planned =
+        run_ok(cli(&dir).args(["plan", spec.to_str().unwrap(), "--shards", "2", "--out-dir", "."]));
+    let stdout = String::from_utf8_lossy(&planned.stdout);
+    assert!(stdout.contains("planned 2 shards"), "plan output: {stdout}");
+    for k in 0..2 {
+        assert!(dir.join(format!("campaign_tiny.shard{k}.json")).exists());
+        run_ok(cli(&dir).args(["validate", &format!("campaign_tiny.shard{k}.json")]));
+        run_ok(cli(&dir).args([
+            "run",
+            &format!("campaign_tiny.shard{k}.json"),
+            "--out",
+            &format!("shard{k}.jsonl"),
+            "--quiet",
+        ]));
+    }
+    run_ok(cli(&dir).args(["merge", "shard0.jsonl", "shard1.jsonl", "--out", "merged.jsonl"]));
+    assert_eq!(
+        std::fs::read(dir.join("merged.jsonl")).unwrap(),
+        reference,
+        "shard → merge must reproduce the unsharded bytes"
+    );
+
+    // Feeding the same shard twice is an overlap error, not silent dupes.
+    let overlap = cli(&dir)
+        .args(["merge", "shard0.jsonl", "shard0.jsonl", "--out", "dup.jsonl", "--force"])
+        .output()
+        .unwrap();
+    assert_eq!(overlap.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&overlap.stderr);
+    assert!(stderr.contains("shards overlap"), "overlap diagnostic: {stderr}");
+}
+
+#[test]
+fn persistent_cell_failure_degrades_with_exit_3_and_resume_repairs_it() {
+    let (dir, spec) = scratch("fault");
+    let reference = reference_run(&dir, &spec);
+
+    // A transient fault (one injected panic) is absorbed by the retry
+    // policy and leaves no trace in the output.
+    run_ok(
+        cli(&dir)
+            .args(["run", spec.to_str().unwrap(), "--out", "transient.jsonl", "--quiet"])
+            .env("SRS_CAMPAIGN_FAIL", "1:1"),
+    );
+    assert_eq!(std::fs::read(dir.join("transient.jsonl")).unwrap(), reference);
+
+    // A persistent fault exhausts the budget: distinct exit code, failure
+    // recorded in the manifest, surviving cells still on disk.
+    let degraded = cli(&dir)
+        .args(["run", spec.to_str().unwrap(), "--out", "out.jsonl", "--quiet"])
+        .env("SRS_CAMPAIGN_FAIL", "1:99")
+        .output()
+        .unwrap();
+    assert_eq!(degraded.status.code(), Some(3), "degraded campaigns exit 3");
+    let stderr = String::from_utf8_lossy(&degraded.stderr);
+    assert!(stderr.contains("campaign degraded"), "degraded diagnostic: {stderr}");
+    let manifest = std::fs::read_to_string(dir.join("out.jsonl.manifest.json")).unwrap();
+    assert!(manifest.contains("injected campaign fault"), "manifest records the error");
+    assert!(manifest.contains("\"attempts\": 3"), "manifest records spent attempts");
+
+    // Resume without the fault: failed cells are retried — they append
+    // behind later cells and the index-order repair restores the exact
+    // uninterrupted bytes.
+    run_ok(cli(&dir).args([
+        "run",
+        spec.to_str().unwrap(),
+        "--out",
+        "out.jsonl",
+        "--resume",
+        "--quiet",
+    ]));
+    assert_eq!(std::fs::read(dir.join("out.jsonl")).unwrap(), reference);
+}
+
+#[test]
+fn validate_reports_a_torn_final_record_as_a_warning_not_an_error() {
+    let (dir, spec) = scratch("validate-torn");
+    let reference = reference_run(&dir, &spec);
+
+    // Manufacture a crash artifact: a complete file plus half a record.
+    let first_line_len = reference.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let mut torn = reference.clone();
+    torn.extend_from_slice(&reference[..first_line_len / 2]);
+    std::fs::write(dir.join("torn.jsonl"), &torn).unwrap();
+
+    let output = run_ok(cli(&dir).args(["validate", "torn.jsonl"]));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains(&format!("truncated final record at byte offset {}", reference.len())),
+        "torn-record warning with the byte offset: {stdout}"
+    );
+    assert!(stdout.contains("6 complete result records"), "complete records still count: {stdout}");
+
+    // Garbage mid-file stays a hard error.
+    let mut corrupt = reference.clone();
+    corrupt.splice(first_line_len..first_line_len, b"not json\n".iter().copied());
+    std::fs::write(dir.join("corrupt.jsonl"), &corrupt).unwrap();
+    let output = cli(&dir).args(["validate", "corrupt.jsonl"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(1), "mid-file corruption is fatal");
+}
+
+#[test]
+fn collisions_are_refused_without_force_and_threads_zero_means_auto() {
+    let (dir, spec) = scratch("collide");
+    run_ok(cli(&dir).args(["run", spec.to_str().unwrap(), "--quiet", "--threads", "0"]));
+    // The default out path is derived from the spec stem and announced.
+    assert!(dir.join("campaign_tiny.results.jsonl").exists());
+
+    let collide = cli(&dir).args(["run", spec.to_str().unwrap(), "--quiet"]).output().unwrap();
+    assert_eq!(collide.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&collide.stderr);
+    assert!(stderr.contains("already exists"), "collision diagnostic: {stderr}");
+
+    run_ok(cli(&dir).args(["run", spec.to_str().unwrap(), "--quiet", "--force"]));
+}

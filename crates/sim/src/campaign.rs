@@ -1,0 +1,1127 @@
+//! Fault-tolerant campaign execution: deterministic sharding,
+//! checkpoint/resume, and crash-safe result streams.
+//!
+//! A paper-sized grid is hours of simulation; run as one monolithic
+//! process, any panic, OOM or kill throws away every completed cell. This
+//! module turns a grid run into a **campaign** that survives interruption:
+//!
+//! * [`plan_shards`] deterministically splits a spec's grid into N
+//!   [`ShardManifest`]s along its [`execution_units`] — shared-prefix
+//!   trunk groups are never split, so sharding cannot break snapshot
+//!   sharing and every shard's cells are bit-identical to the same cells
+//!   of an unsharded run.
+//! * [`CheckpointSink`] wraps the JSONL stream with an atomically updated
+//!   [`CampaignManifest`] recording exactly which cells are durably on
+//!   disk; after a crash, [`CheckpointSink::resume`] truncates a torn
+//!   final record and the campaign re-runs only what is missing.
+//! * [`Campaign`] executes a (possibly restricted) cell set with per-unit
+//!   panic isolation and bounded retry ([`crate::runner::RetryPolicy`]);
+//!   persistently failing cells become [`CellFailure`] records in the
+//!   manifest instead of aborting the run.
+//! * [`merge_results`] validates shard outputs (schema, no gaps, no
+//!   duplicates) and merges them back into one submission-ordered result
+//!   set, byte-identical to an uninterrupted unsharded run.
+
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{obj, Json, ToJson};
+use crate::runner::{FaultInjection, RetryPolicy};
+use crate::scenario::{Experiment, Scenario, ScenarioResult};
+use crate::sink::validate_result_record;
+use crate::spec::{ExperimentSpec, SpecError};
+
+/// A cell that exhausted its retry budget. Recorded in the
+/// [`CampaignManifest`] so a later `--resume` retries exactly these cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Grid index of the failed cell.
+    pub index: usize,
+    /// Attempts made before giving up (≥ 1).
+    pub attempts: u32,
+    /// The panic message of the final attempt.
+    pub error: String,
+}
+
+impl ToJson for CellFailure {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("index", self.index.into()),
+            ("attempts", u64::from(self.attempts).into()),
+            ("error", self.error.as_str().into()),
+        ])
+    }
+}
+
+impl CellFailure {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let index =
+            json.get("index").and_then(Json::as_u64).ok_or("failure.index must be an integer")?
+                as usize;
+        let attempts = json
+            .get("attempts")
+            .and_then(Json::as_u64)
+            .ok_or("failure.attempts must be an integer")? as u32;
+        let error =
+            json.get("error").and_then(Json::as_str).ok_or("failure.error must be a string")?;
+        Ok(Self { index, attempts, error: error.to_string() })
+    }
+}
+
+/// What a [`Campaign::run`] did, delivered to
+/// [`CampaignSink::on_finish`] and returned to the caller.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Cells in the full experiment grid.
+    pub total_cells: usize,
+    /// Cells this run was responsible for (its shard, minus none).
+    pub planned: usize,
+    /// Cells skipped because a previous run already completed them.
+    pub skipped: usize,
+    /// Cells that finished and streamed a result this run.
+    pub completed: usize,
+    /// Cells that exhausted their retry budget this run.
+    pub failed: Vec<CellFailure>,
+}
+
+impl CampaignReport {
+    /// `true` when every planned cell completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty() && self.skipped + self.completed == self.planned + self.skipped
+    }
+}
+
+/// A streaming consumer of campaign outcomes — [`crate::sink::ResultSink`]
+/// extended with per-cell failure delivery.
+///
+/// `on_result` and `on_cell_failed` together are invoked exactly once per
+/// executed cell, strictly in ascending cell-index order, which keeps
+/// campaign output deterministic run to run. `on_scenario_start` arrives in
+/// completion-race order and never fires for skipped cells.
+pub trait CampaignSink {
+    /// A worker started simulating `scenario` (arrival order is
+    /// nondeterministic; do not sequence on it).
+    fn on_scenario_start(&mut self, scenario: &Scenario) {
+        let _ = scenario;
+    }
+
+    /// One cell finished; called in ascending cell-index order.
+    fn on_result(&mut self, result: &ScenarioResult);
+
+    /// One cell exhausted its retry budget; called at the cell's slot in
+    /// the same ascending order as `on_result`.
+    fn on_cell_failed(&mut self, failure: &CellFailure) {
+        let _ = failure;
+    }
+
+    /// The campaign drained (successfully or degraded).
+    fn on_finish(&mut self, report: &CampaignReport) {
+        let _ = report;
+    }
+}
+
+/// The deterministic execution units of an experiment's grid: each unit is
+/// a shared-prefix trunk group or a singleton solo cell, disjoint, covering
+/// the grid, ordered by first cell index. Units are the atoms of
+/// [`plan_shards`] — a unit never spans two shards.
+#[must_use]
+pub fn execution_units(experiment: &Experiment) -> Vec<Vec<usize>> {
+    let scenarios = experiment.scenarios();
+    let configs: Vec<crate::config::SystemConfig> =
+        scenarios.iter().map(|s| experiment.config_for(s)).collect();
+    experiment.plan_units(&scenarios, &configs)
+}
+
+/// A restartable, failure-isolated run over an experiment's grid (or a
+/// shard of it).
+///
+/// ```no_run
+/// use srs_sim::campaign::{Campaign, CampaignSink, CellFailure};
+/// use srs_sim::scenario::Experiment;
+///
+/// struct Count(usize);
+/// impl CampaignSink for Count {
+///     fn on_result(&mut self, _: &srs_sim::ScenarioResult) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let experiment = Experiment::new();
+/// let mut sink = Count(0);
+/// let report = Campaign::new(experiment).run(&mut sink);
+/// assert_eq!(report.failed.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    experiment: Experiment,
+    cells: Option<Vec<usize>>,
+    completed: Vec<usize>,
+    retry: RetryPolicy,
+    fault: Option<FaultInjection>,
+}
+
+impl Campaign {
+    /// A campaign over `experiment`'s whole grid with the default retry
+    /// policy and no skip-list.
+    #[must_use]
+    pub fn new(experiment: Experiment) -> Self {
+        Self {
+            experiment,
+            cells: None,
+            completed: Vec::new(),
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
+    }
+
+    /// Restrict the campaign to these grid cell indices (a shard).
+    #[must_use]
+    pub fn with_cells(mut self, cells: Vec<usize>) -> Self {
+        self.cells = Some(cells);
+        self
+    }
+
+    /// Skip these already-completed cells (resume). Skipped cells produce
+    /// no sink events at all.
+    #[must_use]
+    pub fn with_completed(mut self, completed: Vec<usize>) -> Self {
+        self.completed = completed;
+        self
+    }
+
+    /// Override the per-unit retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Inject a deterministic fault (crash/retry tests; see
+    /// [`FaultInjection::from_env`]).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<FaultInjection>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The underlying experiment.
+    #[must_use]
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The sorted cell indices this run will actually execute: the
+    /// campaign's cell set minus the skip-list.
+    #[must_use]
+    pub fn planned(&self) -> Vec<usize> {
+        let done: fxhash::FxHashSet<usize> = self.completed.iter().copied().collect();
+        let mut planned: Vec<usize> = match &self.cells {
+            Some(cells) => cells.iter().copied().filter(|i| !done.contains(i)).collect(),
+            None => (0..self.experiment.job_count()).filter(|i| !done.contains(i)).collect(),
+        };
+        planned.sort_unstable();
+        planned.dedup();
+        planned
+    }
+
+    /// Execute the planned cells under panic isolation, streaming each
+    /// outcome into `sink` in ascending cell-index order. A unit that
+    /// keeps panicking past the retry budget reports a [`CellFailure`] for
+    /// each of its cells and the campaign keeps going.
+    pub fn run(&self, sink: &mut dyn CampaignSink) -> CampaignReport {
+        let planned = self.planned();
+        let skipped = match &self.cells {
+            Some(cells) => {
+                let mut cells: Vec<usize> = cells.clone();
+                cells.sort_unstable();
+                cells.dedup();
+                cells.len() - planned.len()
+            }
+            None => self.experiment.job_count() - planned.len(),
+        };
+        let opts = crate::scenario::ExecOptions {
+            subset: Some(planned.clone()),
+            isolate: Some(self.retry.clone()),
+            fault: self.fault.clone(),
+        };
+        let mut completed = 0usize;
+        let mut failed: Vec<CellFailure> = Vec::new();
+        let ran = self.experiment.run_streaming_opts(&opts, |event| match event {
+            crate::scenario::ExecEvent::Started(scenario) => sink.on_scenario_start(scenario),
+            crate::scenario::ExecEvent::Finished(result) => {
+                completed += 1;
+                sink.on_result(&result);
+            }
+            crate::scenario::ExecEvent::Failed(failure) => {
+                sink.on_cell_failed(&failure);
+                failed.push(failure);
+            }
+        });
+        debug_assert_eq!(ran, planned.len(), "executor ran a different cell set than planned");
+        let report = CampaignReport {
+            total_cells: self.experiment.job_count(),
+            planned: planned.len(),
+            skipped,
+            completed,
+            failed,
+        };
+        sink.on_finish(&report);
+        report
+    }
+}
+
+/// An error from the campaign persistence layer (manifests, checkpointed
+/// output, merge).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// An I/O operation failed; the message names the path.
+    Io(String),
+    /// A manifest or results file exists but cannot be decoded; the
+    /// message names the path and offset or line.
+    Corrupt(String),
+    /// Inputs disagree with each other or with the campaign being resumed
+    /// (wrong campaign name, wrong cell set, gaps, duplicates).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(message) | Self::Corrupt(message) | Self::Mismatch(message) => {
+                f.write_str(message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+fn io_err(path: &Path, action: &str, error: &std::io::Error) -> CampaignError {
+    CampaignError::Io(format!("cannot {action} {}: {error}", path.display()))
+}
+
+/// Encode a sorted, deduplicated cell list as inclusive `[first, last]`
+/// ranges — `[0,1,2,3,7]` becomes `[[0,3],[7,7]]` — so a manifest stays
+/// O(ranges), not O(cells), on disk.
+fn encode_ranges(sorted_cells: &[usize]) -> Json {
+    let mut ranges: Vec<Json> = Vec::new();
+    let mut cells = sorted_cells.iter().copied();
+    if let Some(first) = cells.next() {
+        let (mut lo, mut hi) = (first, first);
+        for cell in cells {
+            if cell == hi + 1 {
+                hi = cell;
+            } else {
+                ranges.push(Json::Array(vec![lo.into(), hi.into()]));
+                (lo, hi) = (cell, cell);
+            }
+        }
+        ranges.push(Json::Array(vec![lo.into(), hi.into()]));
+    }
+    Json::Array(ranges)
+}
+
+/// Decode the [`encode_ranges`] form back into a sorted cell list.
+fn decode_ranges(field: &str, json: &Json) -> Result<Vec<usize>, String> {
+    let ranges = json.as_array().ok_or(format!("{field} must be an array of [first, last]"))?;
+    let mut cells = Vec::new();
+    for range in ranges {
+        let pair = range
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or(format!("{field} entries must be two-element [first, last] arrays"))?;
+        let lo = pair[0].as_u64().ok_or(format!("{field} bounds must be integers"))? as usize;
+        let hi = pair[1].as_u64().ok_or(format!("{field} bounds must be integers"))? as usize;
+        if hi < lo {
+            return Err(format!("{field} range [{lo}, {hi}] is inverted"));
+        }
+        cells.extend(lo..=hi);
+    }
+    let sorted = cells.windows(2).all(|w| w[0] < w[1]);
+    if !sorted {
+        return Err(format!("{field} ranges must be sorted and disjoint"));
+    }
+    Ok(cells)
+}
+
+/// One shard of a campaign: a spec plus the cell subset this shard is
+/// responsible for. Produced by [`plan_shards`], written as
+/// `<stem>.shard<k>.json`, and accepted by `srs-cli run` in place of a
+/// spec (detected by the `shard_index` key — see
+/// [`ShardManifest::is_shard_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// The campaign (spec) name all sibling shards share.
+    pub campaign: String,
+    /// This shard's position in `0..shard_count`.
+    pub shard_index: usize,
+    /// Number of sibling shards the grid was split into.
+    pub shard_count: usize,
+    /// Cells in the full experiment grid (all shards together).
+    pub total_cells: usize,
+    /// Sorted grid cell indices this shard runs.
+    pub cells: Vec<usize>,
+    /// The full experiment spec, inlined so a shard file is
+    /// self-contained (shippable to another machine on its own).
+    pub spec: ExperimentSpec,
+}
+
+impl ToJson for ShardManifest {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("campaign", self.campaign.as_str().into()),
+            ("shard_index", self.shard_index.into()),
+            ("shard_count", self.shard_count.into()),
+            ("total_cells", self.total_cells.into()),
+            ("cells", encode_ranges(&self.cells)),
+            ("spec", self.spec.to_json()),
+        ])
+    }
+}
+
+impl ShardManifest {
+    /// Does this parsed document look like a shard manifest rather than a
+    /// plain spec? (Specs reject unknown keys, so the two cannot be
+    /// confused.)
+    #[must_use]
+    pub fn is_shard_json(json: &Json) -> bool {
+        json.get("shard_index").is_some()
+    }
+
+    /// Decode a shard manifest; `origin` names the source in errors.
+    pub fn from_json(origin: &str, json: &Json) -> Result<Self, CampaignError> {
+        let corrupt = |message: String| CampaignError::Corrupt(format!("{origin}: {message}"));
+        let str_of = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(ToString::to_string)
+                .ok_or_else(|| corrupt(format!("'{key}' must be a string")))
+        };
+        let int_of = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| corrupt(format!("'{key}' must be an integer")))
+        };
+        let cells = decode_ranges(
+            "cells",
+            json.get("cells").ok_or_else(|| corrupt("missing 'cells'".to_string()))?,
+        )
+        .map_err(corrupt)?;
+        let spec_json = json.get("spec").ok_or_else(|| corrupt("missing 'spec'".to_string()))?;
+        let spec = ExperimentSpec::from_json(spec_json)
+            .map_err(|e| corrupt(format!("embedded spec: {e}")))?;
+        Ok(Self {
+            campaign: str_of("campaign")?,
+            shard_index: int_of("shard_index")?,
+            shard_count: int_of("shard_count")?,
+            total_cells: int_of("total_cells")?,
+            cells,
+            spec,
+        })
+    }
+
+    /// Parse a shard manifest from its JSON text form.
+    pub fn parse(origin: &str, text: &str) -> Result<Self, CampaignError> {
+        let json =
+            Json::parse(text).map_err(|e| CampaignError::Corrupt(format!("{origin}: {e}")))?;
+        Self::from_json(origin, &json)
+    }
+}
+
+/// Deterministically split `spec`'s grid into at most `shards` shard
+/// manifests.
+///
+/// The split is along [`execution_units`] — a shared-prefix trunk group
+/// never spans two shards, so each shard's cells remain bit-identical to
+/// the same cells of an unsharded run. Units are assigned largest-first to
+/// the least-loaded shard (ties broken by lowest shard index), which is
+/// fully deterministic: planning the same spec twice yields identical
+/// manifests. Fewer units than `shards` yields fewer (non-empty) shards.
+pub fn plan_shards(spec: &ExperimentSpec, shards: usize) -> Result<Vec<ShardManifest>, SpecError> {
+    let experiment = spec.to_experiment()?;
+    let units = execution_units(&experiment);
+    let total_cells = experiment.job_count();
+    let count = shards.max(1).min(units.len().max(1));
+    // Largest unit first (ties by first cell index, which is unique).
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(units[u].len()), units[u][0]));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); count];
+    let mut load = vec![0usize; count];
+    for u in order {
+        let bin = (0..count).min_by_key(|&b| (load[b], b)).expect("count >= 1");
+        bins[bin].extend(units[u].iter().copied());
+        load[bin] += units[u].len();
+    }
+    Ok(bins
+        .into_iter()
+        .enumerate()
+        .map(|(shard_index, mut cells)| {
+            cells.sort_unstable();
+            ShardManifest {
+                campaign: spec.name.clone(),
+                shard_index,
+                shard_count: count,
+                total_cells,
+                cells,
+                spec: spec.clone(),
+            }
+        })
+        .collect())
+}
+
+/// The durable record of a campaign run's progress, stored next to its
+/// output as `<out>.manifest.json` and rewritten atomically
+/// (tmp-file + rename) after every committed record — at any instant the
+/// manifest on disk describes a prefix of the output that is actually
+/// there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignManifest {
+    /// The campaign (spec) name, for resume cross-checking.
+    pub campaign: String,
+    /// Cells in the full experiment grid.
+    pub total_cells: usize,
+    /// Sorted cell indices this run is responsible for.
+    pub cells: Vec<usize>,
+    /// Sorted cell indices whose records are durably in the output.
+    pub completed: Vec<usize>,
+    /// Cells that exhausted their retry budget (retried on resume).
+    pub failed: Vec<CellFailure>,
+    /// Output-file length covering exactly the `completed` records; any
+    /// bytes past this offset are a torn record from a crash and are
+    /// truncated on resume.
+    pub bytes_committed: u64,
+}
+
+impl ToJson for CampaignManifest {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("campaign", self.campaign.as_str().into()),
+            ("total_cells", self.total_cells.into()),
+            ("cells", encode_ranges(&self.cells)),
+            ("completed", encode_ranges(&self.completed)),
+            ("failed", Json::Array(self.failed.iter().map(ToJson::to_json).collect())),
+            ("bytes_committed", self.bytes_committed.into()),
+        ])
+    }
+}
+
+impl CampaignManifest {
+    /// A fresh manifest for a run responsible for `cells` (sorted).
+    #[must_use]
+    pub fn new(campaign: &str, total_cells: usize, cells: Vec<usize>) -> Self {
+        Self {
+            campaign: campaign.to_string(),
+            total_cells,
+            cells,
+            completed: Vec::new(),
+            failed: Vec::new(),
+            bytes_committed: 0,
+        }
+    }
+
+    /// The manifest path for an output file: `<out>.manifest.json`.
+    #[must_use]
+    pub fn path_for(out: &Path) -> PathBuf {
+        PathBuf::from(format!("{}.manifest.json", out.display()))
+    }
+
+    /// Decode a manifest; `origin` names the source in errors.
+    pub fn from_json(origin: &str, json: &Json) -> Result<Self, CampaignError> {
+        let corrupt = |message: String| CampaignError::Corrupt(format!("{origin}: {message}"));
+        let campaign = json
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("'campaign' must be a string".to_string()))?
+            .to_string();
+        let total_cells = json
+            .get("total_cells")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("'total_cells' must be an integer".to_string()))?
+            as usize;
+        let cells = decode_ranges(
+            "cells",
+            json.get("cells").ok_or_else(|| corrupt("missing 'cells'".to_string()))?,
+        )
+        .map_err(&corrupt)?;
+        let completed = decode_ranges(
+            "completed",
+            json.get("completed").ok_or_else(|| corrupt("missing 'completed'".to_string()))?,
+        )
+        .map_err(&corrupt)?;
+        let failed = json
+            .get("failed")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("'failed' must be an array".to_string()))?
+            .iter()
+            .map(|f| CellFailure::from_json(f).map_err(&corrupt))
+            .collect::<Result<Vec<_>, _>>()?;
+        let bytes_committed = json
+            .get("bytes_committed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("'bytes_committed' must be an integer".to_string()))?;
+        Ok(Self { campaign, total_cells, cells, completed, failed, bytes_committed })
+    }
+
+    /// Load a manifest from disk.
+    pub fn load(path: &Path) -> Result<Self, CampaignError> {
+        let text = std::fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
+        let origin = path.display().to_string();
+        let json =
+            Json::parse(&text).map_err(|e| CampaignError::Corrupt(format!("{origin}: {e}")))?;
+        Self::from_json(&origin, &json)
+    }
+
+    /// Persist the manifest atomically: write `<path>.tmp`, then rename
+    /// over `path`, so a crash at any instant leaves either the old or the
+    /// new manifest — never a torn one.
+    pub fn save(&self, path: &Path) -> Result<(), CampaignError> {
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+        let mut text = self.to_json().to_pretty();
+        text.push('\n');
+        std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, "write", &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename manifest over", &e))
+    }
+}
+
+/// What [`CheckpointSink::resume`] found on disk.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// Cells the previous run(s) already committed; pass to
+    /// [`Campaign::with_completed`].
+    pub completed: Vec<usize>,
+    /// Failures recorded by the previous run, now cleared for retry.
+    pub retried_failures: Vec<CellFailure>,
+    /// Torn-record bytes truncated from the end of the output file
+    /// (non-zero exactly when the previous run died mid-write).
+    pub truncated_bytes: u64,
+}
+
+/// A crash-safe JSONL result stream: every committed record is mirrored
+/// into an atomically updated [`CampaignManifest`], so the pair
+/// (output, manifest) can always be resumed.
+///
+/// The write protocol per record: append the JSON line, flush, then
+/// atomically rewrite the manifest with the cell marked completed and
+/// `bytes_committed` advanced past the line. A crash between the two
+/// leaves a record on disk that the manifest does not claim — resume
+/// truncates the output back to `bytes_committed` and re-runs that cell.
+///
+/// For crash-recovery tests, the environment variable
+/// `SRS_CAMPAIGN_CRASH_AFTER=N` makes the sink write only the first half
+/// of the N-th record of the current process, flush, and abort —
+/// deterministically manufacturing a torn final record.
+#[derive(Debug)]
+pub struct CheckpointSink {
+    out_path: PathBuf,
+    manifest_path: PathBuf,
+    manifest: CampaignManifest,
+    writer: BufWriter<std::fs::File>,
+    /// Highest cell index already in the file when this run started;
+    /// appending below it means the file needs an index-order repair pass.
+    prev_max: Option<usize>,
+    needs_sort: bool,
+    records_this_run: usize,
+    crash_after: Option<usize>,
+    error: Option<String>,
+}
+
+impl CheckpointSink {
+    /// Start a fresh campaign output at `out` (truncating it) for a run
+    /// responsible for `cells`, writing `<out>.manifest.json` beside it.
+    pub fn create(
+        out: &Path,
+        campaign: &str,
+        total_cells: usize,
+        cells: Vec<usize>,
+    ) -> Result<Self, CampaignError> {
+        let file = std::fs::File::create(out).map_err(|e| io_err(out, "create", &e))?;
+        let manifest_path = CampaignManifest::path_for(out);
+        let manifest = CampaignManifest::new(campaign, total_cells, cells);
+        manifest.save(&manifest_path)?;
+        Ok(Self {
+            out_path: out.to_path_buf(),
+            manifest_path,
+            manifest,
+            writer: BufWriter::new(file),
+            prev_max: None,
+            needs_sort: false,
+            records_this_run: 0,
+            crash_after: crash_after_from_env(),
+            error: None,
+        })
+    }
+
+    /// Resume a crashed or interrupted campaign at `out`: load the
+    /// manifest, verify it belongs to the same campaign and cell set,
+    /// truncate any torn final record past `bytes_committed`, clear
+    /// recorded failures for retry, and reopen the output for append.
+    pub fn resume(
+        out: &Path,
+        campaign: &str,
+        total_cells: usize,
+        cells: &[usize],
+    ) -> Result<(Self, ResumeState), CampaignError> {
+        let manifest_path = CampaignManifest::path_for(out);
+        let mut manifest = CampaignManifest::load(&manifest_path)?;
+        if manifest.campaign != campaign {
+            return Err(CampaignError::Mismatch(format!(
+                "{} records campaign '{}', not '{campaign}'",
+                manifest_path.display(),
+                manifest.campaign
+            )));
+        }
+        if manifest.total_cells != total_cells || manifest.cells != cells {
+            return Err(CampaignError::Mismatch(format!(
+                "{} was written for a different cell set ({} of {} grid cells); \
+                 refusing to mix campaigns",
+                manifest_path.display(),
+                manifest.cells.len(),
+                manifest.total_cells
+            )));
+        }
+        let on_disk = std::fs::metadata(out).map_err(|e| io_err(out, "stat", &e))?.len();
+        if on_disk < manifest.bytes_committed {
+            return Err(CampaignError::Corrupt(format!(
+                "{} is {on_disk} bytes but its manifest committed {}; the output was \
+                 truncated externally",
+                out.display(),
+                manifest.bytes_committed
+            )));
+        }
+        let truncated_bytes = on_disk - manifest.bytes_committed;
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(out)
+            .map_err(|e| io_err(out, "open", &e))?;
+        file.set_len(manifest.bytes_committed).map_err(|e| io_err(out, "truncate", &e))?;
+        drop(file);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(out)
+            .map_err(|e| io_err(out, "open", &e))?;
+        let retried_failures = std::mem::take(&mut manifest.failed);
+        let state = ResumeState {
+            completed: manifest.completed.clone(),
+            retried_failures,
+            truncated_bytes,
+        };
+        let prev_max = manifest.completed.iter().copied().max();
+        let sink = Self {
+            out_path: out.to_path_buf(),
+            manifest_path,
+            manifest,
+            writer: BufWriter::new(file),
+            prev_max,
+            needs_sort: false,
+            records_this_run: 0,
+            crash_after: crash_after_from_env(),
+            error: None,
+        };
+        Ok((sink, state))
+    }
+
+    /// Records committed across all runs of this campaign output.
+    #[must_use]
+    pub fn records_committed(&self) -> usize {
+        self.manifest.completed.len()
+    }
+
+    /// Close the stream: repair record order if resume appended
+    /// lower-index cells behind higher ones (rewrite sorted by
+    /// `scenario.index`, atomically), persist the final manifest, and
+    /// report the first latched I/O error if any.
+    pub fn finish(mut self) -> Result<CampaignManifest, CampaignError> {
+        if let Some(message) = self.error {
+            return Err(CampaignError::Io(message));
+        }
+        self.writer.flush().map_err(|e| io_err(&self.out_path, "flush", &e))?;
+        drop(self.writer);
+        if self.needs_sort {
+            sort_results_file(&self.out_path)?;
+        }
+        self.manifest.save(&self.manifest_path)?;
+        Ok(self.manifest)
+    }
+}
+
+impl CampaignSink for CheckpointSink {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        if self.error.is_some() {
+            return;
+        }
+        let index = result.scenario.index;
+        let mut line = result.to_json().to_compact();
+        line.push('\n');
+        if self.crash_after == Some(self.records_this_run) {
+            // Crash-recovery test hook: manufacture a torn final record.
+            let _ = self.writer.write_all(&line.as_bytes()[..line.len() / 2]);
+            let _ = self.writer.flush();
+            std::process::abort();
+        }
+        match self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.flush()) {
+            Ok(()) => {
+                self.records_this_run += 1;
+                if self.prev_max.is_some_and(|max| index < max) {
+                    self.needs_sort = true;
+                }
+                self.manifest.bytes_committed += line.len() as u64;
+                let slot = self.manifest.completed.partition_point(|&c| c < index);
+                self.manifest.completed.insert(slot, index);
+                if let Err(e) = self.manifest.save(&self.manifest_path) {
+                    self.error = Some(e.to_string());
+                }
+            }
+            Err(e) => {
+                self.error = Some(format!("writing {}: {e}", self.out_path.display()));
+            }
+        }
+    }
+
+    fn on_cell_failed(&mut self, failure: &CellFailure) {
+        if self.error.is_some() {
+            return;
+        }
+        self.manifest.failed.push(failure.clone());
+        if let Err(e) = self.manifest.save(&self.manifest_path) {
+            self.error = Some(e.to_string());
+        }
+    }
+}
+
+fn crash_after_from_env() -> Option<usize> {
+    std::env::var("SRS_CAMPAIGN_CRASH_AFTER").ok()?.trim().parse().ok()
+}
+
+/// Rewrite a results file with its lines sorted by `scenario.index`
+/// (atomically, via tmp + rename). Lines are moved verbatim, so the
+/// repaired file is byte-identical to one written in order.
+fn sort_results_file(path: &Path) -> Result<(), CampaignError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
+    let mut lines: Vec<(usize, &str)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let index = Json::parse(line)
+            .ok()
+            .and_then(|r| r.get("scenario").and_then(|s| s.get("index").and_then(Json::as_u64)))
+            .ok_or_else(|| {
+                CampaignError::Corrupt(format!(
+                    "{}:{}: not a result record; cannot repair order",
+                    path.display(),
+                    lineno + 1
+                ))
+            })? as usize;
+        lines.push((index, line));
+    }
+    lines.sort_by_key(|&(index, _)| index);
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut sorted = String::with_capacity(text.len());
+    for (_, line) in &lines {
+        sorted.push_str(line);
+        sorted.push('\n');
+    }
+    std::fs::write(&tmp, sorted).map_err(|e| io_err(&tmp, "write", &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename repaired output over", &e))
+}
+
+/// What [`merge_results`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Input files consumed.
+    pub inputs: usize,
+    /// Records in the merged output (== the grid's cell count).
+    pub records: usize,
+}
+
+/// Validate and merge shard result files into one submission-ordered
+/// result set at `out`.
+///
+/// Every line of every input must parse and pass the result-record schema;
+/// the union of cell indices must be exactly `0..n` with no duplicates
+/// (a duplicate means two shards ran the same cell; a gap means a shard is
+/// missing or incomplete). Lines are moved byte-verbatim, so the merged
+/// file is byte-identical to an uninterrupted unsharded run's output.
+pub fn merge_results(inputs: &[PathBuf], out: &Path) -> Result<MergeStats, CampaignError> {
+    let mut records: Vec<(usize, String)> = Vec::new();
+    let mut origin_of: fxhash::FxHashMap<usize, usize> = fxhash::FxHashMap::default();
+    for (input_no, input) in inputs.iter().enumerate() {
+        let text = std::fs::read_to_string(input).map_err(|e| io_err(input, "read", &e))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let at = format!("{}:{}", input.display(), lineno + 1);
+            let record =
+                Json::parse(line).map_err(|e| CampaignError::Corrupt(format!("{at}: {e}")))?;
+            validate_result_record(&record)
+                .map_err(|message| CampaignError::Corrupt(format!("{at}: {message}")))?;
+            let index = record
+                .get("scenario")
+                .and_then(|s| s.get("index"))
+                .and_then(Json::as_u64)
+                .expect("schema guarantees scenario.index") as usize;
+            if let Some(&other) = origin_of.get(&index) {
+                return Err(CampaignError::Mismatch(format!(
+                    "cell {index} appears in both {} and {}: shards overlap",
+                    inputs[other].display(),
+                    input.display()
+                )));
+            }
+            origin_of.insert(index, input_no);
+            records.push((index, line.to_string()));
+        }
+    }
+    records.sort_by_key(|&(index, _)| index);
+    for (expect, &(index, _)) in records.iter().enumerate() {
+        if index != expect {
+            return Err(CampaignError::Mismatch(format!(
+                "merged inputs are missing cell {expect} (next present: {index}); \
+                 a shard is missing or incomplete"
+            )));
+        }
+    }
+    let file = std::fs::File::create(out).map_err(|e| io_err(out, "create", &e))?;
+    let mut writer = BufWriter::new(file);
+    for (_, line) in &records {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| io_err(out, "write", &e))?;
+    }
+    writer.flush().map_err(|e| io_err(out, "flush", &e))?;
+    Ok(MergeStats { inputs: inputs.len(), records: records.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory per test, under the system temp dir.
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("srs-campaign-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn result(index: usize) -> ScenarioResult {
+        use crate::metrics::{NormalizedResult, SimResult};
+        use srs_core::DefenseKind;
+        use srs_trackers::TrackerKind;
+        let workload = srs_workloads::all_workloads().remove(0);
+        ScenarioResult {
+            scenario: Scenario {
+                index,
+                defense: DefenseKind::ScaleSrs,
+                t_rh: 1200,
+                tracker: TrackerKind::MisraGries,
+                cores: None,
+                seed: None,
+                attack: None,
+                workload,
+            },
+            result: NormalizedResult {
+                workload: "gups".to_string(),
+                defense: "scale-srs".to_string(),
+                t_rh: 1200,
+                normalized_performance: 0.5,
+                detail: SimResult {
+                    workload: "gups".to_string(),
+                    defense: "scale-srs".to_string(),
+                    t_rh: 1200,
+                    elapsed_ns: 10,
+                    per_core_ipc: vec![1.0],
+                    instructions: 100,
+                    controller: srs_dram::ControllerStats::default(),
+                    swaps: 1,
+                    rows_pinned: 0,
+                    pinned_hits: 0,
+                    max_row_activations_in_window: 3,
+                    security: None,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn ranges_round_trip_and_compress() {
+        let cells = vec![0, 1, 2, 3, 7, 9, 10];
+        let encoded = encode_ranges(&cells);
+        assert_eq!(encoded.to_compact(), "[[0, 3], [7, 7], [9, 10]]");
+        assert_eq!(decode_ranges("cells", &encoded).unwrap(), cells);
+        assert_eq!(encode_ranges(&[]).to_compact(), "[]");
+        assert_eq!(decode_ranges("cells", &encode_ranges(&[])).unwrap(), Vec::<usize>::new());
+        assert!(decode_ranges("cells", &Json::parse("[[3,1]]").unwrap()).is_err());
+        assert!(decode_ranges("cells", &Json::parse("[[5,6],[1,2]]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = scratch("manifest");
+        let path = dir.join("out.jsonl.manifest.json");
+        let mut manifest = CampaignManifest::new("demo", 12, (0..12).collect());
+        manifest.completed = vec![0, 1, 2, 5];
+        manifest.failed =
+            vec![CellFailure { index: 3, attempts: 3, error: "injected".to_string() }];
+        manifest.bytes_committed = 1234;
+        manifest.save(&path).unwrap();
+        let loaded = CampaignManifest::load(&path).unwrap();
+        assert_eq!(loaded, manifest);
+        assert!(!dir.join("out.jsonl.manifest.json.tmp").exists(), "tmp file renamed away");
+    }
+
+    #[test]
+    fn checkpoint_resume_truncates_the_torn_record_and_skips_completed_cells() {
+        let dir = scratch("resume");
+        let out = dir.join("out.jsonl");
+        let cells: Vec<usize> = (0..4).collect();
+        let mut sink = CheckpointSink::create(&out, "demo", 4, cells.clone()).unwrap();
+        sink.on_result(&result(0));
+        sink.on_result(&result(1));
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest.completed, vec![0, 1]);
+
+        // Simulate a crash mid-record: append half a line with no manifest
+        // update.
+        let committed = std::fs::read(&out).unwrap();
+        let torn_line = result(2).to_json().to_compact();
+        let mut torn = committed.clone();
+        torn.extend_from_slice(&torn_line.as_bytes()[..torn_line.len() / 2]);
+        std::fs::write(&out, &torn).unwrap();
+
+        let (mut sink, state) = CheckpointSink::resume(&out, "demo", 4, &cells).unwrap();
+        assert_eq!(state.completed, vec![0, 1]);
+        assert_eq!(state.truncated_bytes, (torn_line.len() / 2) as u64);
+        assert_eq!(std::fs::read(&out).unwrap(), committed, "torn bytes truncated");
+        sink.on_result(&result(2));
+        sink.on_result(&result(3));
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest.completed, vec![0, 1, 2, 3]);
+
+        // Resuming under a different campaign or cell set is refused.
+        assert!(matches!(
+            CheckpointSink::resume(&out, "other", 4, &cells),
+            Err(CampaignError::Mismatch(_))
+        ));
+        assert!(matches!(
+            CheckpointSink::resume(&out, "demo", 4, &[0, 1]),
+            Err(CampaignError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_repairs_out_of_order_resume_appends() {
+        let dir = scratch("sort");
+        let out = dir.join("out.jsonl");
+        let cells: Vec<usize> = (0..3).collect();
+        // First run completes cells 0 and 2 (cell 1 failed).
+        let mut sink = CheckpointSink::create(&out, "demo", 3, cells.clone()).unwrap();
+        sink.on_result(&result(0));
+        sink.on_result(&result(2));
+        sink.on_cell_failed(&CellFailure { index: 1, attempts: 3, error: "injected".to_string() });
+        sink.finish().unwrap();
+        // Resume retries cell 1, which lands behind cell 2 in the file and
+        // triggers the index-order repair at finish.
+        let (mut sink, state) = CheckpointSink::resume(&out, "demo", 3, &cells).unwrap();
+        assert_eq!(state.retried_failures.len(), 1);
+        sink.on_result(&result(1));
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest.completed, vec![0, 1, 2]);
+        assert!(manifest.failed.is_empty());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let indices: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                Json::parse(l).unwrap().get("scenario").unwrap().get("index").unwrap().as_u64()
+            })
+            .map(Option::unwrap)
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2], "file repaired to index order");
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_duplicates_and_orders_by_index() {
+        let dir = scratch("merge");
+        let shard_a = dir.join("a.jsonl");
+        let shard_b = dir.join("b.jsonl");
+        let write = |path: &Path, indices: &[usize]| {
+            let mut text = String::new();
+            for &i in indices {
+                text.push_str(&result(i).to_json().to_compact());
+                text.push('\n');
+            }
+            std::fs::write(path, text).unwrap();
+        };
+        write(&shard_a, &[0, 2]);
+        write(&shard_b, &[1, 3]);
+        let out = dir.join("merged.jsonl");
+        let stats = merge_results(&[shard_a.clone(), shard_b.clone()], &out).unwrap();
+        assert_eq!(stats, MergeStats { inputs: 2, records: 4 });
+        let text = std::fs::read_to_string(&out).unwrap();
+        let mut expect = String::new();
+        for i in 0..4 {
+            expect.push_str(&result(i).to_json().to_compact());
+            expect.push('\n');
+        }
+        assert_eq!(text, expect, "merge is submission-ordered and byte-verbatim");
+
+        // A gap (missing cell 1) is a mismatch, not a silent hole.
+        write(&shard_b, &[3]);
+        assert!(matches!(
+            merge_results(&[shard_a.clone(), shard_b.clone()], &out),
+            Err(CampaignError::Mismatch(_))
+        ));
+        // Overlapping shards are a mismatch naming both files.
+        write(&shard_b, &[0, 1, 3]);
+        let err = merge_results(&[shard_a, shard_b], &out).unwrap_err();
+        assert!(matches!(err, CampaignError::Mismatch(_)));
+        assert!(err.to_string().contains("cell 0"));
+    }
+
+    #[test]
+    fn shard_planner_is_deterministic_and_keeps_units_whole() {
+        let spec = ExperimentSpec::parse(
+            r#"{
+                "name": "shard_demo",
+                "patch": {"cores": 1, "target_instructions": 2000,
+                          "trace_records_per_core": 1000, "max_sim_ns": 2000000},
+                "defenses": ["baseline", "srs", "scale-srs"],
+                "workloads": ["gups", "gcc"]
+            }"#,
+        )
+        .unwrap();
+        let shards = plan_shards(&spec, 2).unwrap();
+        assert_eq!(shards, plan_shards(&spec, 2).unwrap(), "planning is deterministic");
+        let experiment = spec.to_experiment().unwrap();
+        let units = execution_units(&experiment);
+        // Every unit lands wholly inside one shard.
+        for unit in &units {
+            let homes: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| unit.iter().any(|c| s.cells.contains(c)))
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(homes.len(), 1, "unit {unit:?} spans shards {homes:?}");
+            let home = &shards[homes[0]];
+            assert!(unit.iter().all(|c| home.cells.contains(c)));
+        }
+        // Shards partition the grid.
+        let mut all: Vec<usize> = shards.iter().flat_map(|s| s.cells.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..experiment.job_count()).collect::<Vec<_>>());
+        // Round-trip through the on-disk form.
+        let text = shards[0].to_json().to_pretty();
+        let parsed = ShardManifest::parse("shard0", &text).unwrap();
+        assert_eq!(parsed, shards[0]);
+        assert!(ShardManifest::is_shard_json(&Json::parse(&text).unwrap()));
+        assert!(!ShardManifest::is_shard_json(&Json::parse("{\"name\": \"x\"}").unwrap()));
+        // More shards than units clamps instead of emitting empty shards.
+        let many = plan_shards(&spec, 64).unwrap();
+        assert_eq!(many.len(), units.len());
+        assert!(many.iter().all(|s| !s.cells.is_empty()));
+    }
+}

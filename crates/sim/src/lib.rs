@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod campaign;
 pub mod config;
 pub mod json;
 pub mod metrics;
@@ -40,17 +41,24 @@ pub mod spec;
 pub mod system;
 
 pub use attribution::{AttributionReport, SubsystemTimers};
+pub use campaign::{
+    execution_units, merge_results, plan_shards, Campaign, CampaignError, CampaignManifest,
+    CampaignReport, CampaignSink, CellFailure, CheckpointSink, MergeStats, ResumeState,
+    ShardManifest,
+};
 pub use config::SystemConfig;
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};
 pub use runner::{
     normalize_against, parallel_for_each_ordered, parallel_map_ordered, run_normalized,
-    run_parallel, run_workload, suite_averages, JobEvent, SuiteRow,
+    run_parallel, run_workload, suite_averages, FaultInjection, JobEvent, RetryPolicy, SuiteRow,
 };
 pub use scenario::{
     default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult,
 };
 pub use security::{SecurityReport, SecurityTracker};
-pub use sink::{Fanout, JsonlWriter, MemoryCollector, ProgressSink, ResultSink};
+pub use sink::{
+    validate_result_record, Fanout, JsonlWriter, MemoryCollector, ProgressSink, ResultSink,
+};
 pub use spec::{ConfigPatch, ExperimentSpec, Preset, SpecError};
 pub use system::System;

@@ -43,6 +43,7 @@ use srs_core::DefenseKind;
 use srs_trackers::TrackerKind;
 use srs_workloads::{all_workloads, NamedWorkload};
 
+use crate::campaign::CellFailure;
 use crate::config::SystemConfig;
 use crate::json::{obj, Json, ToJson};
 use crate::metrics::{NormalizedResult, SimResult};
@@ -213,10 +214,11 @@ impl Experiment {
         self
     }
 
-    /// Execute on this many worker threads.
+    /// Execute on this many worker threads; `0` means "auto" (the
+    /// [`default_threads`] budget: machine parallelism capped at 8).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 { default_threads() } else { threads };
         self
     }
 
@@ -396,7 +398,7 @@ impl Experiment {
     pub fn run(&self) -> Vec<ScenarioResult> {
         let mut results = Vec::with_capacity(self.job_count());
         self.run_streaming(|event| {
-            if let RunEvent::Finished(result) = event {
+            if let ExecEvent::Finished(result) = event {
                 results.push(result);
             }
         });
@@ -414,8 +416,12 @@ impl Experiment {
     /// cells only.
     pub fn run_with_sink(&self, sink: &mut dyn ResultSink) {
         let total = self.run_streaming(|event| match event {
-            RunEvent::Started(scenario) => sink.on_scenario_start(scenario),
-            RunEvent::Finished(result) => sink.on_result(&result),
+            ExecEvent::Started(scenario) => sink.on_scenario_start(scenario),
+            ExecEvent::Finished(result) => sink.on_result(&result),
+            // Default options never isolate, so cells cannot fail.
+            ExecEvent::Failed(failure) => {
+                unreachable!("cell {} failed without isolation: {}", failure.index, failure.error)
+            }
         });
         sink.on_finish(total);
     }
@@ -440,16 +446,30 @@ impl Experiment {
     ///   deduplicate their unprotected baselines — each distinct baseline
     ///   configuration × workload is simulated once across the defense
     ///   axis.
-    fn run_streaming(&self, mut handle: impl FnMut(RunEvent<'_>)) -> usize {
-        let scenarios = self.scenarios();
-        let total = scenarios.len();
-        let configs: Vec<SystemConfig> = scenarios.iter().map(|s| self.config_for(s)).collect();
+    fn run_streaming(&self, handle: impl FnMut(ExecEvent<'_>)) -> usize {
+        self.run_streaming_opts(&ExecOptions::default(), handle)
+    }
 
-        // Partition the grid into shared-prefix groups (≥ 2 benign cells
-        // with equal workload and equal mitigation-neutralized
-        // configuration) and solo cells. Keying by the *actual* neutralized
-        // configuration means a patch or legacy config function that varies
-        // non-mitigation fields per defense keeps those cells solo.
+    /// Partition the grid into its deterministic **execution units**: each
+    /// unit is either a shared-prefix trunk group (≥ 2 benign cells with
+    /// equal workload and equal mitigation-neutralized configuration, see
+    /// [`crate::share`]) or a singleton solo cell. Units are disjoint,
+    /// cover the whole grid, and are ordered by their first cell index, so
+    /// two plans of the same experiment are identical.
+    ///
+    /// Units are the atoms of work distribution: the campaign shard planner
+    /// ([`crate::campaign::plan_shards`]) never splits a unit across
+    /// shards, so sharding cannot break snapshot sharing.
+    ///
+    /// Keying by the *actual* neutralized configuration means a patch or
+    /// legacy config function that varies non-mitigation fields per defense
+    /// keeps those cells solo.
+    pub(crate) fn plan_units(
+        &self,
+        scenarios: &[Scenario],
+        configs: &[SystemConfig],
+    ) -> Vec<Vec<usize>> {
+        let total = scenarios.len();
         let mut group_of: Vec<Option<usize>> = vec![None; total];
         let mut groups: Vec<Vec<usize>> = Vec::new();
         if self.share_prefixes {
@@ -484,9 +504,57 @@ impl Experiment {
             }
             groups.retain(|members| members.len() >= 2);
         }
+        let mut units: Vec<Vec<usize>> = groups;
+        units.extend((0..total).filter(|&i| group_of[i].is_none()).map(|i| vec![i]));
+        units.sort_by_key(|unit| unit[0]);
+        units
+    }
 
-        // Phase 1: deduplicate and run the solo cells' baselines.
-        let solo: Vec<usize> = (0..total).filter(|&i| group_of[i].is_none()).collect();
+    /// The streaming execution core shared by [`Experiment::run`],
+    /// [`Experiment::run_with_sink`] and the campaign engine
+    /// ([`crate::campaign`]): `handle` receives each cell's outcome in
+    /// submission order (and start notifications in completion-race order)
+    /// and the number of cells executed is returned.
+    ///
+    /// [`ExecOptions`] selects the execution policy: an optional cell
+    /// subset (campaign shards and resume skip-lists) and optional
+    /// panic isolation with bounded retry (campaign fault tolerance). The
+    /// default options run the whole grid and propagate panics.
+    pub(crate) fn run_streaming_opts(
+        &self,
+        opts: &ExecOptions,
+        mut handle: impl FnMut(ExecEvent<'_>),
+    ) -> usize {
+        let scenarios = self.scenarios();
+        let configs: Vec<SystemConfig> = scenarios.iter().map(|s| self.config_for(s)).collect();
+
+        // The deterministic unit plan, restricted to the requested subset.
+        // Units stay atomic under restriction: a shared-prefix group with
+        // members outside the subset still shares its trunk among the
+        // members inside it (run_shared_group accepts any cell subset and
+        // branch results are independent, so the restriction cannot change
+        // any cell's bits — enforced by tests/fork_equivalence.rs).
+        let mut units = self.plan_units(&scenarios, &configs);
+        if let Some(subset) = &opts.subset {
+            let wanted: fxhash::FxHashSet<usize> = subset.iter().copied().collect();
+            for unit in &mut units {
+                unit.retain(|i| wanted.contains(i));
+            }
+            units.retain(|unit| !unit.is_empty());
+        }
+        // The cells this run will actually execute, in submission order.
+        let order: Vec<usize> = {
+            let mut order: Vec<usize> = units.iter().flatten().copied().collect();
+            order.sort_unstable();
+            order
+        };
+        let ran = order.len();
+
+        // Phase 1: deduplicate and run the solo cells' baselines. Under
+        // panic isolation a baseline panic is retried like any unit; if it
+        // stays down, every cell normalizing against it fails (it cannot be
+        // normalized), without aborting the rest of the grid.
+        let solo: Vec<usize> = units.iter().filter(|u| u.len() == 1).map(|u| u[0]).collect();
         let mut baseline_jobs: Vec<(SystemConfig, NamedWorkload)> = Vec::new();
         let mut baseline_of: FxHashMap<usize, usize> = FxHashMap::default();
         for &i in &solo {
@@ -501,72 +569,81 @@ impl Experiment {
                 });
             baseline_of.insert(i, key);
         }
-        let baselines: Vec<SimResult> =
-            parallel_map_ordered(baseline_jobs, self.threads, |(config, workload)| {
-                run_workload(&config, &workload)
+        let isolate = opts.isolate.as_ref();
+        let baselines: Vec<Result<SimResult, (String, u32)>> =
+            parallel_map_ordered(baseline_jobs, self.threads, |(config, workload)| match isolate {
+                None => Ok(run_workload(&config, &workload)),
+                Some(policy) => {
+                    crate::runner::run_isolated(policy, None, || run_workload(&config, &workload))
+                }
             });
 
         // Phase 2: one job per solo cell and one per shared group, ordered
-        // by first cell index; each yields its cells' results.
-        // Jobs are transient (moved once into a worker, consumed there), so
-        // the variant size asymmetry costs nothing; boxing would add a
-        // per-job allocation for no benefit.
+        // by first cell index; each yields its cells' outcomes.
+        // Jobs are cloned only when an isolated attempt is retried, so the
+        // variant size asymmetry costs nothing on the happy path; boxing
+        // would add a per-job allocation for no benefit.
         #[allow(clippy::large_enum_variant)]
+        #[derive(Clone)]
         enum Job {
-            Solo { index: usize, config: SystemConfig, baseline_ipc: f64, reuse: Option<SimResult> },
-            Group { cells: Vec<crate::share::SharedCell>, workload: NamedWorkload },
+            Solo {
+                index: usize,
+                config: SystemConfig,
+                /// `(baseline_ipc, reuse)` — or the baseline's failure.
+                baseline: Result<(f64, Option<SimResult>), (String, u32)>,
+            },
+            Group {
+                cells: Vec<crate::share::SharedCell>,
+                workload: NamedWorkload,
+            },
         }
-        let mut jobs: Vec<(usize, Job)> = Vec::new();
-        for &i in &solo {
-            let reuse = (scenarios[i].defense == DefenseKind::Baseline)
-                .then(|| baselines[baseline_of[&i]].clone());
-            jobs.push((
-                i,
-                Job::Solo {
-                    index: i,
-                    config: configs[i].clone(),
-                    baseline_ipc: baselines[baseline_of[&i]].total_ipc(),
-                    reuse,
-                },
-            ));
+        let mut jobs: Vec<Job> = Vec::new();
+        for unit in &units {
+            if let [i] = unit[..] {
+                let baseline = match &baselines[baseline_of[&i]] {
+                    Ok(b) => Ok((
+                        b.total_ipc(),
+                        (scenarios[i].defense == DefenseKind::Baseline).then(|| b.clone()),
+                    )),
+                    Err((message, attempts)) => {
+                        Err((format!("baseline simulation failed: {message}"), *attempts))
+                    }
+                };
+                jobs.push(Job::Solo { index: i, config: configs[i].clone(), baseline });
+            } else {
+                let cells: Vec<crate::share::SharedCell> = unit
+                    .iter()
+                    .map(|&i| crate::share::SharedCell {
+                        index: i,
+                        scenario: scenarios[i].clone(),
+                        config: configs[i].clone(),
+                    })
+                    .collect();
+                jobs.push(Job::Group { workload: scenarios[unit[0]].workload.clone(), cells });
+            }
         }
-        for members in &groups {
-            let cells: Vec<crate::share::SharedCell> = members
-                .iter()
-                .map(|&i| crate::share::SharedCell {
-                    index: i,
-                    scenario: scenarios[i].clone(),
-                    config: configs[i].clone(),
-                })
-                .collect();
-            jobs.push((
-                members[0],
-                Job::Group { workload: scenarios[members[0]].workload.clone(), cells },
-            ));
-        }
-        jobs.sort_by_key(|&(first, _)| first);
         // Cell lists per job, for start notifications.
-        let job_cells: Vec<Vec<usize>> = jobs
-            .iter()
-            .map(|(_, job)| match job {
+        let job_cells: Vec<Vec<usize>> = units.clone();
+
+        type CellOutcome = (usize, Result<ScenarioResult, CellFailure>);
+        let scenarios = &scenarios;
+        let worker = |job: Job| -> Vec<CellOutcome> {
+            // A solo cell whose shared baseline already failed has nothing
+            // to normalize against; it fails without another attempt.
+            if let Job::Solo { index, baseline: Err((error, attempts)), .. } = &job {
+                return vec![(
+                    *index,
+                    Err(CellFailure { index: *index, attempts: *attempts, error: error.clone() }),
+                )];
+            }
+            let indices: Vec<usize> = match &job {
                 Job::Solo { index, .. } => vec![*index],
                 Job::Group { cells, .. } => cells.iter().map(|c| c.index).collect(),
-            })
-            .collect();
-        let jobs: Vec<Job> = jobs.into_iter().map(|(_, job)| job).collect();
-
-        // Jobs complete in submission order, but a group's cells are
-        // scattered across the grid's index space; buffer and re-emit so
-        // the handler still observes cell indices 0, 1, 2, ...
-        let scenarios = &scenarios;
-        let mut slots: Vec<Option<ScenarioResult>> = (0..total).map(|_| None).collect();
-        let mut next_cell = 0usize;
-        parallel_for_each_ordered(
-            jobs,
-            self.threads,
-            |job| -> Vec<(usize, ScenarioResult)> {
+            };
+            let execute = |job: Job| -> Vec<(usize, ScenarioResult)> {
                 match job {
-                    Job::Solo { index, config, baseline_ipc, reuse } => {
+                    Job::Solo { index, config, baseline } => {
+                        let (baseline_ipc, reuse) = baseline.expect("failed baselines early-out");
                         let scenario = &scenarios[index];
                         let defended =
                             reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
@@ -577,41 +654,93 @@ impl Experiment {
                         crate::share::run_shared_group(&cells, &workload)
                     }
                 }
-            },
-            |event| match event {
-                JobEvent::Started(job) => {
-                    for &i in &job_cells[job] {
-                        handle(RunEvent::Started(&scenarios[i]));
+            };
+            match isolate {
+                None => execute(job).into_iter().map(|(i, r)| (i, Ok(r))).collect(),
+                Some(policy) => {
+                    let fault = opts.fault.as_ref().map(|f| (f, indices.as_slice()));
+                    match crate::runner::run_isolated(policy, fault, || execute(job.clone())) {
+                        Ok(results) => results.into_iter().map(|(i, r)| (i, Ok(r))).collect(),
+                        Err((error, attempts)) => indices
+                            .iter()
+                            .map(|&i| {
+                                (i, Err(CellFailure { index: i, attempts, error: error.clone() }))
+                            })
+                            .collect(),
                     }
                 }
-                JobEvent::Finished(_, outputs) => {
-                    for (index, result) in outputs {
-                        debug_assert!(slots[index].is_none(), "cell {index} produced twice");
-                        slots[index] = Some(result);
-                    }
-                    while next_cell < total {
-                        let Some(result) = slots[next_cell].take() else { break };
-                        handle(RunEvent::Finished(result));
-                        next_cell += 1;
-                    }
+            }
+        };
+
+        // Jobs complete in submission order, but a group's cells are
+        // scattered across the grid's index space; buffer and re-emit so
+        // the handler still observes the run's cell indices ascending.
+        let pos_of: FxHashMap<usize, usize> =
+            order.iter().enumerate().map(|(pos, &i)| (i, pos)).collect();
+        let mut slots: Vec<Option<Result<ScenarioResult, CellFailure>>> =
+            (0..ran).map(|_| None).collect();
+        let mut next_cell = 0usize;
+        parallel_for_each_ordered(jobs, self.threads, worker, |event| match event {
+            JobEvent::Started(job) => {
+                for &i in &job_cells[job] {
+                    handle(ExecEvent::Started(&scenarios[i]));
                 }
-            },
-        );
-        assert!(next_cell == total, "grid execution left cells unfinished");
-        total
+            }
+            JobEvent::Finished(_, outputs) => {
+                for (index, outcome) in outputs {
+                    let pos = pos_of[&index];
+                    debug_assert!(slots[pos].is_none(), "cell {index} produced twice");
+                    slots[pos] = Some(outcome);
+                }
+                while next_cell < ran {
+                    let Some(outcome) = slots[next_cell].take() else { break };
+                    match outcome {
+                        Ok(result) => handle(ExecEvent::Finished(result)),
+                        Err(failure) => handle(ExecEvent::Failed(failure)),
+                    }
+                    next_cell += 1;
+                }
+            }
+        });
+        assert!(next_cell == ran, "grid execution left cells unfinished");
+        ran
     }
 }
 
-/// One event of [`Experiment::run_streaming`]'s deterministic stream.
+/// Execution policy for one grid run: an optional cell subset (campaign
+/// shards and resume skip-lists) and optional panic isolation with bounded
+/// retry (campaign fault tolerance). The default runs the full grid and
+/// lets a panicking cell propagate and abort the run — the historical
+/// [`Experiment::run`] behaviour.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecOptions {
+    /// Run only these grid cell indices (`None` runs every cell). Units
+    /// stay atomic: a shared-prefix group restricted to a subset of its
+    /// members still shares its trunk among them.
+    pub(crate) subset: Option<Vec<usize>>,
+    /// Catch per-unit panics and retry under this policy; a unit that
+    /// keeps panicking reports [`ExecEvent::Failed`] for each of its cells
+    /// instead of aborting the run.
+    pub(crate) isolate: Option<crate::runner::RetryPolicy>,
+    /// Deterministic fault injection for crash/retry tests (only honoured
+    /// when `isolate` is set).
+    pub(crate) fault: Option<crate::runner::FaultInjection>,
+}
+
+/// One event of [`Experiment::run_streaming_opts`]'s deterministic stream.
 // The events are transient (matched and consumed immediately, never
 // stored), so the variant size asymmetry costs nothing; boxing would add a
 // per-cell allocation for no benefit.
 #[allow(clippy::large_enum_variant)]
-enum RunEvent<'a> {
+pub(crate) enum ExecEvent<'a> {
     /// A worker picked this scenario up (completion-race order).
     Started(&'a Scenario),
     /// The cell finished; delivered owned, in submission order.
     Finished(ScenarioResult),
+    /// The cell exhausted its retry budget; delivered at the cell's slot in
+    /// submission order, so downstream consumers observe a gap-free
+    /// ascending stream of outcomes.
+    Failed(CellFailure),
 }
 
 impl ToJson for Scenario {

@@ -49,6 +49,7 @@ use crate::scenario::{Scenario, ScenarioResult};
 use crate::system::{build_tracker, MitigationProbe, NullTracker, System};
 
 /// One grid cell participating in a shared-prefix group.
+#[derive(Clone)]
 pub(crate) struct SharedCell {
     /// Submission index of the cell in the grid.
     pub(crate) index: usize,

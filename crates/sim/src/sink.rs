@@ -11,8 +11,53 @@
 use std::io::Write;
 use std::time::Instant;
 
-use crate::json::ToJson;
+use crate::json::{Json, ToJson};
 use crate::scenario::{Scenario, ScenarioResult};
+
+/// Check one emitted result record (a parsed line of a results JSONL
+/// file) against the [`ScenarioResult::to_json`] schema. Used by
+/// `srs-cli validate` and by the campaign merge step
+/// ([`crate::campaign::merge_results`]).
+pub fn validate_result_record(record: &Json) -> Result<(), String> {
+    let scenario = record.get("scenario").ok_or("missing 'scenario'")?;
+    for key in ["defense", "tracker", "workload", "suite"] {
+        scenario
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario.{key} must be a string"))?;
+    }
+    for key in ["index", "t_rh"] {
+        scenario
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("scenario.{key} must be an integer"))?;
+    }
+    let result = record.get("result").ok_or("missing 'result'")?;
+    let norm = result
+        .get("normalized_performance")
+        .and_then(Json::as_f64)
+        .ok_or("result.normalized_performance must be a number")?;
+    if !(0.0..=1.5).contains(&norm) {
+        return Err(format!("normalized performance {norm} out of range"));
+    }
+    let detail = result.get("detail").ok_or("missing 'result.detail'")?;
+    for key in ["elapsed_ns", "instructions", "swaps"] {
+        detail.get(key).and_then(Json::as_u64).ok_or(format!("detail.{key} must be an integer"))?;
+    }
+    // Attacked cells must carry a security report, benign cells a null.
+    let attacked = scenario.get("attack").is_some_and(|a| !a.is_null());
+    let security = detail.get("security").ok_or("missing 'detail.security'")?;
+    if attacked && security.is_null() {
+        return Err("attacked cell has no security report".into());
+    }
+    if !security.is_null() {
+        security
+            .get("max_victim_pressure")
+            .and_then(Json::as_u64)
+            .ok_or("security.max_victim_pressure must be an integer")?;
+    }
+    Ok(())
+}
 
 /// A streaming consumer of scenario results.
 ///
@@ -138,6 +183,7 @@ impl<W: Write> ResultSink for JsonlWriter<W> {
 pub struct ProgressSink<W: Write> {
     out: W,
     total: usize,
+    offset: usize,
     finished: usize,
     begun: Instant,
 }
@@ -147,13 +193,29 @@ impl<W: Write> ProgressSink<W> {
     /// [`crate::scenario::Experiment::job_count`]) into `out`.
     #[must_use]
     pub fn new(total: usize, out: W) -> Self {
-        Self { out, total, finished: 0, begun: Instant::now() }
+        Self { out, total, offset: 0, finished: 0, begun: Instant::now() }
     }
 
-    /// Cells finished so far.
+    /// Display `skipped` cells as already done (a resumed campaign): the
+    /// counter reads `[skipped + finished / skipped + total]` while the
+    /// ETA stays extrapolated from this run's `total` remaining cells
+    /// only — previously-completed work must not dilute the estimate.
+    #[must_use]
+    pub fn with_offset(mut self, skipped: usize) -> Self {
+        self.offset = skipped;
+        self
+    }
+
+    /// Cells finished so far (this run; excludes the display offset).
     #[must_use]
     pub fn finished(&self) -> usize {
         self.finished
+    }
+
+    /// Consume the sink, returning its writer (e.g. to inspect a test
+    /// buffer).
+    pub fn into_inner(self) -> W {
+        self.out
     }
 }
 
@@ -171,8 +233,8 @@ impl<W: Write> ResultSink for ProgressSink<W> {
         let _ = writeln!(
             self.out,
             "[{}/{}] {} on {} trh={} norm={:.3} elapsed={elapsed:.1}s eta={eta:.1}s",
-            self.finished,
-            self.total,
+            self.offset + self.finished,
+            self.offset + self.total,
             result.scenario.defense,
             result.scenario.workload.name,
             result.scenario.t_rh,
@@ -312,5 +374,28 @@ mod tests {
         assert_eq!(collector.results().len(), 2);
         let text = String::from_utf8(progress.out).unwrap();
         assert!(text.contains("[1/2]") && text.contains("[2/2]") && text.contains("done: 2"));
+    }
+
+    #[test]
+    fn progress_offset_shifts_the_counter_but_not_the_eta_basis() {
+        // A resumed campaign with 10 cells already done and 2 remaining:
+        // the display counts 11/12 and 12/12, but the ETA is extrapolated
+        // from this run's cells only (after the last one it must be 0).
+        let mut progress = ProgressSink::new(2, Vec::new()).with_offset(10);
+        progress.on_result(&result(10));
+        progress.on_result(&result(11));
+        assert_eq!(progress.finished(), 2);
+        let text = String::from_utf8(progress.out).unwrap();
+        assert!(text.contains("[11/12]") && text.contains("[12/12]"), "offset display: {text}");
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("eta=0.0s"), "remaining-cells ETA hits zero: {last}");
+    }
+
+    #[test]
+    fn result_record_schema_rejects_broken_records() {
+        let record = result(0).to_json();
+        validate_result_record(&record).expect("real records pass the schema");
+        let broken = Json::parse(r#"{"scenario": {"index": 0}}"#).unwrap();
+        assert!(validate_result_record(&broken).is_err());
     }
 }
