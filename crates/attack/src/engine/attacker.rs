@@ -143,6 +143,17 @@ impl AttackerCore {
         matches!(self.phase, Phase::Guess { .. })
     }
 
+    /// A short, stable label for the attacker's current program phase
+    /// (telemetry track names).
+    #[must_use]
+    pub fn phase_label(&self) -> &'static str {
+        if self.in_guess_phase() {
+            "guess"
+        } else {
+            "schedule"
+        }
+    }
+
     fn monitored(&self, bank: usize) -> bool {
         self.program.banks.contains(&bank)
     }

@@ -22,6 +22,7 @@ use std::time::Instant;
 use srs_core::DefenseKind;
 use srs_sim::json::{obj, Json, ToJson};
 use srs_sim::spec::ConfigPatch;
+use srs_sim::telemetry::TelemetryConfig;
 use srs_sim::{AttributionReport, Experiment, SimResult, System, SystemConfig};
 use srs_workloads::{
     all_workloads, hammer_trace, AccessPattern, NamedWorkload, Trace, WorkloadSpec,
@@ -168,6 +169,35 @@ fn best_of_saturated(reps: usize, smoke: bool, per_event: bool) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..reps {
         let m = run_saturated(saturated_grid(smoke), per_event);
+        if best.as_ref().is_none_or(|b| m.wall_seconds < b.wall_seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+/// Run the saturated grid once with the telemetry recorder armed or
+/// disarmed. Every headline section of this bench already measures the
+/// disarmed path (it is the default), so the interesting ratio here is
+/// what *arming* costs; the disarmed hooks themselves are one predicted
+/// branch each.
+fn run_telemetry(cells: Vec<Cell>, armed: bool) -> Measurement {
+    let runs = cells.len();
+    let mut simulated_ns = 0u64;
+    let start = Instant::now();
+    for mut cell in cells {
+        if armed {
+            cell.config.telemetry = TelemetryConfig::armed();
+        }
+        simulated_ns += System::new(cell.config, cell.trace).run().elapsed_ns;
+    }
+    Measurement { wall_seconds: start.elapsed().as_secs_f64(), simulated_ns, runs }
+}
+
+fn best_of_telemetry(reps: usize, smoke: bool, armed: bool) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps {
+        let m = run_telemetry(saturated_grid(smoke), armed);
         if best.as_ref().is_none_or(|b| m.wall_seconds < b.wall_seconds) {
             best = Some(m);
         }
@@ -406,6 +436,44 @@ fn main() {
         );
     }
 
+    // Telemetry recorder: the disarmed path is what every section above
+    // already measured (disarmed is the default); this A/B isolates what
+    // arming the recorder costs on the saturated cells. The results
+    // themselves are bit-identical either way (test- and CI-enforced) —
+    // only wall time may move.
+    println!(
+        "\n== Telemetry recorder (saturated quickstart cells{}) ==",
+        if smoke { ", smoke" } else { "" }
+    );
+    let telemetry_reps = if smoke { 2 } else { 5 };
+    let disarmed = best_of_telemetry(telemetry_reps, smoke, false);
+    let armed = best_of_telemetry(telemetry_reps, smoke, true);
+    let armed_overhead = armed.wall_seconds / disarmed.wall_seconds;
+    for (name, m) in [("disarmed", &disarmed), ("armed", &armed)] {
+        println!(
+            "{name:>13}: {:>8.1} ms wall | {:>6.1} Msim-ns/s ({} cells)",
+            m.wall_seconds * 1e3,
+            m.simulated_ns as f64 / m.wall_seconds / 1e6,
+            m.runs,
+        );
+    }
+    println!("{:>13}: {armed_overhead:.2}x armed vs disarmed wall time", "overhead");
+    // Arming buys ring-buffer pushes and a sampling cadence; it must stay
+    // a modest tax, not a second simulation. Hard gate in smoke (CI) with
+    // generous noise slack; full mode records and flags.
+    if smoke {
+        assert!(
+            armed_overhead < 1.5,
+            "armed telemetry costs {armed_overhead:.2}x on the saturated cells; \
+             the recorder hot path has regressed"
+        );
+    } else if armed_overhead > 1.25 {
+        eprintln!(
+            "warning: armed telemetry measured {armed_overhead:.2}x — noisy \
+             machine, or a recorder regression"
+        );
+    }
+
     // Where the remaining wall time goes, subsystem by subsystem (separate
     // instrumented pass; see EXPERIMENTS.md for the methodology).
     println!("\n== Wall-time attribution (saturated cells, instrumented pass) ==");
@@ -464,6 +532,14 @@ fn main() {
     saturated.push(("batched", json_entry(&batched)));
     saturated.push(("batched_vs_per_event_speedup", drain_speedup.into()));
     doc.push(("saturated", obj(saturated)));
+    doc.push((
+        "telemetry",
+        obj(vec![
+            ("disarmed", json_entry(&disarmed)),
+            ("armed", json_entry(&armed)),
+            ("armed_vs_disarmed_overhead", armed_overhead.into()),
+        ]),
+    ));
     doc.push((
         "attribution",
         obj(vec![

@@ -35,13 +35,16 @@ use std::process::ExitCode;
 use srs_sim::campaign::{
     merge_results, plan_shards, Campaign, CampaignSink, CellFailure, CheckpointSink, ShardManifest,
 };
-use srs_sim::json::Json;
+use srs_sim::json::{obj, Json, ToJson};
 use srs_sim::sink::{validate_result_record, ProgressSink, ResultSink};
 use srs_sim::spec::{
     attack_names, defense_names, preset_names, tracker_names, workload_selector_names,
     ExperimentSpec,
 };
-use srs_sim::{FaultInjection, RetryPolicy, ScenarioResult};
+use srs_sim::telemetry::{TelemetryConfig, TelemetrySidecarSink};
+use srs_sim::{
+    run_workload, AttributionReport, FaultInjection, RetryPolicy, ScenarioResult, UnitStats,
+};
 
 const USAGE: &str = "\
 srs-cli — spec-file driver for the scale-srs experiment engine
@@ -49,12 +52,14 @@ srs-cli — spec-file driver for the scale-srs experiment engine
 USAGE:
     srs-cli run <spec.json | shard.json> [--out <file.jsonl>] [--resume]
                 [--force] [--threads <N>] [--retries <N>] [--quiet]
-                [--no-share]
+                [--no-share] [--telemetry] [--attribution]
+    srs-cli trace <spec.json> [--cell <idx>] [--out <file.json>] [--force]
+    srs-cli report <results.jsonl>
     srs-cli plan <spec.json> --shards <N> [--out-dir <dir>]
     srs-cli merge <results.jsonl>... --out <file.jsonl> [--force]
     srs-cli validate <spec.json | shard.json | results.jsonl>
     srs-cli check-json <file.json>
-    srs-cli list <defenses | trackers | workloads | attacks | presets>
+    srs-cli list [defenses | trackers | workloads | attacks | presets] [--json]
 
 COMMANDS:
     run         Resolve the spec (or shard manifest) and execute its cells,
@@ -71,8 +76,23 @@ COMMANDS:
                 capped at 8. --retries <N> sets attempts per cell before it
                 is recorded as failed (default 3). --no-share disables
                 sharing-aware execution (results are bit-identical either
-                way). Exit code 3 means the campaign completed degraded:
-                some cells failed and are listed in the manifest.
+                way). --telemetry arms the simulated-time recorder and
+                writes a per-cell sidecar stream to <out stem>.telemetry.jsonl;
+                the results JSONL stays byte-identical to a disarmed run
+                (CI-enforced). --attribution (implies --no-share) re-runs
+                with per-subsystem stopwatches armed, prints the wall-time
+                share table, and appends it as a JSONL footer record
+                {\"attribution\": ...} to the output stream. Exit code 3
+                means the campaign completed degraded: some cells failed
+                and are listed in the manifest.
+    trace       Run one grid cell (default --cell 0) of a spec with
+                telemetry armed and export the event trace as Chrome/
+                Perfetto trace-event JSON (load it at ui.perfetto.dev or
+                chrome://tracing). Default --out:
+                <spec stem>.cell<idx>.trace.json.
+    report      Render per-(defense, TRH) summary tables and normalized-
+                performance histograms from an existing results JSONL
+                without re-simulating anything.
     plan        Deterministically split a spec's grid into N shard
                 manifests (<stem>.shard<k>.json, self-contained; run each
                 with `srs-cli run`). Shared-prefix trunk groups are never
@@ -88,7 +108,9 @@ COMMANDS:
                 a crash artifact — is a warning, not an error).
     check-json  Parse any JSON document with the built-in codec; exits
                 non-zero on malformed input.
-    list        Print a registry's valid names, one per line.
+    list        Print a registry's valid names, one per line — or, with
+                --json, machine-readable JSON (all registries when no
+                registry is named).
 ";
 
 fn main() -> ExitCode {
@@ -99,6 +121,8 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "plan" => cmd_plan(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
@@ -193,6 +217,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     let mut no_share = false;
     let mut resume = false;
     let mut force = false;
+    let mut telemetry = false;
+    let mut attribution = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -224,6 +250,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
             "--no-share" => no_share = true,
             "--resume" => resume = true,
             "--force" => force = true,
+            "--telemetry" => telemetry = true,
+            "--attribution" => attribution = true,
             other if input_path.is_none() && !other.starts_with('-') => input_path = Some(other),
             other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
         }
@@ -238,6 +266,14 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     }
     if no_share {
         spec.share_prefixes = false;
+    }
+    if attribution {
+        // Shared trunk groups are not attributed; force solo execution so
+        // every defended cell lands in the breakdown.
+        spec.share_prefixes = false;
+    }
+    if telemetry && spec.telemetry.is_none() {
+        spec.telemetry = Some(TelemetryConfig::armed());
     }
     let experiment = spec.to_experiment().map_err(|e| fail(format!("{input_path}: {e}")))?;
     let total_cells = experiment.job_count();
@@ -302,6 +338,22 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(max_attempts) = retries {
         campaign = campaign.with_retry(RetryPolicy { max_attempts, ..RetryPolicy::default() });
     }
+    let attribution_total = attribution
+        .then(|| std::sync::Arc::new(std::sync::Mutex::new(AttributionReport::default())));
+    if let Some(total) = &attribution_total {
+        campaign = campaign.with_attribution(total.clone());
+    }
+    // The telemetry sidecar rides beside the results stream; the results
+    // JSONL itself stays byte-identical armed or disarmed (CI-enforced).
+    let telemetry_path = telemetry.then(|| out_path.with_extension("telemetry.jsonl"));
+    let telemetry_sink = match &telemetry_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| fail(format!("cannot create {}: {e}", path.display())))?;
+            Some(TelemetrySidecarSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
     let remaining = campaign.planned().len();
     let shard_note = match &shard {
         Some(s) => format!(", shard {}/{}", s.shard_index, s.shard_count),
@@ -321,9 +373,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
         summary: SummarySink::default(),
         progress: (!quiet)
             .then(|| ProgressSink::new(remaining, std::io::stderr()).with_offset(skipped)),
+        telemetry: telemetry_sink,
+        heartbeat: !quiet,
     };
     let report = campaign.run(&mut sinks);
     let manifest = sinks.checkpoint.finish().map_err(|e| fail(e.to_string()))?;
+    if let Some(sink) = sinks.telemetry.take() {
+        let path = telemetry_path.as_ref().expect("sidecar sink implies sidecar path");
+        let records = sink.records_written();
+        sink.finish().map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote {records} telemetry sidecar records to {}", path.display());
+    }
 
     println!(
         "wrote {} records to {} ({} committed in total)",
@@ -332,6 +392,21 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
         manifest.completed.len()
     );
     sinks.summary.print(&mut std::io::stdout().lock());
+    if let Some(total) = attribution_total {
+        let total = *total.lock().expect("attribution lock");
+        print_attribution(&total, &mut std::io::stdout().lock());
+        // Appended after the committed results, the footer sits past the
+        // manifest's bytes_committed mark: `validate`, `report` and merge
+        // inputs skip it, and `--resume` truncates it before continuing.
+        let footer = obj(vec![("attribution", total.to_json())]).to_compact();
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&out_path)
+            .map_err(|e| fail(format!("cannot append to {}: {e}", out_path.display())))?;
+        writeln!(file, "{footer}")
+            .map_err(|e| fail(format!("cannot append to {}: {e}", out_path.display())))?;
+    }
     if report.failed.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -356,6 +431,8 @@ struct RunSinks {
     checkpoint: CheckpointSink,
     summary: SummarySink,
     progress: Option<ProgressSink<std::io::Stderr>>,
+    telemetry: Option<TelemetrySidecarSink<std::io::BufWriter<std::fs::File>>>,
+    heartbeat: bool,
 }
 
 impl CampaignSink for RunSinks {
@@ -368,8 +445,24 @@ impl CampaignSink for RunSinks {
     fn on_result(&mut self, result: &ScenarioResult) {
         self.checkpoint.on_result(result);
         self.summary.on_result(result);
+        if let Some(telemetry) = &mut self.telemetry {
+            telemetry.on_result(result);
+        }
         if let Some(progress) = &mut self.progress {
             progress.on_result(result);
+        }
+    }
+
+    fn on_unit_stats(&mut self, stats: &UnitStats) {
+        self.checkpoint.on_unit_stats(stats);
+        if self.heartbeat {
+            eprintln!(
+                "unit done: {} in {:.3}s ({} attempt{})",
+                describe_cells(&stats.cells),
+                stats.wall_ns as f64 / 1e9,
+                stats.attempts,
+                if stats.attempts == 1 { "" } else { "s" },
+            );
         }
     }
 
@@ -386,6 +479,261 @@ impl CampaignSink for RunSinks {
             progress.on_finish(report.completed);
         }
     }
+}
+
+/// Render a unit's cell set compactly: `cell 3`, `cells 0-4` for a
+/// contiguous run, or the literal list otherwise.
+fn describe_cells(cells: &[usize]) -> String {
+    match cells {
+        [] => "no cells".to_string(),
+        [only] => format!("cell {only}"),
+        [first, .., last] if last - first + 1 == cells.len() => format!("cells {first}-{last}"),
+        _ => format!("cells {cells:?}"),
+    }
+}
+
+fn print_attribution(report: &AttributionReport, out: &mut impl Write) {
+    let wall = report.wall_ns.max(1) as f64;
+    let rows = [
+        ("controller", report.controller_schedule_ns),
+        ("tracker", report.tracker_ns),
+        ("defense", report.defense_ns),
+        ("rit", report.rit_ns),
+        ("security", report.security_ns),
+        ("other", report.other_ns),
+    ];
+    let _ = writeln!(
+        out,
+        "\nwall-time attribution over {:.3}s of defended solo cells:",
+        report.wall_ns as f64 / 1e9
+    );
+    let _ = writeln!(out, "{:>12} {:>10} {:>7}", "subsystem", "seconds", "share");
+    for (name, ns) in rows {
+        let _ = writeln!(
+            out,
+            "{name:>12} {:>10.3} {:>6.1}%",
+            ns as f64 / 1e9,
+            ns as f64 / wall * 100.0
+        );
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut input_path: Option<&str> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut cell = 0usize;
+    let mut force = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cell" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--cell needs an index".into()))?;
+                cell = value
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("bad cell index '{value}'")))?;
+            }
+            "--out" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                out_path = Some(PathBuf::from(value));
+            }
+            "--force" => force = true,
+            other if input_path.is_none() && !other.starts_with('-') => input_path = Some(other),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let input_path = input_path.ok_or_else(|| CliError::Usage("trace needs a spec file".into()))?;
+    // A shard manifest works too: the embedded spec is traced and --cell
+    // indexes the full grid, exactly as in the campaign's results.
+    let mut spec = match load_run_input(input_path)? {
+        RunInput::Spec(spec) => spec,
+        RunInput::Shard(shard) => shard.spec,
+    };
+    // Arm the recorder, keeping any capacities the spec configured.
+    let mut telemetry = spec.telemetry.take().unwrap_or_else(TelemetryConfig::armed);
+    telemetry.enabled = true;
+    spec.telemetry = Some(telemetry);
+    let experiment = spec.to_experiment().map_err(|e| fail(format!("{input_path}: {e}")))?;
+    let scenarios = experiment.scenarios();
+    let Some(scenario) = scenarios.get(cell) else {
+        return Err(CliError::Usage(format!(
+            "--cell {cell} is out of range: '{}' resolves to {} cells",
+            spec.name,
+            scenarios.len()
+        )));
+    };
+    let out_path = match out_path {
+        Some(path) => path,
+        None => derive_out_path(input_path, &format!("cell{cell}.trace.json"))?,
+    };
+    if !force && out_path.exists() {
+        return Err(fail(format!(
+            "{} already exists; pass --force to overwrite it",
+            out_path.display()
+        )));
+    }
+    eprintln!(
+        "tracing cell {cell}: {} on {} trh={}",
+        scenario.defense, scenario.workload.name, scenario.t_rh
+    );
+    let config = experiment.config_for(scenario);
+    let result = run_workload(&config, &scenario.workload);
+    let report =
+        result.telemetry.as_ref().ok_or_else(|| fail("simulation returned no telemetry report"))?;
+    let label = format!("{} {} trh={}", scenario.workload.name, scenario.defense, scenario.t_rh);
+    let mut text = report.to_perfetto(&label).to_pretty();
+    text.push('\n');
+    std::fs::write(&out_path, text)
+        .map_err(|e| fail(format!("cannot write {}: {e}", out_path.display())))?;
+    println!(
+        "wrote {} trace events ({} dropped) to {} — load it at ui.perfetto.dev",
+        report.events.len(),
+        report.events_dropped,
+        out_path.display()
+    );
+    for (name, value) in &report.counters {
+        println!("  {name} = {value}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-(defense, TRH) aggregate for `report`, including a coarse
+/// distribution of normalized performance (`REPORT_BUCKETS` buckets of
+/// width [`REPORT_BUCKET_WIDTH`] starting at 0).
+struct ReportGroup {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    crossed: u64,
+    buckets: [usize; REPORT_BUCKETS],
+}
+
+const REPORT_BUCKETS: usize = 12;
+const REPORT_BUCKET_WIDTH: f64 = 0.1;
+
+impl ReportGroup {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            crossed: 0,
+            buckets: [0; REPORT_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, norm: f64, trh_crossed: bool) {
+        self.count += 1;
+        self.sum += norm;
+        self.min = self.min.min(norm);
+        self.max = self.max.max(norm);
+        self.crossed += u64::from(trh_crossed);
+        let bucket = ((norm / REPORT_BUCKET_WIDTH) as usize).min(REPORT_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
+    use std::io::BufRead;
+    let [path] = args else {
+        return Err(CliError::Usage("report needs exactly one results file".into()));
+    };
+    let file = std::fs::File::open(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let reader = std::io::BufReader::new(file);
+    let mut groups: BTreeMap<(String, u64), ReportGroup> = BTreeMap::new();
+    let mut attribution: Option<AttributionReport> = None;
+    let mut records = 0usize;
+    let mut torn = false;
+    let mut lines = reader.lines().enumerate().peekable();
+    while let Some((lineno, line)) = lines.next() {
+        let line = line.map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match Json::parse(&line) {
+            Ok(record) => record,
+            // A torn final line is a crash artifact, not data corruption.
+            Err(_) if lines.peek().is_none() && records > 0 => {
+                torn = true;
+                break;
+            }
+            Err(error) => return Err(fail(format!("{path}:{}: {error}", lineno + 1))),
+        };
+        // The footer `run --attribution` appends is not a result record.
+        if let Some(footer) = record.get("attribution") {
+            attribution = Some(
+                AttributionReport::from_json(footer)
+                    .map_err(|e| fail(format!("{path}:{}: {e}", lineno + 1)))?,
+            );
+            continue;
+        }
+        validate_result_record(&record)
+            .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
+        let scenario = record.get("scenario").expect("validated");
+        let result = record.get("result").expect("validated");
+        let defense = scenario.get("defense").and_then(Json::as_str).expect("validated");
+        let t_rh = scenario.get("t_rh").and_then(Json::as_u64).expect("validated");
+        let norm = result.get("normalized_performance").and_then(Json::as_f64).expect("validated");
+        let trh_crossed = result
+            .get("detail")
+            .and_then(|d| d.get("security"))
+            .and_then(|s| s.get("trh_crossed"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        groups
+            .entry((defense.to_string(), t_rh))
+            .or_insert_with(ReportGroup::new)
+            .record(norm, trh_crossed);
+        records += 1;
+    }
+    if records == 0 {
+        return Err(fail(format!("{path}: no result records")));
+    }
+    let out = &mut std::io::stdout().lock();
+    let _ = writeln!(out, "report for {path} — {records} result records");
+    if torn {
+        let _ = writeln!(
+            out,
+            "warning: ignored a truncated final record (crash artifact; \
+             continue the run with `srs-cli run --resume`)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{:>14} {:>6} {:>7} {:>10} {:>8} {:>8} {:>12}",
+        "defense", "TRH", "cells", "mean norm", "min", "max", "TRH crossed"
+    );
+    for ((defense, t_rh), group) in &groups {
+        let _ = writeln!(
+            out,
+            "{defense:>14} {t_rh:>6} {:>7} {:>10.3} {:>8.3} {:>8.3} {:>12}",
+            group.count,
+            group.sum / group.count as f64,
+            group.min,
+            group.max,
+            group.crossed,
+        );
+    }
+    let _ = writeln!(out, "\nnormalized-performance distribution:");
+    for ((defense, t_rh), group) in &groups {
+        let _ = writeln!(out, "  {defense} trh={t_rh}:");
+        let peak = group.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (bucket, &count) in group.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = bucket as f64 * REPORT_BUCKET_WIDTH;
+            let bar = "#".repeat((count * 40).div_ceil(peak));
+            let _ = writeln!(out, "    [{lo:.1},{:.1}) {bar} {count}", lo + REPORT_BUCKET_WIDTH);
+        }
+    }
+    if let Some(report) = &attribution {
+        print_attribution(report, out);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_plan(args: &[String]) -> Result<ExitCode, CliError> {
@@ -585,6 +933,11 @@ fn validate_results(path: &str) -> Result<(), CliError> {
         }
         match Json::parse(text) {
             Ok(record) => {
+                // `run --attribution` appends a footer object after the
+                // results; it is metadata, not a (schema-checked) record.
+                if record.get("attribution").is_some() {
+                    continue;
+                }
                 validate_result_record(&record)
                     .map_err(|message| fail(format!("{path}:{lineno}: {message}")))?;
                 records += 1;
@@ -627,13 +980,11 @@ fn cmd_check_json(args: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_list(args: &[String]) -> Result<ExitCode, CliError> {
-    let [what] = args else {
-        return Err(CliError::Usage(
-            "list needs one of: defenses, trackers, workloads, attacks, presets".into(),
-        ));
-    };
-    let names: Vec<String> = match what.as_str() {
+/// The fixed registry order `list` reports, by name.
+const LIST_REGISTRIES: [&str; 5] = ["defenses", "trackers", "workloads", "attacks", "presets"];
+
+fn registry_names(what: &str) -> Result<Vec<String>, CliError> {
+    Ok(match what {
         "defenses" => defense_names().iter().map(ToString::to_string).collect(),
         "trackers" => tracker_names().iter().map(ToString::to_string).collect(),
         "presets" => preset_names().iter().map(ToString::to_string).collect(),
@@ -644,11 +995,48 @@ fn cmd_list(args: &[String]) -> Result<ExitCode, CliError> {
                 "unknown registry '{other}'; valid: defenses, trackers, workloads, attacks, presets"
             )));
         }
-    };
-    for name in names {
-        println!("{name}");
+    })
+}
+
+fn names_json(names: Vec<String>) -> Json {
+    Json::Array(names.into_iter().map(Json::from).collect())
+}
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut json = false;
+    let mut what: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if what.is_none() && !other.starts_with('-') => what = Some(other),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
     }
-    Ok(ExitCode::SUCCESS)
+    match (what, json) {
+        (None, false) => Err(CliError::Usage(
+            "list needs one of: defenses, trackers, workloads, attacks, presets \
+             (or --json for every registry at once)"
+                .into(),
+        )),
+        (None, true) => {
+            let pairs = LIST_REGISTRIES
+                .iter()
+                .map(|&name| Ok((name, names_json(registry_names(name)?))))
+                .collect::<Result<Vec<_>, CliError>>()?;
+            println!("{}", obj(pairs).to_pretty());
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some(what), true) => {
+            println!("{}", names_json(registry_names(what)?).to_compact());
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some(what), false) => {
+            for name in registry_names(what)? {
+                println!("{name}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,36 @@ pub mod sample {
     }
 }
 
+/// Optional-value strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `None` a quarter of the time and `Some(inner)`
+    /// otherwise (mirrors proptest's default weighting).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `Option` values whose payload comes from `inner`.
+    #[must_use]
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use crate::strategy::Strategy;
@@ -194,7 +224,7 @@ pub mod prelude {
 
     /// The `prop::...` path alias proptest users write.
     pub mod prop {
-        pub use crate::{bool, collection, sample};
+        pub use crate::{bool, collection, option, sample};
     }
 }
 

@@ -117,6 +117,14 @@ pub trait RowSwapDefense {
         0
     }
 
+    /// Number of logical rows currently living somewhere other than their
+    /// home physical row, summed over all banks — a telemetry gauge (RIT
+    /// pressure over time), not part of any mitigation decision. Defenses
+    /// without an indirection table report zero.
+    fn live_swapped_rows(&self) -> u64 {
+        0
+    }
+
     /// Deep-copy this defense behind a fresh box — the snapshot primitive
     /// the sharing-aware grid executor uses to fork a simulation (RIT
     /// contents, swap counters, place-back queues, RNG state and all).

@@ -228,6 +228,10 @@ impl RowSwapDefense for RandomizedRowSwap {
         self.stats.unswap_swaps
     }
 
+    fn live_swapped_rows(&self) -> u64 {
+        (0..self.rit.banks()).map(|b| self.rit.bank(b).live_entries() as u64).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
         Box::new(self.clone())
     }

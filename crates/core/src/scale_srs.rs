@@ -120,6 +120,10 @@ impl RowSwapDefense for ScaleSrs {
         self.inner.swaps_performed()
     }
 
+    fn live_swapped_rows(&self) -> u64 {
+        self.inner.live_swapped_rows()
+    }
+
     fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
         Box::new(self.clone())
     }

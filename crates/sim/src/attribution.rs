@@ -124,6 +124,30 @@ impl AttributionReport {
         }
     }
 
+    /// Decode the [`ToJson`] encoding — the inverse used by `srs-cli
+    /// report` to read back the `{"attribution": ...}` footer that
+    /// `srs-cli run --attribution` appends to a results stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or non-integer field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("attribution.{name} must be an integer"))
+        };
+        Ok(Self {
+            wall_ns: field("wall_ns")?,
+            controller_schedule_ns: field("controller_schedule_ns")?,
+            tracker_ns: field("tracker_ns")?,
+            defense_ns: field("defense_ns")?,
+            rit_ns: field("rit_ns")?,
+            security_ns: field("security_ns")?,
+            other_ns: field("other_ns")?,
+        })
+    }
+
     /// Element-wise sum, for aggregating a breakdown over several cells.
     #[must_use]
     pub fn merged(&self, other: &AttributionReport) -> AttributionReport {

@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 
 use crate::json::{obj, Json, ToJson};
 use crate::runner::{FaultInjection, RetryPolicy};
-use crate::scenario::{Experiment, Scenario, ScenarioResult};
+use crate::scenario::{Experiment, Scenario, ScenarioResult, UnitStats};
 use crate::sink::validate_result_record;
 use crate::spec::{ExperimentSpec, SpecError};
 
@@ -115,6 +115,14 @@ pub trait CampaignSink {
         let _ = failure;
     }
 
+    /// One execution unit finished (successfully or not), reporting its
+    /// wall-clock duration and attempt count; called once per unit in unit
+    /// submission order. Wall times are machine-dependent — treat them as
+    /// profiling data, never as results.
+    fn on_unit_stats(&mut self, stats: &UnitStats) {
+        let _ = stats;
+    }
+
     /// The campaign drained (successfully or degraded).
     fn on_finish(&mut self, report: &CampaignReport) {
         let _ = report;
@@ -159,6 +167,7 @@ pub struct Campaign {
     completed: Vec<usize>,
     retry: RetryPolicy,
     fault: Option<FaultInjection>,
+    attribution: Option<std::sync::Arc<std::sync::Mutex<crate::attribution::AttributionReport>>>,
 }
 
 impl Campaign {
@@ -172,6 +181,7 @@ impl Campaign {
             completed: Vec::new(),
             retry: RetryPolicy::default(),
             fault: None,
+            attribution: None,
         }
     }
 
@@ -202,6 +212,22 @@ impl Campaign {
     #[must_use]
     pub fn with_fault(mut self, fault: Option<FaultInjection>) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Arm per-subsystem wall-time attribution: every defended solo cell
+    /// runs with the stopwatches on and merges its breakdown into the
+    /// shared report. Results stay bit-identical; wall time is perturbed
+    /// by a few percent, so arm this for breakdown passes only. Callers
+    /// wanting full coverage should also disable prefix sharing
+    /// ([`Experiment::with_share_prefixes`]) — shared groups are not
+    /// attributed.
+    #[must_use]
+    pub fn with_attribution(
+        mut self,
+        report: std::sync::Arc<std::sync::Mutex<crate::attribution::AttributionReport>>,
+    ) -> Self {
+        self.attribution = Some(report);
         self
     }
 
@@ -244,6 +270,7 @@ impl Campaign {
             subset: Some(planned.clone()),
             isolate: Some(self.retry.clone()),
             fault: self.fault.clone(),
+            attribution: self.attribution.clone(),
         };
         let mut completed = 0usize;
         let mut failed: Vec<CellFailure> = Vec::new();
@@ -257,6 +284,7 @@ impl Campaign {
                 sink.on_cell_failed(&failure);
                 failed.push(failure);
             }
+            crate::scenario::ExecEvent::UnitDone(stats) => sink.on_unit_stats(&stats),
         });
         debug_assert_eq!(ran, planned.len(), "executor ran a different cell set than planned");
         let report = CampaignReport {
@@ -492,6 +520,10 @@ pub struct CampaignManifest {
     /// bytes past this offset are a torn record from a crash and are
     /// truncated on resume.
     pub bytes_committed: u64,
+    /// Per-unit wall durations and attempt counts, appended as units
+    /// finish. Profiling data (machine-dependent, not part of results);
+    /// absent in manifests written before this field existed.
+    pub timings: Vec<UnitStats>,
 }
 
 impl ToJson for CampaignManifest {
@@ -503,6 +535,7 @@ impl ToJson for CampaignManifest {
             ("completed", encode_ranges(&self.completed)),
             ("failed", Json::Array(self.failed.iter().map(ToJson::to_json).collect())),
             ("bytes_committed", self.bytes_committed.into()),
+            ("timings", Json::Array(self.timings.iter().map(ToJson::to_json).collect())),
         ])
     }
 }
@@ -518,6 +551,7 @@ impl CampaignManifest {
             completed: Vec::new(),
             failed: Vec::new(),
             bytes_committed: 0,
+            timings: Vec::new(),
         }
     }
 
@@ -561,7 +595,17 @@ impl CampaignManifest {
             .get("bytes_committed")
             .and_then(Json::as_u64)
             .ok_or_else(|| corrupt("'bytes_committed' must be an integer".to_string()))?;
-        Ok(Self { campaign, total_cells, cells, completed, failed, bytes_committed })
+        // Tolerate manifests written before timings existed.
+        let timings = match json.get("timings") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| corrupt("'timings' must be an array".to_string()))?
+                .iter()
+                .map(|t| UnitStats::from_json(t).map_err(|m| corrupt(m.to_string())))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Self { campaign, total_cells, cells, completed, failed, bytes_committed, timings })
     }
 
     /// Load a manifest from disk.
@@ -788,6 +832,16 @@ impl CampaignSink for CheckpointSink {
             self.error = Some(e.to_string());
         }
     }
+
+    fn on_unit_stats(&mut self, stats: &UnitStats) {
+        if self.error.is_some() {
+            return;
+        }
+        // Timings are profiling data; they ride the next manifest save
+        // (every unit emits cell outcomes, each of which saves) rather
+        // than forcing an extra atomic rewrite per unit.
+        self.manifest.timings.push(stats.clone());
+    }
 }
 
 fn crash_after_from_env() -> Option<usize> {
@@ -941,6 +995,7 @@ mod tests {
                     pinned_hits: 0,
                     max_row_activations_in_window: 3,
                     security: None,
+                    telemetry: None,
                 },
             },
         }

@@ -12,6 +12,7 @@ use crate::spec::{
     attack_spec_from_json, f64_field, page_policy_name, parse_defense, parse_page_policy,
     parse_tracker, require, str_field, u32_field, u64_field, usize_field, SpecError,
 };
+use crate::telemetry::TelemetryConfig;
 
 /// Configuration of one simulation run.
 ///
@@ -50,6 +51,11 @@ pub struct SystemConfig {
     /// closed-loop attacker cores next to the victim trace cores and
     /// collects security metrics ([`crate::security::SecurityReport`]).
     pub attack: Option<AttackSpec>,
+    /// Simulated-time telemetry configuration. Disarmed by default; arming
+    /// it never changes simulation results (the report rides on
+    /// [`crate::metrics::SimResult`] outside its JSON encoding — see
+    /// [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SystemConfig {
@@ -69,6 +75,7 @@ impl SystemConfig {
             max_sim_ns: 500_000_000,
             llc_hit_latency_ns: 20,
             attack: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -117,6 +124,7 @@ impl ToJson for SystemConfig {
             ("max_sim_ns", self.max_sim_ns.into()),
             ("llc_hit_latency_ns", self.llc_hit_latency_ns.into()),
             ("attack", self.attack.as_ref().map_or(Json::Null, ToJson::to_json)),
+            ("telemetry", self.telemetry.to_json()),
         ])
     }
 }
@@ -131,6 +139,13 @@ impl SystemConfig {
         let swap_rate = match json.get("swap_rate") {
             None | Some(Json::Null) => None,
             Some(value) => Some(u64_field("swap_rate", value)?),
+        };
+        // Tolerant like `attack`: configurations encoded before telemetry
+        // existed decode to the disarmed default.
+        let telemetry = match json.get("telemetry") {
+            None | Some(Json::Null) => TelemetryConfig::default(),
+            Some(value) => TelemetryConfig::from_json(value)
+                .map_err(|message| SpecError::Field { field: "telemetry".to_string(), message })?,
         };
         Ok(Self {
             dram: dram_from_json(require(json, "dram")?)?,
@@ -151,6 +166,7 @@ impl SystemConfig {
                 require(json, "llc_hit_latency_ns")?,
             )?,
             attack,
+            telemetry,
         })
     }
 }

@@ -39,6 +39,7 @@ mod share;
 pub mod sink;
 pub mod spec;
 pub mod system;
+pub mod telemetry;
 
 pub use attribution::{AttributionReport, SubsystemTimers};
 pub use campaign::{
@@ -51,10 +52,11 @@ pub use json::{Json, JsonError, ToJson};
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};
 pub use runner::{
     normalize_against, parallel_for_each_ordered, parallel_map_ordered, run_normalized,
-    run_parallel, run_workload, suite_averages, FaultInjection, JobEvent, RetryPolicy, SuiteRow,
+    run_parallel, run_workload, run_workload_attributed, suite_averages, FaultInjection, JobEvent,
+    RetryPolicy, SuiteRow,
 };
 pub use scenario::{
-    default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult,
+    default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult, UnitStats,
 };
 pub use security::{SecurityReport, SecurityTracker};
 pub use sink::{
@@ -62,3 +64,7 @@ pub use sink::{
 };
 pub use spec::{ConfigPatch, ExperimentSpec, Preset, SpecError};
 pub use system::System;
+pub use telemetry::{
+    EventKind, Log2Histogram, Telemetry, TelemetryConfig, TelemetryReport, TelemetrySidecarSink,
+    TraceEvent,
+};

@@ -5,6 +5,7 @@ use srs_dram::ControllerStats;
 
 use crate::json::{obj, Json, ToJson};
 use crate::security::SecurityReport;
+use crate::telemetry::TelemetryReport;
 
 /// The result of simulating one workload on one system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +35,15 @@ pub struct SimResult {
     /// Security metrics of the run, present when it carried an attack
     /// scenario ([`crate::config::SystemConfig::attack`]).
     pub security: Option<SecurityReport>,
+    /// Telemetry of the run, present when the configuration armed the
+    /// recorder ([`crate::config::SystemConfig::telemetry`]).
+    ///
+    /// Deliberately **excluded** from [`ToJson`]: the results JSONL stream
+    /// is byte-identical whether telemetry was armed or not (CI-enforced),
+    /// so arming it can never perturb a published result. Telemetry flows
+    /// out through [`crate::telemetry::TelemetrySidecarSink`] and the
+    /// `srs-cli trace` exporters instead.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimResult {
@@ -177,6 +187,7 @@ mod tests {
                 pinned_hits: 0,
                 max_row_activations_in_window: 0,
                 security: None,
+                telemetry: None,
             },
         }
     }

@@ -18,6 +18,20 @@ pub fn run_workload(config: &SystemConfig, workload: &NamedWorkload) -> SimResul
     System::new(config.clone(), trace).run()
 }
 
+/// Run one workload with the per-subsystem stopwatches armed (see
+/// [`crate::attribution`]). The result is bit-identical to
+/// [`run_workload`]'s; the report carries the wall-time breakdown. The
+/// laps perturb wall time by a few percent, so use this for breakdown
+/// passes, not headline throughput measurement.
+#[must_use]
+pub fn run_workload_attributed(
+    config: &SystemConfig,
+    workload: &NamedWorkload,
+) -> (SimResult, crate::attribution::AttributionReport) {
+    let trace = workload.spec().generate(config.trace_records_per_core, config.seed);
+    System::new(config.clone(), trace).run_attributed()
+}
+
 /// Run one workload under a defense and under the baseline, returning the
 /// defense result normalized to the baseline (the y-axis of Figures 4, 12,
 /// 14, 15 and 16).
@@ -127,13 +141,15 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Run `f` under [`std::panic::catch_unwind`] with the retry policy,
 /// optionally injecting a deterministic fault when this unit covers the
-/// injection's target cell. Returns the value, or `(message, attempts)`
-/// of the last panic once the attempt budget is exhausted.
+/// injection's target cell. Returns `(value, attempts)` — how many
+/// attempts the unit consumed feeds the campaign manifest's timing
+/// records — or `(message, attempts)` of the last panic once the attempt
+/// budget is exhausted.
 pub(crate) fn run_isolated<T>(
     policy: &RetryPolicy,
     fault: Option<(&FaultInjection, &[usize])>,
     f: impl Fn() -> T,
-) -> Result<T, (String, u32)> {
+) -> Result<(T, u32), (String, u32)> {
     let mut attempt = 1u32;
     loop {
         let inject = fault
@@ -145,7 +161,7 @@ pub(crate) fn run_isolated<T>(
             f()
         }));
         match outcome {
-            Ok(value) => return Ok(value),
+            Ok(value) => return Ok((value, attempt)),
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
                 if attempt >= policy.max_attempts.max(1) {
@@ -476,11 +492,11 @@ mod tests {
 
         // Two injected failures, then success on the third attempt.
         let ok = run_isolated(&policy, Some((&fault, &[4, 5])), || 42u32);
-        assert_eq!(ok, Ok(42));
+        assert_eq!(ok, Ok((42, 3)));
 
         // The unit does not cover the target cell: no injection at all.
         let ok = run_isolated(&policy, Some((&fault, &[0, 1])), || 7u32);
-        assert_eq!(ok, Ok(7));
+        assert_eq!(ok, Ok((7, 1)));
 
         // Persistent failure: the attempt budget is exhausted and the last
         // panic message comes back with the attempt count.

@@ -131,6 +131,7 @@ pub struct Experiment {
     attacks: Vec<AttackSpec>,
     threads: usize,
     share_prefixes: bool,
+    telemetry: Option<crate::telemetry::TelemetryConfig>,
     config: ConfigSource,
 }
 
@@ -156,6 +157,7 @@ impl Experiment {
             attacks: Vec::new(),
             threads: default_threads(),
             share_prefixes: true,
+            telemetry: None,
             config: ConfigSource::Preset(Preset::ScaledForSpeed, ConfigPatch::default()),
         }
     }
@@ -241,6 +243,17 @@ impl Experiment {
     #[must_use]
     pub fn share_prefixes(&self) -> bool {
         self.share_prefixes
+    }
+
+    /// Apply this telemetry configuration to every cell of the grid
+    /// (`None`, the default, leaves the recorder disarmed). Arming
+    /// telemetry never changes simulation results — the recorder only
+    /// observes and its report rides outside the results JSON (see
+    /// [`crate::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Build base configurations from this preset instead of the default
@@ -382,6 +395,9 @@ impl Experiment {
             config.seed = seed;
         }
         config.attack = scenario.attack.clone();
+        if let Some(telemetry) = &self.telemetry {
+            config.telemetry = telemetry.clone();
+        }
         config
     }
 
@@ -422,6 +438,9 @@ impl Experiment {
             ExecEvent::Failed(failure) => {
                 unreachable!("cell {} failed without isolation: {}", failure.index, failure.error)
             }
+            // Wall-clock accounting is a campaign concern; ResultSinks
+            // observe results only.
+            ExecEvent::UnitDone(_) => {}
         });
         sink.on_finish(total);
     }
@@ -575,6 +594,7 @@ impl Experiment {
                 None => Ok(run_workload(&config, &workload)),
                 Some(policy) => {
                     crate::runner::run_isolated(policy, None, || run_workload(&config, &workload))
+                        .map(|(result, _attempts)| result)
                 }
             });
 
@@ -627,14 +647,23 @@ impl Experiment {
 
         type CellOutcome = (usize, Result<ScenarioResult, CellFailure>);
         let scenarios = &scenarios;
-        let worker = |job: Job| -> Vec<CellOutcome> {
+        let attribution = opts.attribution.clone();
+        let attribution = attribution.as_ref();
+        // Each finished unit reports its cell outcomes plus wall-clock
+        // accounting (wall time spent in the worker, attempts consumed).
+        let worker = |job: Job| -> (Vec<CellOutcome>, u64, u32) {
+            let started = std::time::Instant::now();
+            let wall =
+                |attempts: u32, outcomes: Vec<CellOutcome>| -> (Vec<CellOutcome>, u64, u32) {
+                    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (outcomes, wall_ns, attempts)
+                };
             // A solo cell whose shared baseline already failed has nothing
             // to normalize against; it fails without another attempt.
             if let Job::Solo { index, baseline: Err((error, attempts)), .. } = &job {
-                return vec![(
-                    *index,
-                    Err(CellFailure { index: *index, attempts: *attempts, error: error.clone() }),
-                )];
+                let failure =
+                    CellFailure { index: *index, attempts: *attempts, error: error.clone() };
+                return wall(*attempts, vec![(*index, Err(failure))]);
             }
             let indices: Vec<usize> = match &job {
                 Job::Solo { index, .. } => vec![*index],
@@ -645,8 +674,19 @@ impl Experiment {
                     Job::Solo { index, config, baseline } => {
                         let (baseline_ipc, reuse) = baseline.expect("failed baselines early-out");
                         let scenario = &scenarios[index];
-                        let defended =
-                            reuse.unwrap_or_else(|| run_workload(&config, &scenario.workload));
+                        let defended = match (reuse, attribution) {
+                            (Some(baseline), _) => baseline,
+                            (None, None) => run_workload(&config, &scenario.workload),
+                            (None, Some(total)) => {
+                                let (result, report) = crate::runner::run_workload_attributed(
+                                    &config,
+                                    &scenario.workload,
+                                );
+                                let mut merged = total.lock().expect("attribution lock");
+                                *merged = merged.merged(&report);
+                                result
+                            }
+                        };
                         let result = normalize_against(defended, baseline_ipc, config.t_rh);
                         vec![(index, ScenarioResult { scenario: scenario.clone(), result })]
                     }
@@ -656,17 +696,24 @@ impl Experiment {
                 }
             };
             match isolate {
-                None => execute(job).into_iter().map(|(i, r)| (i, Ok(r))).collect(),
+                None => wall(1, execute(job).into_iter().map(|(i, r)| (i, Ok(r))).collect()),
                 Some(policy) => {
                     let fault = opts.fault.as_ref().map(|f| (f, indices.as_slice()));
                     match crate::runner::run_isolated(policy, fault, || execute(job.clone())) {
-                        Ok(results) => results.into_iter().map(|(i, r)| (i, Ok(r))).collect(),
-                        Err((error, attempts)) => indices
-                            .iter()
-                            .map(|&i| {
-                                (i, Err(CellFailure { index: i, attempts, error: error.clone() }))
-                            })
-                            .collect(),
+                        Ok((results, attempts)) => {
+                            wall(attempts, results.into_iter().map(|(i, r)| (i, Ok(r))).collect())
+                        }
+                        Err((error, attempts)) => wall(
+                            attempts,
+                            indices
+                                .iter()
+                                .map(|&i| {
+                                    let failure =
+                                        CellFailure { index: i, attempts, error: error.clone() };
+                                    (i, Err(failure))
+                                })
+                                .collect(),
+                        ),
                     }
                 }
             }
@@ -686,7 +733,7 @@ impl Experiment {
                     handle(ExecEvent::Started(&scenarios[i]));
                 }
             }
-            JobEvent::Finished(_, outputs) => {
+            JobEvent::Finished(job, (outputs, wall_ns, attempts)) => {
                 for (index, outcome) in outputs {
                     let pos = pos_of[&index];
                     debug_assert!(slots[pos].is_none(), "cell {index} produced twice");
@@ -700,6 +747,11 @@ impl Experiment {
                     }
                     next_cell += 1;
                 }
+                handle(ExecEvent::UnitDone(UnitStats {
+                    cells: job_cells[job].clone(),
+                    wall_ns,
+                    attempts,
+                }));
             }
         });
         assert!(next_cell == ran, "grid execution left cells unfinished");
@@ -725,6 +777,14 @@ pub(crate) struct ExecOptions {
     /// Deterministic fault injection for crash/retry tests (only honoured
     /// when `isolate` is set).
     pub(crate) fault: Option<crate::runner::FaultInjection>,
+    /// When set, every defended solo cell runs with the per-subsystem
+    /// stopwatches armed ([`crate::System::run_attributed`]) and merges its
+    /// breakdown into this shared report. Results stay bit-identical; only
+    /// wall time is perturbed, so arm it for breakdown runs, not headline
+    /// throughput. Shared-prefix groups are not attributed — callers
+    /// wanting full coverage disable sharing first.
+    pub(crate) attribution:
+        Option<std::sync::Arc<std::sync::Mutex<crate::attribution::AttributionReport>>>,
 }
 
 /// One event of [`Experiment::run_streaming_opts`]'s deterministic stream.
@@ -741,6 +801,57 @@ pub(crate) enum ExecEvent<'a> {
     /// submission order, so downstream consumers observe a gap-free
     /// ascending stream of outcomes.
     Failed(CellFailure),
+    /// An execution unit (solo cell or shared-prefix group) finished,
+    /// successfully or not; delivered once per unit, in unit submission
+    /// order, after the unit's cell outcomes have been buffered.
+    UnitDone(UnitStats),
+}
+
+/// Wall-clock accounting for one executed unit: which cells it covered,
+/// how long the worker spent on it (including retry backoff), and how
+/// many isolated attempts it consumed. Recorded into the campaign
+/// manifest so long-running campaigns can be profiled and re-sharded
+/// from their own timing data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Sorted grid cell indices the unit covered.
+    pub cells: Vec<usize>,
+    /// Wall time the worker spent executing the unit.
+    pub wall_ns: u64,
+    /// Attempts consumed (1 without isolation or on first-try success).
+    pub attempts: u32,
+}
+
+impl ToJson for UnitStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("cells", Json::Array(self.cells.iter().map(|&c| c.into()).collect())),
+            ("wall_ns", self.wall_ns.into()),
+            ("attempts", u64::from(self.attempts).into()),
+        ])
+    }
+}
+
+impl UnitStats {
+    /// Decode the [`ToJson`] form.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let cells = json
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or("timing.cells must be an array")?
+            .iter()
+            .map(|c| c.as_u64().map(|v| v as usize).ok_or("timing.cells must hold integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let wall_ns = json
+            .get("wall_ns")
+            .and_then(Json::as_u64)
+            .ok_or("timing.wall_ns must be an integer")?;
+        let attempts = json
+            .get("attempts")
+            .and_then(Json::as_u64)
+            .ok_or("timing.attempts must be an integer")? as u32;
+        Ok(Self { cells, wall_ns, attempts })
+    }
 }
 
 impl ToJson for Scenario {

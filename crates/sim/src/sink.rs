@@ -322,6 +322,7 @@ mod tests {
                     pinned_hits: 0,
                     max_row_activations_in_window: 3,
                     security: None,
+                    telemetry: None,
                 },
             },
         }

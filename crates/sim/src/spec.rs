@@ -40,6 +40,7 @@ use srs_workloads::{all_workloads, hot_row_workloads, workloads_in, NamedWorkloa
 use crate::config::SystemConfig;
 use crate::json::{obj, Json, JsonError, ToJson};
 use crate::scenario::Experiment;
+use crate::telemetry::TelemetryConfig;
 
 /// A named base-configuration recipe (the registry behind the old
 /// `ConfigFn` escape hatch).
@@ -295,6 +296,10 @@ pub struct ExperimentSpec {
     /// --no-share` (or `"share_prefixes": false`) forces the from-scratch
     /// plan.
     pub share_prefixes: bool,
+    /// Telemetry configuration applied to every cell, or `None` to leave
+    /// the recorder disarmed. Arming it never changes results — the results
+    /// JSONL stream is byte-identical either way (see [`crate::telemetry`]).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ExperimentSpec {
@@ -314,6 +319,7 @@ impl Default for ExperimentSpec {
             workloads: vec!["all".to_string()],
             threads: None,
             share_prefixes: true,
+            telemetry: None,
         }
     }
 }
@@ -358,6 +364,12 @@ impl ExperimentSpec {
                 "threads" => spec.threads = Some(usize_field("threads", value)?),
                 "share_prefixes" => {
                     spec.share_prefixes = bool_field("share_prefixes", value)?;
+                }
+                "telemetry" => {
+                    spec.telemetry =
+                        Some(TelemetryConfig::from_json(value).map_err(|message| {
+                            SpecError::Field { field: "telemetry".to_string(), message }
+                        })?);
                 }
                 _ => {
                     return Err(SpecError::UnknownName {
@@ -412,6 +424,9 @@ impl ExperimentSpec {
             .with_preset(self.preset)
             .with_patch(self.patch.clone())
             .with_share_prefixes(self.share_prefixes);
+        if let Some(telemetry) = &self.telemetry {
+            experiment = experiment.with_telemetry(telemetry.clone());
+        }
         if let Some(threads) = self.threads {
             experiment = experiment.with_threads(threads);
         }
@@ -433,6 +448,7 @@ const SPEC_KEYS: &[&str] = &[
     "workloads",
     "threads",
     "share_prefixes",
+    "telemetry",
 ];
 
 impl ToJson for ExperimentSpec {
@@ -453,6 +469,11 @@ impl ToJson for ExperimentSpec {
             pairs.push(("threads", threads.into()));
         }
         pairs.push(("share_prefixes", self.share_prefixes.into()));
+        // Emitted only when set, so specs written before telemetry existed
+        // keep their byte-exact round trip.
+        if let Some(telemetry) = &self.telemetry {
+            pairs.push(("telemetry", telemetry.to_json()));
+        }
         obj(pairs)
     }
 }
@@ -872,6 +893,7 @@ mod tests {
             workloads: vec!["suite:gups".to_string(), "gcc".to_string()],
             threads: Some(3),
             share_prefixes: false,
+            telemetry: Some(TelemetryConfig::armed()),
         };
         let text = spec.to_json_string();
         assert_eq!(ExperimentSpec::parse(&text).unwrap(), spec);

@@ -28,6 +28,7 @@ use crate::attribution::{AttributionReport, SubsystemTimers};
 use crate::config::SystemConfig;
 use crate::metrics::SimResult;
 use crate::security::{ReportContext, SecurityTracker};
+use crate::telemetry::{EventKind, Telemetry};
 
 /// A memory operation waiting for queue space in the controller.
 #[derive(Debug, Clone, Copy)]
@@ -227,6 +228,11 @@ pub struct System {
     /// Per-subsystem wall-time ledger; disarmed (and therefore never
     /// reading the clock) except under [`System::run_attributed`].
     timers: SubsystemTimers,
+    /// Simulated-time telemetry recorder; disarmed (one branch per hook)
+    /// unless the configuration arms it. Recording never mutates
+    /// simulation state, so armed results are bit-identical to disarmed
+    /// ones.
+    telemetry: Telemetry,
 }
 
 impl Clone for System {
@@ -253,6 +259,7 @@ impl Clone for System {
             freed_queue_slot: self.freed_queue_slot,
             probes: self.probes.clone(),
             timers: self.timers.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -281,6 +288,8 @@ struct TickObserver<'a> {
     /// Wall-time ledger (disarmed outside attribution runs); the batch path
     /// laps its two phases into the security and tracker buckets.
     timers: &'a mut SubsystemTimers,
+    /// Simulated-time telemetry recorder (disarmed unless configured).
+    telemetry: &'a mut Telemetry,
 }
 
 impl TickObserver<'_> {
@@ -341,14 +350,27 @@ impl TickObserver<'_> {
         let decision = self.tracker.record_activation(bank, logical_row);
         if decision.extra_memory_accesses > 0 {
             // Hydra's memory-resident counter table traffic.
+            let duration_ns =
+                decision.extra_memory_accesses * (self.timing.t_rc + self.timing.t_cas);
             self.counter_ops.push(MaintenanceOp::new(
                 event.bank,
-                decision.extra_memory_accesses * (self.timing.t_rc + self.timing.t_cas),
+                duration_ns,
                 Vec::new(),
                 MaintenanceKind::CounterAccess,
             ));
+            self.telemetry.record_op(
+                self.now,
+                EventKind::CounterAccess,
+                u32::try_from(bank).unwrap_or(u32::MAX),
+                duration_ns,
+            );
         }
         if decision.mitigate {
+            self.telemetry.record_mitigation(
+                self.now,
+                u32::try_from(bank).unwrap_or(u32::MAX),
+                logical_row,
+            );
             let stamp = self.timers.stamp();
             self.actions.extend(self.defense.on_mitigation_trigger(bank, logical_row, self.now));
             SubsystemTimers::lap(stamp, &mut self.timers.defense_trigger_ns);
@@ -400,6 +422,7 @@ impl AccessSink for TickObserver<'_> {
     fn on_access(&mut self, done: &CompletedAccess) {
         if let Some(token) = done.request.wait_token {
             *self.pending_reads -= 1;
+            self.telemetry.record_read_latency(done.latency_ns());
             complete_source_read(
                 self.cores,
                 self.attackers,
@@ -486,6 +509,17 @@ fn maintenance_kind(kind: RowOpKind) -> MaintenanceKind {
     }
 }
 
+/// The telemetry event kind a defense row operation traces as (bulk
+/// unswaps share the place-back track — they are place-backs in bulk).
+fn telemetry_kind(kind: RowOpKind) -> EventKind {
+    match kind {
+        RowOpKind::Swap => EventKind::Swap,
+        RowOpKind::UnswapSwap => EventKind::UnswapSwap,
+        RowOpKind::PlaceBack | RowOpKind::BulkUnswap => EventKind::PlaceBack,
+        RowOpKind::CounterAccess => EventKind::CounterAccess,
+    }
+}
+
 /// The fixed-step engine's tick, and the time grid both engines quantize
 /// state changes to (see `System::next_event_time`).
 const STEP_NS: u64 = 25;
@@ -545,6 +579,7 @@ impl System {
             freed_queue_slot: false,
             probes: Vec::new(),
             timers: SubsystemTimers::default(),
+            telemetry: Telemetry::new(&config.telemetry),
             config,
         }
     }
@@ -591,6 +626,12 @@ impl System {
         for action in actions {
             match action {
                 MitigationAction::RowOperation { bank, kind, duration_ns, activations } => {
+                    self.telemetry.record_op(
+                        self.now,
+                        telemetry_kind(kind),
+                        u32::try_from(bank).unwrap_or(u32::MAX),
+                        duration_ns,
+                    );
                     let op = MaintenanceOp::new(
                         BankId::new(bank),
                         duration_ns,
@@ -600,6 +641,11 @@ impl System {
                     let _ = self.controller.enqueue_maintenance(op);
                 }
                 MitigationAction::PinRow { bank, row } => {
+                    self.telemetry.record_row_pin(
+                        self.now,
+                        u32::try_from(bank).unwrap_or(u32::MAX),
+                        row,
+                    );
                     if self.pinned_rows.insert((bank, row)) {
                         self.rows_pinned += 1;
                     }
@@ -657,7 +703,14 @@ impl System {
                     self.pending_reads += 1;
                 }
             }
-            Err(_) => self.deferred.push_back(DeferredAccess { addr, bank, is_write, origin }),
+            Err(_) => {
+                self.deferred.push_back(DeferredAccess { addr, bank, is_write, origin });
+                self.telemetry.record_queue_stall(
+                    now,
+                    u32::try_from(bank.index()).unwrap_or(u32::MAX),
+                    self.deferred.len() as u64,
+                );
+            }
         }
     }
 
@@ -811,6 +864,7 @@ impl System {
             actions: Vec::new(),
             counter_ops: Vec::new(),
             timers: &mut self.timers,
+            telemetry: &mut self.telemetry,
         };
         self.controller.tick_into(now, &mut observer);
         let TickObserver { actions, counter_ops, .. } = observer;
@@ -922,6 +976,14 @@ impl System {
         if let Some(t) = self.defense.next_action_ns() {
             next = next.min(t);
         }
+        // An armed telemetry recorder adds its next sample deadline as a
+        // candidate so the time-skip engine visits every deadline the
+        // fixed-step oracle would. Ticks visited only for sampling are
+        // state no-ops (the fixed-step engine executes them anyway and
+        // stays bit-identical), so arming cannot perturb results.
+        if let Some(t) = self.telemetry.next_sample_ns() {
+            next = next.min(t);
+        }
         if self.deferred.len() <= 512 {
             // Past the backpressure limit the issue loop does not run, so
             // core readiness cannot produce an event; cores re-enter the
@@ -1009,6 +1071,7 @@ impl System {
         let demand_before = self.controller.stats().reads + self.controller.stats().writes;
         let (now, retry) = (self.now, self.freed_queue_slot);
         self.step_at(now, retry);
+        self.telemetry_tick();
         let scheduled = self.controller.stats().reads + self.controller.stats().writes;
         self.freed_queue_slot = scheduled != demand_before;
         self.now = if event_driven {
@@ -1016,6 +1079,33 @@ impl System {
         } else {
             self.now + STEP_NS
         };
+    }
+
+    /// Telemetry work after the tick at `self.now`: latch TRH crossings
+    /// and attack-phase transitions, and drain due sample deadlines. Pure
+    /// observation — reads simulation state, never writes it — and a
+    /// single-branch no-op when the recorder is disarmed.
+    fn telemetry_tick(&mut self) {
+        if !self.telemetry.armed() {
+            return;
+        }
+        let now = self.now;
+        if !self.telemetry.trh_latched()
+            && self.security.as_ref().is_some_and(SecurityTracker::crossed)
+        {
+            self.telemetry.latch_trh_crossing(now);
+        }
+        for index in 0..self.attackers.len() {
+            let in_guess = self.attackers[index].in_guess_phase();
+            self.telemetry.latch_attack_phase(now, index, in_guess);
+        }
+        while self.telemetry.sample_due(now) {
+            let queued = self.controller.total_queued() as u64;
+            let deferred = self.deferred.len() as u64;
+            let occupancy = self.tracker.occupancy();
+            let live = self.defense.live_swapped_rows();
+            self.telemetry.sample(now, queued, deferred, occupancy, live);
+        }
     }
 
     /// Advance the event-driven engine until the clock reaches `t` (or the
@@ -1087,6 +1177,7 @@ impl System {
     /// Fold the finished run into its [`SimResult`].
     pub(crate) fn into_result(mut self) -> SimResult {
         let elapsed = self.now.max(1);
+        let telemetry = self.telemetry.take_report();
         // Fold the still-open window's shard maxima: the per-activation path
         // only increments, so the running maximum is settled here and at
         // each rollover, never per event.
@@ -1144,6 +1235,7 @@ impl System {
             pinned_hits: self.pinned_hits,
             max_row_activations_in_window: self.max_row_activations,
             security,
+            telemetry,
         }
     }
 }
@@ -1228,5 +1320,29 @@ mod tests {
         let trace = hammer_trace("hammer", 0x8000, 1_500, 1 << 26, 3).into_trace();
         let result = System::new(config, trace).run();
         assert!(result.max_row_activations_in_window > 100);
+    }
+
+    #[test]
+    fn armed_telemetry_does_not_perturb_results() {
+        use crate::json::ToJson;
+        use crate::telemetry::TelemetryConfig;
+        let trace = hammer_trace("hammer", 0x10000, 2_000, 1 << 26, 5).into_trace();
+        let disarmed_cfg = tiny_config(DefenseKind::Rrs { immediate_unswap: true }, 1200);
+        let mut armed_cfg = disarmed_cfg.clone();
+        armed_cfg.telemetry = TelemetryConfig::armed();
+        let disarmed = System::new(disarmed_cfg, trace.clone()).run();
+        let armed = System::new(armed_cfg.clone(), trace.clone()).run();
+        assert!(disarmed.telemetry.is_none());
+        // The 13 result keys are bit-identical whether or not the recorder
+        // runs; the armed run carries the report alongside them.
+        assert_eq!(disarmed.to_json().to_compact(), armed.to_json().to_compact());
+        let report = armed.telemetry.expect("armed run must produce a report");
+        assert!(!report.events.is_empty(), "hammering run must trace defense ops");
+        assert!(report.counter("maintenance_ops").unwrap_or(0) > 0);
+        assert!(report.series("bank_queue_depth").is_some_and(|s| !s.samples.is_empty()));
+        // The fixed-step oracle agrees with the time-skip engine while armed.
+        let fixed = System::new(armed_cfg, trace).run_fixed_step();
+        let fixed_report = fixed.telemetry.expect("armed fixed-step run must produce a report");
+        assert_eq!(report.to_json().to_compact(), fixed_report.to_json().to_compact());
     }
 }

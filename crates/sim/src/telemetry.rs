@@ -1,0 +1,1172 @@
+//! Deterministic simulated-time telemetry: event tracing, a
+//! counter/gauge/histogram registry, and Perfetto trace export.
+//!
+//! Everything in this module is keyed on **simulated nanoseconds**, never
+//! the wall clock, so an armed run's telemetry is bit-deterministic: two
+//! runs of one configuration produce identical traces, and the time-skip
+//! engine produces the identical trace to the fixed-step oracle (armed
+//! sampling deadlines join the event-time candidate set, so both engines
+//! visit every sample tick; see `System::next_event_time`).
+//!
+//! Telemetry is also provably **non-perturbing**: the recorder only ever
+//! observes — no hook mutates simulation state, and the report rides on
+//! [`crate::metrics::SimResult`] *outside* its JSON encoding, so a results
+//! JSONL stream is byte-identical with telemetry armed or disarmed (CI
+//! enforces this on the quickstart grid). Disarmed, every hook is a single
+//! predictable branch on [`Telemetry::armed`] — the same zero-cost pattern
+//! as [`crate::attribution::SubsystemTimers`], but on simulated time.
+//!
+//! Events and samples land in preallocated ring buffers that overwrite the
+//! oldest entry once full and count what they dropped, so an armed cell has
+//! a hard memory bound no matter how hot it runs.
+
+use std::io::Write;
+
+use crate::json::{obj, Json, ToJson};
+use crate::scenario::ScenarioResult;
+use crate::sink::ResultSink;
+
+/// Configuration of the telemetry subsystem for one simulated cell
+/// (the `"telemetry"` block of a spec file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Whether the recorder is armed. Disarmed (the default) costs one
+    /// branch per hook and allocates nothing.
+    pub enabled: bool,
+    /// Simulated-ns cadence of the gauge sampler (queue depths, tracker and
+    /// RIT occupancy). Quantized to the engines' 25 ns tick grid at use.
+    pub sample_interval_ns: u64,
+    /// Capacity of the event ring buffer; the oldest events are overwritten
+    /// (and counted as dropped) once it fills.
+    pub event_capacity: usize,
+    /// Capacity of each gauge's sample ring buffer.
+    pub sample_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            sample_interval_ns: 100_000,
+            event_capacity: 4096,
+            sample_capacity: 2048,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The default configuration with the recorder armed.
+    #[must_use]
+    pub fn armed() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Decode a `"telemetry"` configuration block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field if a present field has
+    /// the wrong type; absent fields keep their defaults.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let mut config = Self::default();
+        let Some(fields) = json.as_object() else {
+            return Err("telemetry config must be an object".to_string());
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "enabled" => {
+                    config.enabled =
+                        value.as_bool().ok_or("telemetry.enabled must be a boolean")?;
+                }
+                "sample_interval_ns" => {
+                    config.sample_interval_ns = value
+                        .as_u64()
+                        .filter(|&v| v > 0)
+                        .ok_or("telemetry.sample_interval_ns must be a positive integer")?;
+                }
+                "event_capacity" => {
+                    config.event_capacity = usize::try_from(
+                        value.as_u64().ok_or("telemetry.event_capacity must be an integer")?,
+                    )
+                    .map_err(|_| "telemetry.event_capacity out of range")?;
+                }
+                "sample_capacity" => {
+                    config.sample_capacity = usize::try_from(
+                        value.as_u64().ok_or("telemetry.sample_capacity must be an integer")?,
+                    )
+                    .map_err(|_| "telemetry.sample_capacity out of range")?;
+                }
+                other => return Err(format!("unknown telemetry field '{other}'")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+impl ToJson for TelemetryConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("enabled", self.enabled.into()),
+            ("sample_interval_ns", self.sample_interval_ns.into()),
+            ("event_capacity", self.event_capacity.into()),
+            ("sample_capacity", self.sample_capacity.into()),
+        ])
+    }
+}
+
+/// The typed event vocabulary of the trace recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A row-swap maintenance operation was enqueued (value = duration ns).
+    Swap,
+    /// An unswap-swap operation was enqueued (value = duration ns).
+    UnswapSwap,
+    /// A place-back / bulk-unswap operation was enqueued (value = duration
+    /// ns).
+    PlaceBack,
+    /// Tracker counter-table DRAM traffic was enqueued (value = duration
+    /// ns).
+    CounterAccess,
+    /// Scale-SRS pinned a row into the LLC (value = logical row).
+    RowPin,
+    /// The aggressor tracker crossed the swap threshold and triggered the
+    /// defense (value = logical row).
+    MitigationTrigger,
+    /// The security tracker observed the first Row Hammer threshold
+    /// crossing of the run (latched once).
+    TrhCrossing,
+    /// An attacker core changed program phase (bank = attacker index,
+    /// value = 1 entering the random-guess phase).
+    AttackPhase,
+    /// A demand access found its bank queue full and was deferred
+    /// (value = deferred-queue depth after the push).
+    QueueStall,
+}
+
+impl EventKind {
+    /// The stable wire label of this kind.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Swap => "swap",
+            EventKind::UnswapSwap => "unswap-swap",
+            EventKind::PlaceBack => "place-back",
+            EventKind::CounterAccess => "counter-access",
+            EventKind::RowPin => "row-pin",
+            EventKind::MitigationTrigger => "mitigation-trigger",
+            EventKind::TrhCrossing => "trh-crossing",
+            EventKind::AttackPhase => "attack-phase",
+            EventKind::QueueStall => "queue-stall",
+        }
+    }
+
+    /// Decode a wire label back into its kind.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "swap" => EventKind::Swap,
+            "unswap-swap" => EventKind::UnswapSwap,
+            "place-back" => EventKind::PlaceBack,
+            "counter-access" => EventKind::CounterAccess,
+            "row-pin" => EventKind::RowPin,
+            "mitigation-trigger" => EventKind::MitigationTrigger,
+            "trh-crossing" => EventKind::TrhCrossing,
+            "attack-phase" => EventKind::AttackPhase,
+            "queue-stall" => EventKind::QueueStall,
+            _ => return None,
+        })
+    }
+
+    /// Whether the event's value is a duration (rendered as a Perfetto
+    /// complete slice) rather than an instant payload.
+    #[must_use]
+    fn is_span(self) -> bool {
+        matches!(
+            self,
+            EventKind::Swap
+                | EventKind::UnswapSwap
+                | EventKind::PlaceBack
+                | EventKind::CounterAccess
+        )
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The bank the event concerns (attacker index for
+    /// [`EventKind::AttackPhase`], 0 where not meaningful).
+    pub bank: u32,
+    /// Kind-specific payload (duration, row, or depth — see each kind).
+    pub value: u64,
+}
+
+/// A preallocated ring buffer of trace events that overwrites the oldest
+/// entry once full and counts every overwritten event as dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct EventRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        Self { events: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events in chronological order (oldest first).
+    fn in_order(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+/// A base-2 exponential histogram: bucket 0 counts zero values and bucket
+/// `i >= 1` counts values in `[2^(i-1), 2^i)`, so the full `u64` range maps
+/// into 65 buckets with no configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Bucket count: one zero bucket plus one per `u64` bit.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buckets: [0; Self::BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// The bucket index a value lands in.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The count in one bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= Self::BUCKETS`.
+    #[must_use]
+    pub fn bucket(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+
+    /// The occupied `(bucket, count)` pairs, in bucket order.
+    #[must_use]
+    pub fn occupied(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| (i, count))
+            .collect()
+    }
+}
+
+impl ToJson for Log2Histogram {
+    /// Sparse encoding: only occupied buckets are written.
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .occupied()
+            .into_iter()
+            .map(|(i, count)| Json::Array(vec![i.into(), count.into()]))
+            .collect();
+        obj(vec![
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+impl Log2Histogram {
+    /// Decode the sparse [`ToJson`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a field is missing, mistyped, or a bucket index
+    /// is out of range.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let mut histogram = Self::new();
+        histogram.count =
+            json.get("count").and_then(Json::as_u64).ok_or("histogram.count must be an integer")?;
+        histogram.sum =
+            json.get("sum").and_then(Json::as_u64).ok_or("histogram.sum must be an integer")?;
+        let buckets = json
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or("histogram.buckets must be an array")?;
+        for entry in buckets {
+            let pair = entry.as_array().filter(|p| p.len() == 2).ok_or("bucket must be a pair")?;
+            let index = pair[0]
+                .as_u64()
+                .and_then(|i| usize::try_from(i).ok())
+                .filter(|&i| i < Self::BUCKETS)
+                .ok_or("bucket index out of range")?;
+            histogram.buckets[index] = pair[1].as_u64().ok_or("bucket count must be an integer")?;
+        }
+        Ok(histogram)
+    }
+}
+
+/// One gauge's ring of `(at_ns, value)` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct SampleRing {
+    samples: Vec<(u64, u64)>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl SampleRing {
+    fn new(capacity: usize) -> Self {
+        Self { samples: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, at_ns: u64, value: u64) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.samples.len() < self.capacity {
+            self.samples.push((at_ns, value));
+        } else {
+            self.samples[self.head] = (at_ns, value);
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn in_order(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        out.extend_from_slice(&self.samples[self.head..]);
+        out.extend_from_slice(&self.samples[..self.head]);
+        out
+    }
+}
+
+/// The registry of counters, sampled gauges and log2-bucket histograms one
+/// armed simulation maintains. Entries are registered once at arm time, so
+/// the hot-path update is an indexed store, and the report's metric order
+/// is fixed and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Log2Histogram)>,
+    series: Vec<(&'static str, SampleRing)>,
+}
+
+impl MetricsRegistry {
+    /// Register a counter, returning its index.
+    pub fn counter(&mut self, name: &'static str) -> usize {
+        self.counters.push((name, 0));
+        self.counters.len() - 1
+    }
+
+    /// Register a histogram, returning its index.
+    pub fn histogram(&mut self, name: &'static str) -> usize {
+        self.histograms.push((name, Log2Histogram::new()));
+        self.histograms.len() - 1
+    }
+
+    /// Register a sampled gauge with the given ring capacity, returning its
+    /// index.
+    pub fn series(&mut self, name: &'static str, capacity: usize) -> usize {
+        self.series.push((name, SampleRing::new(capacity)));
+        self.series.len() - 1
+    }
+
+    /// Add to a registered counter.
+    #[inline]
+    pub fn add(&mut self, counter: usize, delta: u64) {
+        self.counters[counter].1 += delta;
+    }
+
+    /// Record into a registered histogram.
+    #[inline]
+    pub fn record(&mut self, histogram: usize, value: u64) {
+        self.histograms[histogram].1.record(value);
+    }
+
+    /// Push one sample of a registered gauge.
+    #[inline]
+    pub fn sample(&mut self, series: usize, at_ns: u64, value: u64) {
+        self.series[series].1.push(at_ns, value);
+    }
+}
+
+/// The identifiers of the fixed metric set an armed [`Telemetry`] registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MetricIds {
+    mitigations: usize,
+    maintenance_ops: usize,
+    queue_stalls: usize,
+    reads_completed: usize,
+    memory_latency: usize,
+    swap_stall: usize,
+    bank_queue_depth: usize,
+    deferred_depth: usize,
+    tracker_occupancy: usize,
+    rit_live_rows: usize,
+}
+
+/// The live, in-simulation telemetry recorder.
+///
+/// Disarmed ([`Telemetry::disarmed`], the default for every configuration
+/// with `telemetry.enabled == false`) it holds no buffers and every hook
+/// returns after one branch. Armed, it records typed events into a ring,
+/// maintains the fixed metric registry, and exposes the next sample
+/// deadline for the event engine's candidate set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    enabled: bool,
+    sample_interval_ns: u64,
+    next_sample_ns: u64,
+    events: EventRing,
+    registry: MetricsRegistry,
+    ids: Option<MetricIds>,
+    trh_latched: bool,
+    /// Per-attacker guess-phase latch for transition detection.
+    attacker_in_guess: Vec<bool>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disarmed()
+    }
+}
+
+impl Telemetry {
+    /// A disarmed recorder: no buffers, every hook one branch.
+    #[must_use]
+    pub fn disarmed() -> Self {
+        Self {
+            enabled: false,
+            sample_interval_ns: u64::MAX,
+            next_sample_ns: u64::MAX,
+            events: EventRing::default(),
+            registry: MetricsRegistry::default(),
+            ids: None,
+            trh_latched: false,
+            attacker_in_guess: Vec::new(),
+        }
+    }
+
+    /// Build a recorder for `config` (disarmed unless `config.enabled`).
+    #[must_use]
+    pub fn new(config: &TelemetryConfig) -> Self {
+        if !config.enabled {
+            return Self::disarmed();
+        }
+        let interval = config.sample_interval_ns.max(1);
+        let mut registry = MetricsRegistry::default();
+        let ids = MetricIds {
+            mitigations: registry.counter("mitigation_triggers"),
+            maintenance_ops: registry.counter("maintenance_ops"),
+            queue_stalls: registry.counter("queue_stalls"),
+            reads_completed: registry.counter("reads_completed"),
+            memory_latency: registry.histogram("memory_latency_ns"),
+            swap_stall: registry.histogram("swap_stall_ns"),
+            bank_queue_depth: registry.series("bank_queue_depth", config.sample_capacity),
+            deferred_depth: registry.series("deferred_depth", config.sample_capacity),
+            tracker_occupancy: registry.series("tracker_occupancy", config.sample_capacity),
+            rit_live_rows: registry.series("rit_live_rows", config.sample_capacity),
+        };
+        Self {
+            enabled: true,
+            sample_interval_ns: interval,
+            next_sample_ns: interval,
+            events: EventRing::new(config.event_capacity),
+            registry,
+            ids: Some(ids),
+            trh_latched: false,
+            attacker_in_guess: Vec::new(),
+        }
+    }
+
+    /// Whether the recorder is armed.
+    #[inline]
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.enabled
+    }
+
+    /// The next simulated-ns sample deadline, for the event engine's
+    /// candidate set (`None` when disarmed).
+    #[inline]
+    #[must_use]
+    pub fn next_sample_ns(&self) -> Option<u64> {
+        self.enabled.then_some(self.next_sample_ns)
+    }
+
+    /// Whether a sample is due at `now`.
+    #[inline]
+    #[must_use]
+    pub(crate) fn sample_due(&self, now: u64) -> bool {
+        self.enabled && self.next_sample_ns <= now
+    }
+
+    /// Whether the TRH-crossing event has been recorded.
+    #[inline]
+    #[must_use]
+    pub(crate) fn trh_latched(&self) -> bool {
+        self.trh_latched
+    }
+
+    /// Record a maintenance row operation (swap family or counter access).
+    pub(crate) fn record_op(&mut self, at_ns: u64, kind: EventKind, bank: u32, duration_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ids = self.ids.expect("armed telemetry has ids");
+        self.registry.add(ids.maintenance_ops, 1);
+        if matches!(kind, EventKind::Swap | EventKind::UnswapSwap) {
+            self.registry.record(ids.swap_stall, duration_ns);
+        }
+        self.events.push(TraceEvent { at_ns, kind, bank, value: duration_ns });
+    }
+
+    /// Record a mitigation trigger on `bank` for `row`.
+    pub(crate) fn record_mitigation(&mut self, at_ns: u64, bank: u32, row: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ids = self.ids.expect("armed telemetry has ids");
+        self.registry.add(ids.mitigations, 1);
+        self.events.push(TraceEvent {
+            at_ns,
+            kind: EventKind::MitigationTrigger,
+            bank,
+            value: row,
+        });
+    }
+
+    /// Record a Scale-SRS row pin.
+    pub(crate) fn record_row_pin(&mut self, at_ns: u64, bank: u32, row: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent { at_ns, kind: EventKind::RowPin, bank, value: row });
+    }
+
+    /// Record a bank-queue stall (a deferred demand access).
+    pub(crate) fn record_queue_stall(&mut self, at_ns: u64, bank: u32, depth: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ids = self.ids.expect("armed telemetry has ids");
+        self.registry.add(ids.queue_stalls, 1);
+        self.events.push(TraceEvent { at_ns, kind: EventKind::QueueStall, bank, value: depth });
+    }
+
+    /// Record one completed demand read's end-to-end latency.
+    #[inline]
+    pub(crate) fn record_read_latency(&mut self, latency_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ids = self.ids.expect("armed telemetry has ids");
+        self.registry.add(ids.reads_completed, 1);
+        self.registry.record(ids.memory_latency, latency_ns);
+    }
+
+    /// Latch the run's first TRH crossing (subsequent calls are no-ops).
+    pub(crate) fn latch_trh_crossing(&mut self, at_ns: u64) {
+        if !self.enabled || self.trh_latched {
+            return;
+        }
+        self.trh_latched = true;
+        self.events.push(TraceEvent { at_ns, kind: EventKind::TrhCrossing, bank: 0, value: 1 });
+    }
+
+    /// Record attacker `index`'s phase, emitting an event on each change.
+    pub(crate) fn latch_attack_phase(&mut self, at_ns: u64, index: usize, in_guess: bool) {
+        if !self.enabled {
+            return;
+        }
+        if self.attacker_in_guess.len() <= index {
+            self.attacker_in_guess.resize(index + 1, false);
+        }
+        if self.attacker_in_guess[index] != in_guess {
+            self.attacker_in_guess[index] = in_guess;
+            self.events.push(TraceEvent {
+                at_ns,
+                kind: EventKind::AttackPhase,
+                bank: u32::try_from(index).unwrap_or(u32::MAX),
+                value: u64::from(in_guess),
+            });
+        }
+    }
+
+    /// Push one sample of every gauge and advance the sample deadline.
+    pub(crate) fn sample(
+        &mut self,
+        at_ns: u64,
+        bank_queue_depth: u64,
+        deferred_depth: u64,
+        tracker_occupancy: u64,
+        rit_live_rows: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let ids = self.ids.expect("armed telemetry has ids");
+        self.registry.sample(ids.bank_queue_depth, at_ns, bank_queue_depth);
+        self.registry.sample(ids.deferred_depth, at_ns, deferred_depth);
+        self.registry.sample(ids.tracker_occupancy, at_ns, tracker_occupancy);
+        self.registry.sample(ids.rit_live_rows, at_ns, rit_live_rows);
+        self.next_sample_ns += self.sample_interval_ns;
+    }
+
+    /// Freeze the recorder into its report (`None` when disarmed).
+    #[must_use]
+    pub(crate) fn take_report(&mut self) -> Option<TelemetryReport> {
+        if !self.enabled {
+            return None;
+        }
+        let registry = std::mem::take(&mut self.registry);
+        Some(TelemetryReport {
+            sample_interval_ns: self.sample_interval_ns,
+            events: self.events.in_order(),
+            events_dropped: self.events.dropped,
+            counters: registry.counters.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+            histograms: registry
+                .histograms
+                .iter()
+                .map(|(n, h)| ((*n).to_string(), h.clone()))
+                .collect(),
+            series: registry
+                .series
+                .iter()
+                .map(|(n, s)| {
+                    ((*n).to_string(), SampleSeries { samples: s.in_order(), dropped: s.dropped })
+                })
+                .collect(),
+        })
+    }
+}
+
+/// One gauge's frozen sample sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SampleSeries {
+    /// `(at_ns, value)` samples in chronological order.
+    pub samples: Vec<(u64, u64)>,
+    /// Samples overwritten because the ring was full.
+    pub dropped: u64,
+}
+
+/// The frozen telemetry of one finished cell, carried on
+/// [`crate::metrics::SimResult`] (and deliberately *excluded* from its JSON
+/// encoding, so results streams stay byte-identical armed vs disarmed).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// The sampling cadence the run used.
+    pub sample_interval_ns: u64,
+    /// The retained trace events, in chronological order.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten because the event ring was full.
+    pub events_dropped: u64,
+    /// Named monotonic counters, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Named log2-bucket histograms, in registration order.
+    pub histograms: Vec<(String, Log2Histogram)>,
+    /// Named sampled gauges, in registration order.
+    pub series: Vec<(String, SampleSeries)>,
+}
+
+impl ToJson for TelemetryReport {
+    fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::Array(vec![
+                    e.at_ns.into(),
+                    e.kind.label().into(),
+                    u64::from(e.bank).into(),
+                    e.value.into(),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| Json::Array(vec![Json::from(name.clone()), (*value).into()]))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| Json::Array(vec![Json::from(name.clone()), h.to_json()]))
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|(name, s)| {
+                let samples =
+                    s.samples.iter().map(|&(t, v)| Json::Array(vec![t.into(), v.into()])).collect();
+                Json::Array(vec![
+                    Json::from(name.clone()),
+                    obj(vec![("dropped", s.dropped.into()), ("samples", Json::Array(samples))]),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("sample_interval_ns", self.sample_interval_ns.into()),
+            ("events_dropped", self.events_dropped.into()),
+            ("events", Json::Array(events)),
+            ("counters", Json::Array(counters)),
+            ("histograms", Json::Array(histograms)),
+            ("series", Json::Array(series)),
+        ])
+    }
+}
+
+impl TelemetryReport {
+    /// Decode the [`ToJson`] encoding (the exact inverse: a report survives
+    /// encode → parse → decode bit for bit; property-tested in
+    /// `tests/telemetry_roundtrip.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let mut report = Self {
+            sample_interval_ns: json
+                .get("sample_interval_ns")
+                .and_then(Json::as_u64)
+                .ok_or("telemetry.sample_interval_ns must be an integer")?,
+            events_dropped: json
+                .get("events_dropped")
+                .and_then(Json::as_u64)
+                .ok_or("telemetry.events_dropped must be an integer")?,
+            ..Self::default()
+        };
+        let events = json
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("telemetry.events must be an array")?;
+        for event in events {
+            let fields =
+                event.as_array().filter(|f| f.len() == 4).ok_or("event must be a 4-tuple")?;
+            report.events.push(TraceEvent {
+                at_ns: fields[0].as_u64().ok_or("event time must be an integer")?,
+                kind: fields[1]
+                    .as_str()
+                    .and_then(EventKind::from_label)
+                    .ok_or("unknown event kind")?,
+                bank: fields[2]
+                    .as_u64()
+                    .and_then(|b| u32::try_from(b).ok())
+                    .ok_or("event bank out of range")?,
+                value: fields[3].as_u64().ok_or("event value must be an integer")?,
+            });
+        }
+        for (key, entries) in [("counters", &mut report.counters)] {
+            let array = json
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or("telemetry.counters must be an array")?;
+            for entry in array {
+                let pair =
+                    entry.as_array().filter(|p| p.len() == 2).ok_or("counter must be a pair")?;
+                entries.push((
+                    pair[0].as_str().ok_or("counter name must be a string")?.to_string(),
+                    pair[1].as_u64().ok_or("counter value must be an integer")?,
+                ));
+            }
+        }
+        let histograms = json
+            .get("histograms")
+            .and_then(Json::as_array)
+            .ok_or("telemetry.histograms must be an array")?;
+        for entry in histograms {
+            let pair =
+                entry.as_array().filter(|p| p.len() == 2).ok_or("histogram must be a pair")?;
+            report.histograms.push((
+                pair[0].as_str().ok_or("histogram name must be a string")?.to_string(),
+                Log2Histogram::from_json(&pair[1])?,
+            ));
+        }
+        let series = json
+            .get("series")
+            .and_then(Json::as_array)
+            .ok_or("telemetry.series must be an array")?;
+        for entry in series {
+            let pair = entry.as_array().filter(|p| p.len() == 2).ok_or("series must be a pair")?;
+            let name = pair[0].as_str().ok_or("series name must be a string")?.to_string();
+            let dropped = pair[1]
+                .get("dropped")
+                .and_then(Json::as_u64)
+                .ok_or("series.dropped must be an integer")?;
+            let samples = pair[1]
+                .get("samples")
+                .and_then(Json::as_array)
+                .ok_or("series.samples must be an array")?;
+            let mut decoded = Vec::with_capacity(samples.len());
+            for sample in samples {
+                let point =
+                    sample.as_array().filter(|p| p.len() == 2).ok_or("sample must be a pair")?;
+                decoded.push((
+                    point[0].as_u64().ok_or("sample time must be an integer")?,
+                    point[1].as_u64().ok_or("sample value must be an integer")?,
+                ));
+            }
+            report.series.push((name, SampleSeries { samples: decoded, dropped }));
+        }
+        Ok(report)
+    }
+
+    /// Render this report as a Chrome/Perfetto trace-event JSON document
+    /// (`{"displayTimeUnit": "ns", "traceEvents": [...]}`): maintenance
+    /// operations become complete slices (`ph: "X"`, one track per bank),
+    /// point events become instants (`ph: "i"`), and every sampled gauge
+    /// becomes a counter track (`ph: "C"`). Timestamps are microseconds, as
+    /// the trace-event format requires; `label` names the process track.
+    ///
+    /// Load the result at <https://ui.perfetto.dev> or `chrome://tracing`.
+    #[must_use]
+    pub fn to_perfetto(&self, label: &str) -> Json {
+        let us = |ns: u64| Json::Float(ns as f64 / 1_000.0);
+        let mut trace_events = vec![obj(vec![
+            ("name", "process_name".into()),
+            ("ph", "M".into()),
+            ("pid", 0u64.into()),
+            ("tid", 0u64.into()),
+            ("args", obj(vec![("name", label.into())])),
+        ])];
+        for event in &self.events {
+            let tid = u64::from(event.bank);
+            if event.kind.is_span() {
+                trace_events.push(obj(vec![
+                    ("name", event.kind.label().into()),
+                    ("cat", "maintenance".into()),
+                    ("ph", "X".into()),
+                    ("ts", us(event.at_ns)),
+                    ("dur", us(event.value)),
+                    ("pid", 0u64.into()),
+                    ("tid", tid.into()),
+                ]));
+            } else {
+                trace_events.push(obj(vec![
+                    ("name", event.kind.label().into()),
+                    ("cat", "event".into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("ts", us(event.at_ns)),
+                    ("pid", 0u64.into()),
+                    ("tid", tid.into()),
+                    ("args", obj(vec![("value", event.value.into())])),
+                ]));
+            }
+        }
+        for (name, series) in &self.series {
+            for &(at_ns, value) in &series.samples {
+                trace_events.push(obj(vec![
+                    ("name", Json::from(name.clone())),
+                    ("ph", "C".into()),
+                    ("ts", us(at_ns)),
+                    ("pid", 0u64.into()),
+                    ("args", obj(vec![("value", value.into())])),
+                ]));
+            }
+        }
+        obj(vec![("displayTimeUnit", "ns".into()), ("traceEvents", Json::Array(trace_events))])
+    }
+
+    /// The value of a named counter, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A named histogram, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// A named sample series, if registered.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&SampleSeries> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// A [`ResultSink`] that writes one compact telemetry JSONL line per cell
+/// that carries a report — the streamable sidecar of the results stream
+/// (cells without telemetry are skipped, so a disarmed grid writes
+/// nothing).
+#[derive(Debug)]
+pub struct TelemetrySidecarSink<W: Write> {
+    writer: W,
+    records: usize,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TelemetrySidecarSink<W> {
+    /// Stream telemetry records into `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        Self { writer, records: 0, error: None }
+    }
+
+    /// Number of telemetry records written.
+    #[must_use]
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// Flush and return the underlying writer, or the first latched error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink latched mid-stream.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> ResultSink for TelemetrySidecarSink<W> {
+    fn on_result(&mut self, result: &ScenarioResult) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(telemetry) = &result.result.detail.telemetry else { return };
+        let line = obj(vec![
+            ("index", result.scenario.index.into()),
+            ("workload", Json::from(result.scenario.workload.name)),
+            ("defense", Json::from(result.scenario.defense.to_string())),
+            ("t_rh", result.scenario.t_rh.into()),
+            ("telemetry", telemetry.to_json()),
+        ])
+        .to_compact();
+        match self.writer.write_all(line.as_bytes()).and_then(|()| self.writer.write_all(b"\n")) {
+            Ok(()) => self.records += 1,
+            Err(error) => self.error = Some(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_recorder_records_nothing_and_reports_none() {
+        let mut telemetry = Telemetry::disarmed();
+        assert!(!telemetry.armed());
+        assert_eq!(telemetry.next_sample_ns(), None);
+        telemetry.record_mitigation(100, 0, 7);
+        telemetry.record_read_latency(40);
+        telemetry.sample(100, 1, 2, 3, 4);
+        assert_eq!(telemetry.take_report(), None);
+    }
+
+    #[test]
+    fn event_ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = EventRing::new(2);
+        for at_ns in 0..5u64 {
+            ring.push(TraceEvent { at_ns, kind: EventKind::Swap, bank: 0, value: 0 });
+        }
+        assert_eq!(ring.dropped, 3);
+        let kept: Vec<u64> = ring.in_order().iter().map(|e| e.at_ns).collect();
+        assert_eq!(kept, vec![3, 4], "most recent events survive");
+    }
+
+    #[test]
+    fn histogram_buckets_split_at_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.occupied(), vec![(0, 1), (64, 2)]);
+        let back = Log2Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn armed_recorder_samples_on_cadence_and_freezes_a_report() {
+        let config =
+            TelemetryConfig { enabled: true, sample_interval_ns: 100, ..Default::default() };
+        let mut telemetry = Telemetry::new(&config);
+        assert_eq!(telemetry.next_sample_ns(), Some(100));
+        assert!(!telemetry.sample_due(99));
+        assert!(telemetry.sample_due(100));
+        telemetry.sample(100, 5, 0, 2, 1);
+        assert_eq!(telemetry.next_sample_ns(), Some(200));
+        telemetry.record_mitigation(150, 3, 42);
+        telemetry.record_op(160, EventKind::Swap, 3, 2_000);
+        telemetry.record_queue_stall(170, 1, 9);
+        telemetry.record_read_latency(75);
+        telemetry.latch_trh_crossing(180);
+        telemetry.latch_trh_crossing(190); // latched once
+        telemetry.latch_attack_phase(200, 0, false); // no transition
+        telemetry.latch_attack_phase(210, 0, true); // transition
+        let report = telemetry.take_report().expect("armed run yields a report");
+        assert_eq!(report.sample_interval_ns, 100);
+        assert_eq!(report.counter("mitigation_triggers"), Some(1));
+        assert_eq!(report.counter("queue_stalls"), Some(1));
+        assert_eq!(report.counter("reads_completed"), Some(1));
+        assert_eq!(report.histogram("swap_stall_ns").unwrap().count(), 1);
+        let kinds: Vec<EventKind> = report.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::MitigationTrigger,
+                EventKind::Swap,
+                EventKind::QueueStall,
+                EventKind::TrhCrossing,
+                EventKind::AttackPhase,
+            ]
+        );
+        let series = &report.series.iter().find(|(n, _)| n == "bank_queue_depth").unwrap().1;
+        assert_eq!(series.samples, vec![(100, 5)]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let config =
+            TelemetryConfig { enabled: true, sample_interval_ns: 50, ..Default::default() };
+        let mut telemetry = Telemetry::new(&config);
+        telemetry.sample(50, 1, 2, 3, 4);
+        telemetry.record_op(60, EventKind::UnswapSwap, 2, 4_000);
+        telemetry.record_read_latency(u64::MAX);
+        let report = telemetry.take_report().unwrap();
+        let back = TelemetryReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn event_kind_labels_round_trip() {
+        for kind in [
+            EventKind::Swap,
+            EventKind::UnswapSwap,
+            EventKind::PlaceBack,
+            EventKind::CounterAccess,
+            EventKind::RowPin,
+            EventKind::MitigationTrigger,
+            EventKind::TrhCrossing,
+            EventKind::AttackPhase,
+            EventKind::QueueStall,
+        ] {
+            assert_eq!(EventKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(EventKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn perfetto_export_has_the_trace_event_shape() {
+        let config = TelemetryConfig::armed();
+        let mut telemetry = Telemetry::new(&config);
+        telemetry.record_op(1_000, EventKind::Swap, 4, 2_500);
+        telemetry.record_mitigation(900, 4, 17);
+        telemetry.sample(100_000, 8, 0, 3, 1);
+        let report = telemetry.take_report().unwrap();
+        let trace = report.to_perfetto("gups/scale-srs");
+        assert_eq!(trace.get("displayTimeUnit").and_then(Json::as_str), Some("ns"));
+        let events = trace.get("traceEvents").and_then(Json::as_array).unwrap();
+        // Metadata + 2 events + 4 gauge samples (one per registered series
+        // with a sample... only series with samples emit counters).
+        assert!(events.len() >= 3);
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("swap renders as a complete slice");
+        assert_eq!(slice.get("name").and_then(Json::as_str), Some("swap"));
+        assert_eq!(slice.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(slice.get("dur").and_then(Json::as_f64), Some(2.5));
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .expect("gauge samples render as counter events");
+        assert!(counter.get("args").and_then(|a| a.get("value")).is_some());
+        // The whole document survives the codec (what `check-json` does).
+        let text = trace.to_pretty();
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn config_decodes_tolerantly_and_rejects_unknown_fields() {
+        let json = Json::parse(r#"{"enabled": true, "sample_interval_ns": 5000}"#).unwrap();
+        let config = TelemetryConfig::from_json(&json).unwrap();
+        assert!(config.enabled);
+        assert_eq!(config.sample_interval_ns, 5_000);
+        assert_eq!(config.event_capacity, TelemetryConfig::default().event_capacity);
+        let bad = Json::parse(r#"{"cadence": 5}"#).unwrap();
+        assert!(TelemetryConfig::from_json(&bad).is_err());
+        let zero = Json::parse(r#"{"sample_interval_ns": 0}"#).unwrap();
+        assert!(TelemetryConfig::from_json(&zero).is_err());
+        let config = TelemetryConfig::armed();
+        let back = TelemetryConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+}

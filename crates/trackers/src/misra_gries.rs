@@ -367,6 +367,10 @@ impl AggressorTracker for MisraGriesTracker {
         // simulation is the mitigation trigger itself.
         false
     }
+
+    fn occupancy(&self) -> u64 {
+        self.banks.iter().map(|b| b.len as u64).sum()
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,14 @@ pub trait AggressorTracker {
     fn may_emit_memory_traffic(&self) -> bool {
         true
     }
+
+    /// Number of rows the tracker currently holds state for, summed over
+    /// all banks — a telemetry gauge (table pressure over time), not part
+    /// of any mitigation decision. Trackers without a meaningful notion of
+    /// occupancy report zero.
+    fn occupancy(&self) -> u64 {
+        0
+    }
 }
 
 impl Clone for Box<dyn AggressorTracker + Send> {

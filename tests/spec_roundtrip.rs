@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 
 use scale_srs::sim::spec::{ConfigPatch, ExperimentSpec, Preset};
+use scale_srs::sim::telemetry::TelemetryConfig;
 use scale_srs::sim::ToJson;
 
 proptest! {
@@ -27,6 +28,7 @@ proptest! {
         ),
         paper in prop::bool::ANY,
         share_prefixes in prop::bool::ANY,
+        telemetry in prop::option::of((prop::bool::ANY, 1u64..10_000_000, 1usize..1_000_000)),
         attacks in prop::collection::vec(
             prop::sample::select(vec!["juggernaut", "blacksmith", "single-sided"]),
             0..3,
@@ -55,6 +57,12 @@ proptest! {
             workloads: workloads.iter().map(ToString::to_string).collect(),
             threads: None,
             share_prefixes,
+            telemetry: telemetry.map(|(enabled, sample_interval_ns, capacity)| TelemetryConfig {
+                enabled,
+                sample_interval_ns,
+                event_capacity: capacity,
+                sample_capacity: capacity,
+            }),
         };
 
         // Both wire forms decode back to the identical spec.
