@@ -249,7 +249,8 @@ impl PatternProgram {
                 // if the geometry cannot hold the requested aggressor count
                 // at this pitch — every emitted row must stay in range.
                 let count = aggressors.max(2);
-                let first = clamp_row(first).min(rows.saturating_sub((count - 1) * pitch + 1));
+                let span = (count - 1).saturating_mul(pitch).saturating_add(1);
+                let first = clamp_row(first).min(rows.saturating_sub(span));
                 let count = count.min((rows - 1 - first) / pitch + 1);
                 let rows_list: Vec<(usize, u64)> =
                     (0..count).map(|i| (bank, first + i * pitch)).collect();
@@ -291,9 +292,14 @@ impl PatternProgram {
                         chosen.push(row);
                     }
                 }
+                // Cap the per-aggressor intensity: the schedule length is
+                // `sum(intensity)`, so an unbounded intensity gene (the
+                // search mutates these freely) would make the compiled
+                // program arbitrarily large.
+                let max_intensity = max_intensity.clamp(1, 64);
                 let mut weighted: Vec<(usize, u64)> = Vec::new();
                 for &row in &chosen {
-                    let intensity = rng.random_range(1..=max_intensity.max(1));
+                    let intensity = rng.random_range(1..=max_intensity);
                     for _ in 0..intensity {
                         weighted.push((bank, row));
                     }

@@ -15,7 +15,10 @@
 //!   swap rate of 3 (Figure 13);
 //! * [`multibank`] — the multiple-bank attack variant (Section III-C);
 //! * [`engine`] — the closed-loop in-simulator attack engine: reactive
-//!   attacker cores, the attack-pattern IR and the shipped pattern library.
+//!   attacker cores, the attack-pattern IR and the shipped pattern library;
+//! * [`search`] — the generational adaptive-attack search: mutation and
+//!   crossover operators over the pattern IR, a deterministic fitness
+//!   order, and the seed-reproducible generational state machine.
 //!
 //! ## Example
 //!
@@ -39,6 +42,7 @@ pub mod multibank;
 pub mod outlier;
 pub mod params;
 pub mod prob;
+pub mod search;
 
 pub use birthday::BirthdayOutcome;
 pub use engine::{AttackPattern, AttackSpec, AttackerCore, PatternProgram};
@@ -47,3 +51,4 @@ pub use montecarlo::MonteCarloResult;
 pub use multibank::MultiBankOutcome;
 pub use outlier::OutlierOutcome;
 pub use params::{AttackPagePolicy, AttackParams};
+pub use search::{Candidate, GenerationSummary, Score, Search, SearchConfig};

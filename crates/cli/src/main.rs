@@ -54,7 +54,11 @@ USAGE:
                 [--force] [--threads <N>] [--retries <N>] [--quiet]
                 [--no-share] [--telemetry] [--attribution]
     srs-cli trace <spec.json> [--cell <idx>] [--out <file.json>] [--force]
-    srs-cli report <results.jsonl>
+    srs-cli search <spec.json> [--out <file.jsonl>] [--resume] [--force]
+                [--generations <N>] [--population <N>] [--cell <idx>]
+                [--threads <N>] [--quiet]
+    srs-cli search --replay <best.json>
+    srs-cli report <results.jsonl | search.jsonl>
     srs-cli plan <spec.json> --shards <N> [--out-dir <dir>]
     srs-cli merge <results.jsonl>... --out <file.jsonl> [--force]
     srs-cli validate <spec.json | shard.json | results.jsonl>
@@ -90,9 +94,23 @@ COMMANDS:
                 Perfetto trace-event JSON (load it at ui.perfetto.dev or
                 chrome://tracing). Default --out:
                 <spec stem>.cell<idx>.trace.json.
+    search      Run the adaptive attack search the spec's `search` block
+                describes: warm the selected grid cell once, then evolve
+                candidate attack patterns generation by generation, scoring
+                every candidate on its own fork of the warm snapshot. One
+                JSON line per generation streams to --out (default:
+                <input stem>.search.jsonl) with a crash-safe manifest
+                beside it; the run is deterministic per seed (byte-identical
+                stream) and a killed run continues with --resume to the
+                same bytes. The champion lands in <out stem>.best.json;
+                --generations/--population/--cell override the spec block.
+                --replay <best.json> re-simulates a recorded champion from
+                scratch and byte-diffs its security report against the
+                recorded one (exit 1 on divergence).
     report      Render per-(defense, TRH) summary tables and normalized-
                 performance histograms from an existing results JSONL
-                without re-simulating anything.
+                without re-simulating anything. Pointed at a search stream,
+                prints the best-fitness-per-generation curve instead.
     plan        Deterministically split a spec's grid into N shard
                 manifests (<stem>.shard<k>.json, self-contained; run each
                 with `srs-cli run`). Shared-prefix trunk groups are never
@@ -122,6 +140,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "search" => cmd_search(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "plan" => cmd_plan(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
@@ -598,6 +617,197 @@ fn cmd_trace(args: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_search(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut input_path: Option<&str> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut replay_path: Option<&str> = None;
+    let mut generations: Option<usize> = None;
+    let mut population: Option<usize> = None;
+    let mut cell: Option<usize> = None;
+    let mut threads = 0usize;
+    let mut resume = false;
+    let mut force = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let count_flag = |name: &str, it: &mut std::slice::Iter<String>| {
+            let value =
+                it.next().ok_or_else(|| CliError::Usage(format!("{name} needs a count")))?;
+            value
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("bad {name} value '{value}'")))
+        };
+        match arg.as_str() {
+            "--out" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--out needs a path".into()))?;
+                out_path = Some(PathBuf::from(value));
+            }
+            "--replay" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::Usage("--replay needs a path".into()))?;
+                replay_path = Some(value);
+            }
+            "--generations" => generations = Some(count_flag("--generations", &mut it)?),
+            "--population" => population = Some(count_flag("--population", &mut it)?),
+            "--cell" => cell = Some(count_flag("--cell", &mut it)?),
+            "--threads" => threads = count_flag("--threads", &mut it)?,
+            "--resume" => resume = true,
+            "--force" => force = true,
+            "--quiet" => quiet = true,
+            other if input_path.is_none() && !other.starts_with('-') => input_path = Some(other),
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+
+    if let Some(replay_path) = replay_path {
+        if input_path.is_some() || resume || force {
+            return Err(CliError::Usage(
+                "--replay takes only the recorded best.json, no spec or run flags".into(),
+            ));
+        }
+        return cmd_search_replay(replay_path);
+    }
+
+    let input_path =
+        input_path.ok_or_else(|| CliError::Usage("search needs a spec file".into()))?;
+    let mut spec = load_spec(input_path)?;
+    let mut search = spec.search.take().unwrap_or_else(|| {
+        // A plain grid spec still searches: the block's defaults apply and
+        // the CLI overrides refine them.
+        srs_sim::SearchSpec::default()
+    });
+    if let Some(generations) = generations {
+        search.generations = generations;
+    }
+    if let Some(population) = population {
+        search.population = population;
+    }
+    if let Some(cell) = cell {
+        search.cell = cell;
+    }
+    spec.search = Some(search);
+
+    let out_path = match out_path {
+        Some(path) => path,
+        None => derive_out_path(input_path, "search.jsonl")?,
+    };
+    if !resume && !force && out_path.exists() {
+        return Err(fail(format!(
+            "{} already exists; pass --force to overwrite it or --resume to continue it",
+            out_path.display()
+        )));
+    }
+    let block = spec.search.as_ref().expect("search block was just installed");
+    eprintln!(
+        "searching '{}' cell {}: population {}, {} generations, warm-up {} ns -> {}",
+        spec.name,
+        block.cell,
+        block.population,
+        block.generations,
+        block.warmup_ns,
+        out_path.display()
+    );
+
+    let mut curve: Vec<(usize, f64, Option<u64>, f64)> = Vec::new();
+    let outcome = {
+        let mut progress = |summary: &srs_sim::search::GenerationSummary| {
+            let best = &summary.best.1;
+            curve.push((
+                summary.index,
+                best.pressure_ratio(),
+                best.first_crossing_ns,
+                summary.best_so_far.1.pressure_ratio(),
+            ));
+            if !quiet {
+                eprintln!(
+                    "generation {}: best '{}' ratio {:.3}{}",
+                    summary.index,
+                    summary.best.0.name,
+                    best.pressure_ratio(),
+                    match best.first_crossing_ns {
+                        Some(ns) => format!(", crossed at {ns} ns"),
+                        None => String::new(),
+                    }
+                );
+            }
+        };
+        srs_sim::run_search(&spec, &out_path, resume, threads, None, &mut progress)
+            .map_err(|e| fail(e.to_string()))?
+    };
+    if outcome.truncated_bytes > 0 {
+        eprintln!(
+            "truncated a torn final record ({} bytes) left by a crashed run",
+            outcome.truncated_bytes
+        );
+    }
+
+    let best_path = out_path.with_extension("best.json");
+    let mut text = srs_sim::best_record(&spec, &outcome).to_pretty();
+    text.push('\n');
+    std::fs::write(&best_path, text)
+        .map_err(|e| fail(format!("cannot write {}: {e}", best_path.display())))?;
+
+    let out = &mut std::io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "committed {} of {} generations to {} ({} scored this run)",
+        outcome.generations_done,
+        spec.search.as_ref().expect("search block present").generations,
+        out_path.display(),
+        outcome.generations_run,
+    );
+    if !curve.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:>10} {:>12} {:>16} {:>12}",
+            "generation", "best ratio", "crossed at (ns)", "so-far ratio"
+        );
+        for (index, ratio, crossing, so_far) in &curve {
+            let _ = writeln!(
+                out,
+                "{index:>10} {ratio:>12.3} {:>16} {so_far:>12.3}",
+                crossing.map_or_else(|| "-".to_string(), |ns| ns.to_string()),
+            );
+        }
+    }
+    let best = &outcome.best;
+    let _ = writeln!(
+        out,
+        "\nworst_case_found: '{}' ({}) ratio {:.3}{} -> {}",
+        best.candidate.name,
+        best.candidate.pattern.label(),
+        best.score.pressure_ratio(),
+        match best.score.first_crossing_ns {
+            Some(ns) => format!(", first crossing at {ns} ns"),
+            None => ", never crossed".to_string(),
+        },
+        best_path.display(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `search --replay`: re-simulate a recorded champion from scratch and
+/// byte-diff its security report against the recorded score.
+fn cmd_search_replay(path: &str) -> Result<ExitCode, CliError> {
+    let text = read_file(path)?;
+    let record = Json::parse(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    let replay = srs_sim::replay_best(&record).map_err(|e| fail(format!("{path}: {e}")))?;
+    if replay.matches() {
+        println!(
+            "{path}: OK — replayed '{}' reproduces the recorded report byte-for-byte",
+            replay.attack
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "{path}: replay of '{}' DIVERGED from the recorded report\n recorded: {}\n replayed: {}",
+            replay.attack, replay.recorded, replay.replayed
+        );
+        Err(fail("replay did not reproduce the recorded score"))
+    }
+}
+
 /// Per-(defense, TRH) aggregate for `report`, including a coarse
 /// distribution of normalized performance (`REPORT_BUCKETS` buckets of
 /// width [`REPORT_BUCKET_WIDTH`] starting at 0).
@@ -645,6 +855,9 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     let reader = std::io::BufReader::new(file);
     let mut groups: BTreeMap<(String, u64), ReportGroup> = BTreeMap::new();
     let mut attribution: Option<AttributionReport> = None;
+    // (generation, best name, best ratio, best crossing, best-so-far ratio)
+    let mut search_rows: Vec<(u64, String, f64, Option<u64>, f64)> = Vec::new();
+    let mut search_header: Option<(String, u64)> = None;
     let mut records = 0usize;
     let mut torn = false;
     let mut lines = reader.lines().enumerate().peekable();
@@ -670,6 +883,38 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
             );
             continue;
         }
+        // Generation records come from `search`; report the fitness curve.
+        if record.get("generation").is_some() {
+            srs_sim::validate_search_record(&record)
+                .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
+            let ratio_of = |entry: &Json| {
+                entry
+                    .get("score")
+                    .and_then(|s| s.get("pressure_ratio"))
+                    .and_then(Json::as_f64)
+                    .expect("validated")
+            };
+            if search_header.is_none() {
+                search_header = Some((
+                    record.get("campaign").and_then(Json::as_str).expect("validated").to_string(),
+                    record.get("cell").and_then(Json::as_u64).expect("validated"),
+                ));
+            }
+            let best = record.get("best").expect("validated");
+            search_rows.push((
+                record.get("generation").and_then(Json::as_u64).expect("validated"),
+                best.get("attack")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                ratio_of(best),
+                best.get("score").and_then(|s| s.get("first_crossing_ns")).and_then(Json::as_u64),
+                ratio_of(record.get("best_so_far").expect("validated")),
+            ));
+            records += 1;
+            continue;
+        }
         validate_result_record(&record)
             .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
         let scenario = record.get("scenario").expect("validated");
@@ -691,6 +936,42 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     }
     if records == 0 {
         return Err(fail(format!("{path}: no result records")));
+    }
+    if !search_rows.is_empty() {
+        if !groups.is_empty() {
+            return Err(fail(format!("{path}: mixes search and grid result records")));
+        }
+        let (campaign, cell) = search_header.expect("set with the first search row");
+        let out = &mut std::io::stdout().lock();
+        let _ = writeln!(
+            out,
+            "search report for {path} — campaign '{campaign}' cell {cell}, {records} generations"
+        );
+        if torn {
+            let _ = writeln!(
+                out,
+                "warning: ignored a truncated final record (crash artifact; \
+                 continue the run with `srs-cli search --resume`)"
+            );
+        }
+        let peak = search_rows.iter().map(|row| row.4).fold(f64::EPSILON, f64::max);
+        let _ = writeln!(
+            out,
+            "\n{:>10} {:>14} {:>10} {:>10}  best-so-far fitness",
+            "generation", "best", "ratio", "so-far"
+        );
+        for (generation, name, ratio, crossing, so_far) in &search_rows {
+            let bar = "#".repeat(((so_far / peak) * 40.0).round().max(1.0) as usize);
+            let crossed = match crossing {
+                Some(ns) => format!("  crossed at {ns} ns"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{generation:>10} {name:>14} {ratio:>10.3} {so_far:>10.3}  {bar}{crossed}"
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
     }
     let out = &mut std::io::stdout().lock();
     let _ = writeln!(out, "report for {path} — {records} result records");
@@ -938,8 +1219,15 @@ fn validate_results(path: &str) -> Result<(), CliError> {
                 if record.get("attribution").is_some() {
                     continue;
                 }
-                validate_result_record(&record)
-                    .map_err(|message| fail(format!("{path}:{lineno}: {message}")))?;
+                // Search streams carry generation records; grid runs carry
+                // scenario results. Dispatch on the discriminating key.
+                if record.get("generation").is_some() {
+                    srs_sim::validate_search_record(&record)
+                        .map_err(|message| fail(format!("{path}:{lineno}: {message}")))?;
+                } else {
+                    validate_result_record(&record)
+                        .map_err(|message| fail(format!("{path}:{lineno}: {message}")))?;
+                }
                 records += 1;
             }
             Err(error) => {

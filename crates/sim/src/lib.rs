@@ -34,6 +34,7 @@ pub mod json;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod search;
 pub mod security;
 mod share;
 pub mod sink;
@@ -58,11 +59,15 @@ pub use runner::{
 pub use scenario::{
     default_threads, results_for, results_where, Experiment, Scenario, ScenarioResult, UnitStats,
 };
+pub use search::{
+    best_record, replay_best, run_search, score_from_report, score_solo, validate_search_record,
+    warm_system, BestFound, ReplayOutcome, SearchError, SearchOutcome,
+};
 pub use security::{SecurityReport, SecurityTracker};
 pub use sink::{
     validate_result_record, Fanout, JsonlWriter, MemoryCollector, ProgressSink, ResultSink,
 };
-pub use spec::{ConfigPatch, ExperimentSpec, Preset, SpecError};
+pub use spec::{ConfigPatch, ExperimentSpec, Preset, SearchSpec, SpecError};
 pub use system::System;
 pub use telemetry::{
     EventKind, Log2Histogram, Telemetry, TelemetryConfig, TelemetryReport, TelemetrySidecarSink,

@@ -39,6 +39,9 @@ pub struct SecurityTracker {
     /// Per-bank map from physical row to its pressure this window.
     pressure: Vec<FxHashMap<u64, RowPressure>>,
     max_pressure: u64,
+    /// Simulated time the all-time pressure maximum was (first) reached:
+    /// the closest approach to the threshold for never-crossing runs.
+    max_pressure_at_ns: Option<u64>,
     latent_on_hottest: u64,
     latent_total: u64,
     first_crossing_ns: Option<u64>,
@@ -55,6 +58,7 @@ impl SecurityTracker {
             rows_per_bank,
             pressure: vec![FxHashMap::default(); banks],
             max_pressure: 0,
+            max_pressure_at_ns: None,
             latent_on_hottest: 0,
             latent_total: 0,
             first_crossing_ns: None,
@@ -87,6 +91,7 @@ impl SecurityTracker {
             }
             if p.total > self.max_pressure {
                 self.max_pressure = p.total;
+                self.max_pressure_at_ns = Some(event.at_ns);
                 self.latent_on_hottest = p.latent;
             }
             if p.total >= self.t_rh && self.first_crossing_ns.is_none() {
@@ -137,6 +142,8 @@ impl SecurityTracker {
             mitigations_observed: context.mitigations_observed,
             latency_spikes: context.latency_spikes,
             guesses_made: context.guesses_made,
+            closest_approach_ratio: self.max_pressure as f64 / self.t_rh as f64,
+            closest_approach_ns: self.max_pressure_at_ns,
         }
     }
 }
@@ -202,6 +209,13 @@ pub struct SecurityReport {
     pub latency_spikes: u64,
     /// Random-guess rows hammered in Juggernaut's phase 2.
     pub guesses_made: u64,
+    /// Closest approach to the threshold: `max_victim_pressure / t_rh`
+    /// (`>= 1.0` iff the run crossed). This is the search subsystem's
+    /// fitness tiebreak for candidates that never cross.
+    pub closest_approach_ratio: f64,
+    /// Simulated time the pressure maximum was first reached, if any
+    /// activation was observed.
+    pub closest_approach_ns: Option<u64>,
 }
 
 impl ToJson for SecurityReport {
@@ -226,6 +240,8 @@ impl ToJson for SecurityReport {
             ("mitigations_observed", self.mitigations_observed.into()),
             ("latency_spikes", self.latency_spikes.into()),
             ("guesses_made", self.guesses_made.into()),
+            ("closest_approach_ratio", self.closest_approach_ratio.into()),
+            ("closest_approach_ns", self.closest_approach_ns.into()),
         ])
     }
 }
@@ -320,6 +336,21 @@ mod tests {
         }
         assert_eq!(t.max_pressure(), 0, "counter rows live in a reserved region");
         assert!(!t.crossed());
+    }
+
+    #[test]
+    fn closest_approach_tracks_the_pressure_maximum() {
+        let mut t = SecurityTracker::new(100, 1 << 10, 1);
+        for i in 0..5 {
+            t.on_activation(&act(0, 8, false, 10 * (i + 1)));
+        }
+        t.on_window_rollover();
+        // A weaker second window must not move the recorded approach.
+        t.on_activation(&act(0, 8, false, 900));
+        let report = t.into_report(context());
+        assert_eq!(report.closest_approach_ns, Some(50), "time the all-time max was reached");
+        assert!((report.closest_approach_ratio - 0.05).abs() < 1e-12, "5 of TRH 100");
+        assert!(!report.trh_crossed);
     }
 
     #[test]

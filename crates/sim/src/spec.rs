@@ -300,6 +300,10 @@ pub struct ExperimentSpec {
     /// the recorder disarmed. Arming it never changes results — the results
     /// JSONL stream is byte-identical either way (see [`crate::telemetry`]).
     pub telemetry: Option<TelemetryConfig>,
+    /// Adaptive attack-search budget and operator rates, or `None` when the
+    /// spec is a plain grid campaign. Consumed by `srs-cli search` (see
+    /// [`crate::search`]); ignored by `run`.
+    pub search: Option<SearchSpec>,
 }
 
 impl Default for ExperimentSpec {
@@ -320,6 +324,7 @@ impl Default for ExperimentSpec {
             threads: None,
             share_prefixes: true,
             telemetry: None,
+            search: None,
         }
     }
 }
@@ -371,6 +376,7 @@ impl ExperimentSpec {
                             SpecError::Field { field: "telemetry".to_string(), message }
                         })?);
                 }
+                "search" => spec.search = Some(SearchSpec::from_json(value)?),
                 _ => {
                     return Err(SpecError::UnknownName {
                         field: "spec",
@@ -449,6 +455,7 @@ const SPEC_KEYS: &[&str] = &[
     "threads",
     "share_prefixes",
     "telemetry",
+    "search",
 ];
 
 impl ToJson for ExperimentSpec {
@@ -474,7 +481,128 @@ impl ToJson for ExperimentSpec {
         if let Some(telemetry) = &self.telemetry {
             pairs.push(("telemetry", telemetry.to_json()));
         }
+        if let Some(search) = &self.search {
+            pairs.push(("search", search.to_json()));
+        }
         obj(pairs)
+    }
+}
+
+/// The `search` block of a spec: budget, operator rates and warm-up
+/// horizon of one adaptive attack-search campaign (see [`crate::search`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpec {
+    /// Candidates evaluated per generation.
+    pub population: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// Simulated time the benign system is warmed to before the first
+    /// candidate fork.
+    pub warmup_ns: u64,
+    /// Master seed of the search (breeding RNG, candidate seeds).
+    pub seed: u64,
+    /// Top candidates copied unchanged into the next generation.
+    pub elites: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Offspring crossover probability.
+    pub crossover_rate: f64,
+    /// Grid cell of the spec the search targets (defense, TRH, workload).
+    pub cell: usize,
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        Self {
+            population: 8,
+            generations: 4,
+            warmup_ns: 500_000,
+            seed: 0x5EA2C4,
+            elites: 2,
+            mutation_rate: 0.35,
+            crossover_rate: 0.5,
+            cell: 0,
+        }
+    }
+}
+
+/// The keys [`SearchSpec::from_json`] accepts.
+const SEARCH_KEYS: &[&str] = &[
+    "population",
+    "generations",
+    "warmup_ns",
+    "seed",
+    "elites",
+    "mutation_rate",
+    "crossover_rate",
+    "cell",
+];
+
+impl SearchSpec {
+    /// Decode a `search` block; unknown keys are errors.
+    pub fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let pairs =
+            json.as_object().ok_or_else(|| SpecError::field("search", "must be a JSON object"))?;
+        let mut spec = Self::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "population" => spec.population = usize_field("search.population", value)?,
+                "generations" => spec.generations = usize_field("search.generations", value)?,
+                "warmup_ns" => spec.warmup_ns = u64_field("search.warmup_ns", value)?,
+                "seed" => spec.seed = u64_field("search.seed", value)?,
+                "elites" => spec.elites = usize_field("search.elites", value)?,
+                "mutation_rate" => {
+                    spec.mutation_rate = f64_field("search.mutation_rate", value)?;
+                }
+                "crossover_rate" => {
+                    spec.crossover_rate = f64_field("search.crossover_rate", value)?;
+                }
+                "cell" => spec.cell = usize_field("search.cell", value)?,
+                _ => {
+                    return Err(SpecError::UnknownName {
+                        field: "search",
+                        name: key.clone(),
+                        valid: SEARCH_KEYS.iter().map(ToString::to_string).collect(),
+                    });
+                }
+            }
+        }
+        if spec.population == 0 {
+            return Err(SpecError::field("search.population", "must be at least 1"));
+        }
+        if spec.generations == 0 {
+            return Err(SpecError::field("search.generations", "must be at least 1"));
+        }
+        Ok(spec)
+    }
+
+    /// The operator configuration this block describes, as the attack
+    /// crate's search engine consumes it.
+    #[must_use]
+    pub fn to_search_config(&self) -> srs_attack::search::SearchConfig {
+        srs_attack::search::SearchConfig {
+            population: self.population,
+            generations: self.generations,
+            elites: self.elites,
+            mutation_rate: self.mutation_rate,
+            crossover_rate: self.crossover_rate,
+            seed: self.seed,
+        }
+    }
+}
+
+impl ToJson for SearchSpec {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("population", self.population.into()),
+            ("generations", self.generations.into()),
+            ("warmup_ns", self.warmup_ns.into()),
+            ("seed", self.seed.into()),
+            ("elites", self.elites.into()),
+            ("mutation_rate", self.mutation_rate.into()),
+            ("crossover_rate", self.crossover_rate.into()),
+            ("cell", self.cell.into()),
+        ])
     }
 }
 
@@ -505,7 +633,7 @@ pub enum SpecError {
 }
 
 impl SpecError {
-    fn field(field: impl Into<String>, message: impl Into<String>) -> Self {
+    pub(crate) fn field(field: impl Into<String>, message: impl Into<String>) -> Self {
         SpecError::Field { field: field.into(), message: message.into() }
     }
 }
@@ -894,9 +1022,29 @@ mod tests {
             threads: Some(3),
             share_prefixes: false,
             telemetry: Some(TelemetryConfig::armed()),
+            search: Some(SearchSpec {
+                population: 12,
+                generations: 7,
+                cell: 3,
+                ..SearchSpec::default()
+            }),
         };
         let text = spec.to_json_string();
         assert_eq!(ExperimentSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn search_block_rejects_unknown_keys_and_zero_budgets() {
+        let err = ExperimentSpec::parse(r#"{"search": {"populaton": 4}}"#).unwrap_err();
+        assert!(err.to_string().contains("populaton"), "{err}");
+        let err = ExperimentSpec::parse(r#"{"search": {"population": 0}}"#).unwrap_err();
+        assert!(err.to_string().contains("population"), "{err}");
+        let err = ExperimentSpec::parse(r#"{"search": {"generations": 0}}"#).unwrap_err();
+        assert!(err.to_string().contains("generations"), "{err}");
+        // Omitted block stays omitted through a round trip.
+        let spec = ExperimentSpec::parse(r#"{"name": "plain"}"#).unwrap();
+        assert!(spec.search.is_none());
+        assert!(!spec.to_json_string().contains("search"));
     }
 
     #[test]

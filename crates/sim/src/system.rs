@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fxhash::FxHashSet;
-use srs_attack::engine::{AttackerCore, AttackerStats};
+use srs_attack::engine::{AttackSpec, AttackerCore, AttackerStats};
 use srs_core::{build_defense, MitigationAction, RowOpKind, RowSwapDefense};
 use srs_cpu::{AccessToken, CoreStatus, RequestSource, TraceCore};
 use srs_dram::{
@@ -1126,6 +1126,53 @@ impl System {
     #[must_use]
     pub fn fork(&self) -> System {
         self.clone()
+    }
+
+    /// Install an attack on this system mid-run — the adaptive-search
+    /// fork protocol: warm a benign system to steady state once, then give
+    /// each [`System::fork`] of it a different candidate attack.
+    ///
+    /// Attacker cores and the security tracker are built exactly as
+    /// [`System::new`] would build them (the attacker knows the defense's
+    /// swap threshold — the paper's Kerckhoffs assumption), so a fork that
+    /// receives an attack at time `t` behaves identically to a from-scratch
+    /// attacked run whose security accounting starts at `t`. Any previous
+    /// attack state is replaced; branch probes are dropped (a candidate
+    /// fork is never a sharing trunk).
+    pub fn install_attack(&mut self, attack: AttackSpec) {
+        self.probes.clear();
+        self.config.attack = Some(attack);
+        let attack = self.config.attack.as_ref().expect("attack was just installed");
+        let t_s = self.config.mitigation_config().swap_threshold();
+        self.attackers.clear();
+        for stream in 0..attack.attacker_cores.max(1) {
+            self.attackers.push(AttackerCore::new(attack, &self.config.dram, t_s, stream as u64));
+        }
+        self.security = Some(SecurityTracker::new(
+            self.config.t_rh,
+            self.config.dram.rows_per_bank,
+            self.config.dram.total_banks(),
+        ));
+        self.telemetry.record_search_fork(self.now, attack.seed);
+    }
+
+    /// Score a batch of candidate attacks from this warm snapshot: one
+    /// [`System::fork`] per spec, each with [`System::install_attack`]
+    /// applied and run to completion on `threads` workers.
+    ///
+    /// Results come back in spec order regardless of worker scheduling, so
+    /// a generation's scores are deterministic. Forks are taken eagerly on
+    /// the calling thread — the warm snapshot itself is never shared
+    /// mutably — and every fork reuses this system's warmed state rather
+    /// than re-simulating the warm-up.
+    #[must_use]
+    pub fn fork_each(&self, specs: Vec<AttackSpec>, threads: usize) -> Vec<SimResult> {
+        let forks: Vec<(System, AttackSpec)> =
+            specs.into_iter().map(|spec| (self.fork(), spec)).collect();
+        crate::runner::parallel_map_ordered(forks, threads, |(mut fork, spec)| {
+            fork.install_attack(spec);
+            fork.run()
+        })
     }
 
     /// Replace the mitigation pair (and the cell configuration labelling

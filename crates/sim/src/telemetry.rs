@@ -141,6 +141,9 @@ pub enum EventKind {
     /// A demand access found its bank queue full and was deferred
     /// (value = deferred-queue depth after the push).
     QueueStall,
+    /// The adaptive attack search installed a candidate attack on a fork
+    /// of the warm snapshot (value = the candidate's attacker seed).
+    SearchPhase,
 }
 
 impl EventKind {
@@ -157,6 +160,7 @@ impl EventKind {
             EventKind::TrhCrossing => "trh-crossing",
             EventKind::AttackPhase => "attack-phase",
             EventKind::QueueStall => "queue-stall",
+            EventKind::SearchPhase => "search-phase",
         }
     }
 
@@ -173,6 +177,7 @@ impl EventKind {
             "trh-crossing" => EventKind::TrhCrossing,
             "attack-phase" => EventKind::AttackPhase,
             "queue-stall" => EventKind::QueueStall,
+            "search-phase" => EventKind::SearchPhase,
             _ => return None,
         })
     }
@@ -595,6 +600,19 @@ impl Telemetry {
             kind: EventKind::MitigationTrigger,
             bank,
             value: row,
+        });
+    }
+
+    /// Record an adaptive-search candidate installation on a warm fork.
+    pub(crate) fn record_search_fork(&mut self, at_ns: u64, candidate_seed: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            at_ns,
+            kind: EventKind::SearchPhase,
+            bank: 0,
+            value: candidate_seed,
         });
     }
 
@@ -1117,6 +1135,7 @@ mod tests {
             EventKind::TrhCrossing,
             EventKind::AttackPhase,
             EventKind::QueueStall,
+            EventKind::SearchPhase,
         ] {
             assert_eq!(EventKind::from_label(kind.label()), Some(kind));
         }

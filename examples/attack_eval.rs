@@ -20,12 +20,16 @@
 //! `srs-cli run specs/attack_eval.json`; the paper-scale analytical
 //! numbers are reported alongside for the same TRH.
 
+use std::cmp::Ordering;
+
 use scale_srs::attack::juggernaut;
+use scale_srs::attack::search::shipped_candidates;
 use scale_srs::core::DefenseKind;
 use scale_srs::sim::json::{obj, Json, ToJson as _};
 use scale_srs::sim::scenario::results_where;
-use scale_srs::sim::spec::{parse_attack, ExperimentSpec};
-use scale_srs::sim::ScenarioResult;
+use scale_srs::sim::search::Score;
+use scale_srs::sim::spec::{parse_attack, ExperimentSpec, SearchSpec};
+use scale_srs::sim::{default_threads, run_search, score_from_report, warm_system, ScenarioResult};
 
 fn fmt_crossing(ns: Option<u64>) -> String {
     match ns {
@@ -148,16 +152,103 @@ fn main() {
         }
     );
 
+    // Snapshot-powered worst-case search: evolve attackers per defense from
+    // one warm fork point and compare against the shipped library scored
+    // through the identical snapshot path. Generation 0 seeds from that
+    // library, so on the undefended baseline the champion can never be
+    // weaker than the best shipped pattern — asserted below.
+    let (search_generations, search_population) = if smoke { (2, 6) } else { (4, 8) };
+    let threads = default_threads();
+    println!("\n== Worst-case attacker search ({search_generations} generations, population {search_population}) ==");
+    println!(
+        "{:<12} {:>22} {:>14} {:>22} {:>14} {:>12}",
+        "defense", "found", "time-to-break", "shipped best", "time-to-break", "not weaker"
+    );
+    let mut worst_case: Vec<Json> = Vec::new();
+    let mut found_not_weaker_on_baseline = true;
+    for (cell, defense) in spec.defenses.iter().enumerate() {
+        let mut sspec = spec.clone();
+        sspec.attacks = Vec::new();
+        sspec.search = Some(SearchSpec {
+            population: search_population,
+            generations: search_generations,
+            warmup_ns: 200_000,
+            cell,
+            ..SearchSpec::default()
+        });
+        let search = sspec.search.clone().expect("search block was just installed");
+
+        // Shipped library through the same warm-fork scoring path.
+        let warm = warm_system(&sspec, &search).expect("warm the search cell");
+        let shipped = shipped_candidates();
+        let shipped_results =
+            warm.fork_each(shipped.iter().map(|c| c.to_attack_spec()).collect(), threads);
+        let shipped_scores: Vec<Score> = shipped_results
+            .iter()
+            .map(|r| score_from_report(r.security.as_ref().expect("attacked run")))
+            .collect();
+        let shipped_best = (0..shipped.len())
+            .max_by(|&a, &b| shipped_scores[a].strength(&shipped_scores[b]))
+            .expect("shipped library is non-empty");
+
+        let out = std::env::temp_dir().join(format!("srs_attack_eval_search_{defense}.jsonl"));
+        let outcome =
+            run_search(&sspec, &out, false, threads, None, &mut |_| {}).expect("worst-case search");
+        let found = &outcome.best;
+        let not_weaker = found.score.strength(&shipped_scores[shipped_best]) != Ordering::Less;
+        if defense == "baseline" {
+            found_not_weaker_on_baseline &= not_weaker;
+        }
+        println!(
+            "{:<12} {:>22} {:>14} {:>22} {:>14} {:>12}",
+            defense,
+            found.candidate.name,
+            fmt_crossing(found.score.first_crossing_ns),
+            shipped[shipped_best].name,
+            fmt_crossing(shipped_scores[shipped_best].first_crossing_ns),
+            not_weaker,
+        );
+        worst_case.push(obj(vec![
+            ("defense", Json::from(defense.as_str())),
+            ("t_rh", t_rh.into()),
+            ("generations", search_generations.into()),
+            ("population", search_population.into()),
+            (
+                "found",
+                obj(vec![
+                    ("name", Json::from(found.candidate.name.as_str())),
+                    ("pattern", Json::from(found.candidate.pattern.label())),
+                    ("first_crossing_ns", found.score.first_crossing_ns.into()),
+                    ("pressure_ratio", found.score.pressure_ratio().into()),
+                ]),
+            ),
+            (
+                "shipped_best",
+                obj(vec![
+                    ("name", Json::from(shipped[shipped_best].name.as_str())),
+                    ("first_crossing_ns", shipped_scores[shipped_best].first_crossing_ns.into()),
+                    ("pressure_ratio", shipped_scores[shipped_best].pressure_ratio().into()),
+                ]),
+            ),
+            ("found_not_weaker", not_weaker.into()),
+        ]));
+    }
+
     let json = obj(vec![
         ("t_rh", t_rh.into()),
         ("smoke", smoke.into()),
         ("analytical", obj(vec![("rrs_days", rrs_days.into()), ("srs_days", srs_days.into())])),
         ("ranking_consistent", consistent.into()),
         ("cells", Json::Array(cells)),
+        ("worst_case", Json::Array(worst_case)),
     ])
     .to_pretty();
     std::fs::write("BENCH_attack.json", json).expect("write BENCH_attack.json");
     println!("wrote BENCH_attack.json");
 
     assert!(consistent, "simulated defense ranking diverged from the analytical model");
+    assert!(
+        found_not_weaker_on_baseline,
+        "worst-case search regressed below the shipped library on the baseline"
+    );
 }

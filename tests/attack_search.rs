@@ -1,0 +1,107 @@
+//! Property tests for the adaptive attack-search subsystem: the genetic
+//! operators must be **total** (any gene values the search can reach
+//! compile into a runnable [`PatternProgram`]) and the whole search must
+//! be **bit-deterministic** per seed — the reproducibility contract the
+//! `srs-cli search` JSONL stream and its `--resume` path are built on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scale_srs::attack::engine::PatternProgram;
+use scale_srs::attack::search::{
+    crossover, genes, mutate, pattern_from_genes, Score, Search, SearchConfig,
+};
+
+/// A synthetic, deterministic fitness: a hash of the candidate's genes and
+/// the scoring salt. No simulation — these tests gate the search mechanics,
+/// not the simulator (which `tests/fork_equivalence.rs` covers).
+fn synthetic_score(pattern: &scale_srs::attack::engine::AttackPattern, salt: u64) -> Score {
+    let (kind, gene_values) = genes(pattern);
+    let mut h = kind ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for g in gene_values {
+        h = (h ^ g).wrapping_mul(0x100_0000_01B3);
+    }
+    Score {
+        first_crossing_ns: h.is_multiple_of(3).then_some(1 + h % 1_000_000),
+        max_pressure: h % 600,
+        t_rh: 600,
+        closest_ns: Some(h % 8_000_000),
+    }
+}
+
+/// Run `config.generations` generations under the synthetic fitness and
+/// return the full gene history: every candidate of every generation as
+/// `(name, seed, kind, genes)`.
+fn evolve(config: SearchConfig, salt: u64) -> Vec<(String, u64, u64, Vec<u64>)> {
+    let mut search = Search::new(config);
+    let mut history = Vec::new();
+    loop {
+        for candidate in search.population() {
+            let (kind, gene_values) = genes(&candidate.pattern);
+            history.push((candidate.name.clone(), candidate.seed, kind, gene_values));
+        }
+        if search.done() {
+            return history;
+        }
+        let scores: Vec<Score> =
+            search.population().iter().map(|c| synthetic_score(&c.pattern, salt)).collect();
+        search.advance(&scores);
+    }
+}
+
+proptest! {
+    /// Any mutation/crossover chain — arbitrary rates, arbitrary RNG seed —
+    /// yields patterns that compile against a deliberately tiny geometry:
+    /// the compiler's clamping must absorb every reachable gene value, so
+    /// the search can never produce an attacker the simulator rejects.
+    #[test]
+    fn operator_chains_always_compile(
+        rng_seed in 0u64..=u64::MAX,
+        rate_percent in 0u64..=100,
+        kind in 0u64..=u64::MAX,
+        raw_genes in prop::collection::vec(0u64..=u64::MAX, 0..6),
+        steps in 1usize..40,
+    ) {
+        let rate = rate_percent as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut current = pattern_from_genes(kind, &raw_genes);
+        let partner = pattern_from_genes(kind.wrapping_add(1), &raw_genes);
+        for step in 0..steps {
+            current = if step % 2 == 0 {
+                mutate(&current, &mut rng, rate)
+            } else {
+                crossover(&current, &partner, &mut rng)
+            };
+            let program = PatternProgram::compile(&current, 2, 8, step as u64);
+            prop_assert!(!program.slots.is_empty(), "empty schedule for {current:?}");
+        }
+    }
+
+    /// Gene extraction and re-synthesis are mutually consistent: a pattern
+    /// rebuilt from its own genes is the identical pattern (the operators
+    /// manipulate genes, so a lossy round-trip would silently corrupt
+    /// candidates between generations).
+    #[test]
+    fn gene_round_trip_is_lossless(kind in 0u64..=u64::MAX, raw in prop::collection::vec(0u64..=u64::MAX, 0..6)) {
+        let pattern = pattern_from_genes(kind, &raw);
+        let (k, g) = genes(&pattern);
+        prop_assert_eq!(pattern_from_genes(k, &g), pattern);
+    }
+
+    /// The search is bit-deterministic per seed: two runs with the same
+    /// config and the same fitness produce the same candidates — names,
+    /// attacker seeds and genes — in every generation.
+    #[test]
+    fn evolution_is_bit_deterministic_per_seed(
+        seed in 0u64..=u64::MAX,
+        salt in 0u64..=u64::MAX,
+        population in 2usize..8,
+        generations in 1usize..5,
+    ) {
+        let config = SearchConfig::new(population, generations, seed);
+        let first = evolve(config.clone(), salt);
+        let second = evolve(config, salt);
+        prop_assert_eq!(&first, &second, "same seed must replay bit-identically");
+    }
+}

@@ -7,9 +7,10 @@
 use proptest::prelude::*;
 
 use scale_srs::attack::engine::{AttackPattern, AttackSpec};
+use scale_srs::attack::search::shipped_candidates;
 use scale_srs::core::DefenseKind;
-use scale_srs::sim::spec::ConfigPatch;
-use scale_srs::sim::{Experiment, System, SystemConfig};
+use scale_srs::sim::spec::{ConfigPatch, ExperimentSpec};
+use scale_srs::sim::{score_solo, warm_system, Experiment, System, SystemConfig};
 use scale_srs::trackers::TrackerKind;
 use scale_srs::workloads::{all_workloads, AccessPattern, NamedWorkload, Trace, WorkloadSpec};
 
@@ -149,6 +150,48 @@ fn shared_grid_is_bit_identical_to_unshared() {
             s, u,
             "{} on {} trh={} tracker={} diverged between shared and unshared",
             s.scenario.defense, s.scenario.workload.name, s.scenario.t_rh, s.scenario.tracker
+        );
+    }
+}
+
+/// The attack search scores a whole generation by forking one warmed
+/// snapshot (`System::fork_each`) instead of re-warming per candidate.
+/// That batching is a pure optimization: each candidate's security report
+/// must be bit-identical to a from-scratch run that warms its own system
+/// and installs the same attack (`score_solo`). The shipped library spans
+/// every pattern kind, so this exercises each `install_attack` wiring path.
+#[test]
+fn fork_batch_scoring_is_bit_identical_to_solo_scoring() {
+    let spec = ExperimentSpec::parse(
+        r#"{
+            "name": "fork-batch-equivalence",
+            "preset": "scaled_for_speed",
+            "patch": {
+                "cores": 1,
+                "target_instructions": 9223372036854775807,
+                "trace_records_per_core": 1500,
+                "refresh_window_ns": 8000000,
+                "max_sim_ns": 1500000
+            },
+            "defenses": ["srs"],
+            "thresholds": [300],
+            "workloads": ["gups"],
+            "search": { "population": 4, "generations": 1, "warmup_ns": 250000, "seed": 7 }
+        }"#,
+    )
+    .expect("inline spec parses");
+    let search = spec.search.clone().expect("spec carries a search block");
+    let warm = warm_system(&spec, &search).expect("warm the search cell");
+    let shipped = shipped_candidates();
+    let batch = warm.fork_each(shipped.iter().map(|c| c.to_attack_spec()).collect(), 4);
+    assert_eq!(batch.len(), shipped.len());
+    for (candidate, result) in shipped.iter().zip(&batch) {
+        let solo = score_solo(&spec, &search, candidate).expect("solo scoring run");
+        assert_eq!(
+            result.security.as_ref(),
+            Some(&solo),
+            "{}: fork-batch report diverged from from-scratch scoring",
+            candidate.name
         );
     }
 }

@@ -107,5 +107,57 @@ fn bench_attack_report_matches_schema() {
         // Either null (the defense held within the cap) or a crossing time.
         let crossing = cell.get("first_crossing_ns").expect("cell.first_crossing_ns");
         assert!(crossing.is_null() || crossing.as_u64().is_some());
+        // The closest-approach telemetry: how near the attacker came to TRH
+        // (ratio >= 1.0 exactly when the cell crossed) and when.
+        let ratio = cell
+            .get("closest_approach_ratio")
+            .and_then(Json::as_f64)
+            .expect("cell.closest_approach_ratio");
+        assert!(ratio >= 0.0, "closest_approach_ratio must be non-negative");
+        assert_eq!(
+            ratio >= 1.0,
+            !crossing.is_null(),
+            "ratio >= 1.0 must coincide with a recorded crossing"
+        );
+        let at = cell.get("closest_approach_ns").expect("cell.closest_approach_ns");
+        assert!(at.is_null() || at.as_u64().is_some());
     }
+
+    // The adaptive-search section: the best attacker found per defense,
+    // compared against the shipped library scored through the identical
+    // warm-fork path. On the undefended baseline the search seeds from the
+    // shipped library, so the champion can never be weaker.
+    let worst = doc.get("worst_case").and_then(Json::as_array).expect("worst_case array");
+    assert!(!worst.is_empty(), "worst_case carries at least one defense entry");
+    let mut saw_baseline = false;
+    for entry in worst {
+        let defense = entry.get("defense").and_then(Json::as_str).expect("entry.defense");
+        assert!(entry.get("t_rh").and_then(Json::as_u64).is_some());
+        for key in ["generations", "population"] {
+            assert!(entry.get(key).and_then(Json::as_u64).is_some_and(|v| v > 0), "entry.{key}");
+        }
+        for side in ["found", "shipped_best"] {
+            let attacker = entry.get(side).unwrap_or_else(|| panic!("missing {side}"));
+            assert!(attacker.get("name").and_then(Json::as_str).is_some(), "{side}.name");
+            assert!(
+                attacker.get("pressure_ratio").and_then(Json::as_f64).is_some(),
+                "{side}.pressure_ratio"
+            );
+            let crossing = attacker.get("first_crossing_ns").expect("first_crossing_ns");
+            assert!(crossing.is_null() || crossing.as_u64().is_some());
+        }
+        let not_weaker = entry.get("found_not_weaker").and_then(Json::as_bool).expect("bool");
+        if defense == "baseline" {
+            saw_baseline = true;
+            assert!(not_weaker, "the committed report must not regress below the library");
+            assert!(
+                entry
+                    .get("found")
+                    .and_then(|f| f.get("first_crossing_ns"))
+                    .is_some_and(|c| !c.is_null()),
+                "the baseline must fall to the found attacker"
+            );
+        }
+    }
+    assert!(saw_baseline, "worst_case must cover the undefended baseline");
 }

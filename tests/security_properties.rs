@@ -6,11 +6,14 @@
 //! against `TRH`.
 
 use scale_srs::attack::engine::shipped_patterns;
+use scale_srs::attack::search::{Candidate, Search};
 use scale_srs::attack::{birthday, juggernaut, outlier, AttackParams};
 use scale_srs::core::{
     DefenseKind, MitigationAction, MitigationConfig, RandomizedRowSwap, RowOpKind, RowSwapDefense,
     SecureRowSwap,
 };
+use scale_srs::sim::spec::ExperimentSpec;
+use scale_srs::sim::{score_from_report, warm_system};
 use scale_srs::sim::{SecurityReport, System, SystemConfig};
 use scale_srs::workloads::{AccessPattern, Trace, WorkloadSpec};
 
@@ -174,6 +177,63 @@ fn no_shipped_pattern_defeats_srs_or_scale_srs_in_simulation() {
                 report.max_victim_pressure
             );
             assert!(!report.trh_crossed, "{} vs {defense}: must not cross", spec.name);
+        }
+    }
+}
+
+/// The adaptive search's Kerckhoffs gate: evolve attackers against the
+/// undefended baseline (the strongest fitness signal), then replay every
+/// attacker the search ends with — the evolved population plus its
+/// champion — against SRS and Scale-SRS with the crossing cutoff disabled.
+/// Neither defense may cross TRH against any of them.
+#[test]
+fn srs_and_scale_srs_hold_against_searched_attackers() {
+    let spec = ExperimentSpec::parse(
+        r#"{
+            "name": "security-search",
+            "preset": "scaled_for_speed",
+            "patch": {
+                "cores": 1,
+                "target_instructions": 9223372036854775807,
+                "trace_records_per_core": 2000,
+                "refresh_window_ns": 8000000,
+                "max_sim_ns": 6000000
+            },
+            "defenses": ["baseline"],
+            "thresholds": [600],
+            "workloads": ["gups"],
+            "search": { "population": 6, "generations": 2, "warmup_ns": 200000, "seed": 99, "elites": 1 }
+        }"#,
+    )
+    .expect("inline spec parses");
+    let search_spec = spec.search.clone().expect("spec carries a search block");
+    let warm = warm_system(&spec, &search_spec).expect("warm the search cell");
+    let mut search = Search::new(search_spec.to_search_config());
+    while !search.done() {
+        let results =
+            warm.fork_each(search.population().iter().map(|c| c.to_attack_spec()).collect(), 4);
+        let scores: Vec<_> = results
+            .iter()
+            .map(|r| score_from_report(r.security.as_ref().expect("attacked run")))
+            .collect();
+        search.advance(&scores);
+    }
+    let mut found: Vec<Candidate> = search.population().to_vec();
+    found.push(search.best().expect("scored generations").0.clone());
+    for candidate in &found {
+        for defense in [DefenseKind::Srs, DefenseKind::ScaleSrs] {
+            let report = simulate_attacked(defense, candidate.to_attack_spec().run_to_cap());
+            assert!(
+                report.max_victim_pressure < SIM_TRH,
+                "searched attacker {} vs {defense}: pressure {} reached TRH {SIM_TRH}",
+                candidate.name,
+                report.max_victim_pressure
+            );
+            assert!(
+                !report.trh_crossed,
+                "searched attacker {} vs {defense}: must not cross",
+                candidate.name
+            );
         }
     }
 }

@@ -63,6 +63,7 @@ proptest! {
                 event_capacity: capacity,
                 sample_capacity: capacity,
             }),
+            search: None,
         };
 
         // Both wire forms decode back to the identical spec.
