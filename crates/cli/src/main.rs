@@ -398,7 +398,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     let report = campaign.run(&mut sinks);
     let manifest = sinks.checkpoint.finish().map_err(|e| fail(e.to_string()))?;
     if let Some(sink) = sinks.telemetry.take() {
-        let path = telemetry_path.as_ref().expect("sidecar sink implies sidecar path");
+        let Some(path) = telemetry_path.as_ref() else {
+            return Err(fail(
+                "internal: telemetry sidecar sink without a sidecar path".to_string(),
+            ));
+        };
         let records = sink.records_written();
         sink.finish().map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
         println!("wrote {records} telemetry sidecar records to {}", path.display());
@@ -412,7 +416,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     );
     sinks.summary.print(&mut std::io::stdout().lock());
     if let Some(total) = attribution_total {
-        let total = *total.lock().expect("attribution lock");
+        // A poisoned lock only means a worker panicked mid-merge; the
+        // partial ledger is still printable.
+        let total = *total.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         print_attribution(&total, &mut std::io::stdout().lock());
         // Appended after the committed results, the footer sits past the
         // manifest's bytes_committed mark: `validate`, `report` and merge
@@ -698,7 +704,10 @@ fn cmd_search(args: &[String]) -> Result<ExitCode, CliError> {
             out_path.display()
         )));
     }
-    let block = spec.search.as_ref().expect("search block was just installed");
+    let Some(block) = spec.search.as_ref() else {
+        return Err(fail(format!("{input_path}: spec has no search block")));
+    };
+    let generations_total = block.generations;
     eprintln!(
         "searching '{}' cell {}: population {}, {} generations, warm-up {} ns -> {}",
         spec.name,
@@ -753,7 +762,7 @@ fn cmd_search(args: &[String]) -> Result<ExitCode, CliError> {
         out,
         "committed {} of {} generations to {} ({} scored this run)",
         outcome.generations_done,
-        spec.search.as_ref().expect("search block present").generations,
+        generations_total,
         out_path.display(),
         outcome.generations_run,
     );
@@ -817,6 +826,14 @@ struct ReportGroup {
     min: f64,
     max: f64,
     crossed: u64,
+    /// Cells that carried an integrity report (fault model enabled).
+    integrity_cells: u64,
+    /// Summed committed bit flips across those cells.
+    bit_flips: u64,
+    /// Summed corrupted (silently wrong) reads across those cells.
+    corrupted_reads: u64,
+    /// Summed detected-but-uncorrectable reads across those cells.
+    detected_uncorrectable: u64,
     buckets: [usize; REPORT_BUCKETS],
 }
 
@@ -831,16 +848,26 @@ impl ReportGroup {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             crossed: 0,
+            integrity_cells: 0,
+            bit_flips: 0,
+            corrupted_reads: 0,
+            detected_uncorrectable: 0,
             buckets: [0; REPORT_BUCKETS],
         }
     }
 
-    fn record(&mut self, norm: f64, trh_crossed: bool) {
+    fn record(&mut self, norm: f64, trh_crossed: bool, integrity: Option<(u64, u64, u64)>) {
         self.count += 1;
         self.sum += norm;
         self.min = self.min.min(norm);
         self.max = self.max.max(norm);
         self.crossed += u64::from(trh_crossed);
+        if let Some((flips, corrupted, dues)) = integrity {
+            self.integrity_cells += 1;
+            self.bit_flips += flips;
+            self.corrupted_reads += corrupted;
+            self.detected_uncorrectable += dues;
+        }
         let bucket = ((norm / REPORT_BUCKET_WIDTH) as usize).min(REPORT_BUCKETS - 1);
         self.buckets[bucket] += 1;
     }
@@ -887,51 +914,76 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
         if record.get("generation").is_some() {
             srs_sim::validate_search_record(&record)
                 .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
+            // The validator above vouched for these fields; a miss past it
+            // is still a user-facing schema error, never a backtrace.
+            let missing =
+                |what: &str| fail(format!("{path}:{}: record is missing {what}", lineno + 1));
             let ratio_of = |entry: &Json| {
-                entry
-                    .get("score")
-                    .and_then(|s| s.get("pressure_ratio"))
-                    .and_then(Json::as_f64)
-                    .expect("validated")
+                entry.get("score").and_then(|s| s.get("pressure_ratio")).and_then(Json::as_f64)
             };
             if search_header.is_none() {
                 search_header = Some((
-                    record.get("campaign").and_then(Json::as_str).expect("validated").to_string(),
-                    record.get("cell").and_then(Json::as_u64).expect("validated"),
+                    record
+                        .get("campaign")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| missing("campaign"))?
+                        .to_string(),
+                    record.get("cell").and_then(Json::as_u64).ok_or_else(|| missing("cell"))?,
                 ));
             }
-            let best = record.get("best").expect("validated");
+            let best = record.get("best").ok_or_else(|| missing("best"))?;
             search_rows.push((
-                record.get("generation").and_then(Json::as_u64).expect("validated"),
+                record
+                    .get("generation")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("generation"))?,
                 best.get("attack")
                     .and_then(|a| a.get("name"))
                     .and_then(Json::as_str)
                     .unwrap_or("?")
                     .to_string(),
-                ratio_of(best),
+                ratio_of(best).ok_or_else(|| missing("best.score.pressure_ratio"))?,
                 best.get("score").and_then(|s| s.get("first_crossing_ns")).and_then(Json::as_u64),
-                ratio_of(record.get("best_so_far").expect("validated")),
+                ratio_of(record.get("best_so_far").ok_or_else(|| missing("best_so_far"))?)
+                    .ok_or_else(|| missing("best_so_far.score.pressure_ratio"))?,
             ));
             records += 1;
             continue;
         }
         validate_result_record(&record)
             .map_err(|message| fail(format!("{path}:{}: {message}", lineno + 1)))?;
-        let scenario = record.get("scenario").expect("validated");
-        let result = record.get("result").expect("validated");
-        let defense = scenario.get("defense").and_then(Json::as_str).expect("validated");
-        let t_rh = scenario.get("t_rh").and_then(Json::as_u64).expect("validated");
-        let norm = result.get("normalized_performance").and_then(Json::as_f64).expect("validated");
-        let trh_crossed = result
-            .get("detail")
+        let missing = |what: &str| fail(format!("{path}:{}: record is missing {what}", lineno + 1));
+        let scenario = record.get("scenario").ok_or_else(|| missing("scenario"))?;
+        let result = record.get("result").ok_or_else(|| missing("result"))?;
+        let defense = scenario
+            .get("defense")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("scenario.defense"))?;
+        let t_rh =
+            scenario.get("t_rh").and_then(Json::as_u64).ok_or_else(|| missing("scenario.t_rh"))?;
+        let norm = result
+            .get("normalized_performance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("result.normalized_performance"))?;
+        let detail = result.get("detail");
+        let trh_crossed = detail
             .and_then(|d| d.get("security"))
             .and_then(|s| s.get("trh_crossed"))
             .and_then(Json::as_bool)
             .unwrap_or(false);
-        groups
-            .entry((defense.to_string(), t_rh))
-            .or_insert_with(ReportGroup::new)
-            .record(norm, trh_crossed);
+        // Present only on cells that ran the end-to-end fault model.
+        let integrity = detail.and_then(|d| d.get("integrity")).filter(|i| !i.is_null()).map(|i| {
+            (
+                i.get("bit_flips_injected").and_then(Json::as_u64).unwrap_or(0),
+                i.get("corrupted_reads").and_then(Json::as_u64).unwrap_or(0),
+                i.get("detected_uncorrectable").and_then(Json::as_u64).unwrap_or(0),
+            )
+        });
+        groups.entry((defense.to_string(), t_rh)).or_insert_with(ReportGroup::new).record(
+            norm,
+            trh_crossed,
+            integrity,
+        );
         records += 1;
     }
     if records == 0 {
@@ -941,7 +993,9 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
         if !groups.is_empty() {
             return Err(fail(format!("{path}: mixes search and grid result records")));
         }
-        let (campaign, cell) = search_header.expect("set with the first search row");
+        let Some((campaign, cell)) = search_header else {
+            return Err(fail(format!("{path}: search rows without a campaign header")));
+        };
         let out = &mut std::io::stdout().lock();
         let _ = writeln!(
             out,
@@ -998,6 +1052,29 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
             group.crossed,
         );
     }
+    // End-to-end integrity: printed only when at least one cell actually
+    // ran the fault model, so proxy-only reports are unchanged.
+    if groups.values().any(|g| g.integrity_cells > 0) {
+        let _ = writeln!(out, "\ndata integrity (end-to-end fault model):");
+        let _ = writeln!(
+            out,
+            "{:>14} {:>6} {:>7} {:>10} {:>16} {:>14}",
+            "defense", "TRH", "cells", "bit flips", "corrupted reads", "detected (DUE)"
+        );
+        for ((defense, t_rh), group) in &groups {
+            if group.integrity_cells == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{defense:>14} {t_rh:>6} {:>7} {:>10} {:>16} {:>14}",
+                group.integrity_cells,
+                group.bit_flips,
+                group.corrupted_reads,
+                group.detected_uncorrectable,
+            );
+        }
+    }
     let _ = writeln!(out, "\nnormalized-performance distribution:");
     for ((defense, t_rh), group) in &groups {
         let _ = writeln!(out, "  {defense} trh={t_rh}:");
@@ -1048,7 +1125,10 @@ fn cmd_plan(args: &[String]) -> Result<ExitCode, CliError> {
     let spec = load_spec(spec_path)?;
     let manifests = plan_shards(&spec, shards).map_err(|e| fail(format!("{spec_path}: {e}")))?;
     let stem = derive_out_path(spec_path, "")?;
-    let stem = stem.to_str().expect("derive_out_path yields UTF-8").trim_end_matches('.');
+    let stem = stem
+        .to_str()
+        .ok_or_else(|| fail(format!("{spec_path}: derived output path is not valid UTF-8")))?
+        .trim_end_matches('.');
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| fail(format!("cannot create {}: {e}", out_dir.display())))?;
@@ -1363,5 +1443,50 @@ mod tests {
         );
         assert!(matches!(derive_out_path(".json", "results.jsonl"), Err(CliError::Usage(_))));
         assert!(matches!(derive_out_path("", "results.jsonl"), Err(CliError::Usage(_))));
+    }
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("srs-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn report_on_missing_file_is_a_structured_error() {
+        let err = cmd_report(&["definitely/not/a/file.jsonl".to_string()]);
+        assert!(matches!(err, Err(CliError::Failed(_))), "must error, never panic");
+    }
+
+    #[test]
+    fn report_on_malformed_records_is_a_structured_error_with_line_info() {
+        // A record that claims to be a search row but fails the schema: the
+        // report must surface file:line, not a panic backtrace.
+        let path = temp_file("malformed.jsonl", "{\"generation\": 3}\n");
+        let err = cmd_report(&[path.display().to_string()]);
+        let _ = std::fs::remove_file(&path);
+        match err {
+            Err(CliError::Failed(message)) => {
+                assert!(message.contains(":1:"), "error must carry file:line, got: {message}")
+            }
+            other => panic!("expected a structured failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_aggregates_integrity_columns_from_fault_model_cells() {
+        // A handcrafted record that passes the result schema and carries an
+        // integrity block — the report must aggregate it without panicking.
+        let record = r#"{"scenario": {"index": 0, "defense": "baseline", "tracker": "misra-gries",
+            "workload": "gups", "suite": "micro", "t_rh": 600, "attack": null},
+            "result": {"normalized_performance": 1.0, "detail": {"elapsed_ns": 10,
+            "instructions": 100, "swaps": 0, "security": null,
+            "integrity": {"ecc": "none", "bit_flips_injected": 4, "rows_damaged": 2,
+            "corrupted_reads": 3, "detected_uncorrectable": 1, "corrected_reads": 0,
+            "scrub_saves": 0, "first_flip_ns": 5, "first_corruption_ns": 7}}}}"#
+            .replace('\n', " ");
+        let path = temp_file("integrity.jsonl", &format!("{record}\n"));
+        let outcome = cmd_report(&[path.display().to_string()]);
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(outcome, Ok(code) if code == ExitCode::SUCCESS));
     }
 }

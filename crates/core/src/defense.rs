@@ -68,6 +68,17 @@ pub trait RowSwapDefense {
     /// Where the data of logical `row` currently lives in bank `bank`.
     fn translate(&self, bank: usize, row: u64) -> u64;
 
+    /// The inverse of [`RowSwapDefense::translate`]: which logical row's
+    /// data currently lives at physical `location` in `bank`. For defenses
+    /// without an indirection table the mapping is the identity.
+    ///
+    /// The fault-injection layer uses this at flip time: a disturbance
+    /// damages a physical location, but the damage belongs to (and travels
+    /// with) the logical row stored there.
+    fn occupant(&self, _bank: usize, location: u64) -> u64 {
+        location
+    }
+
     /// Called when the aggressor tracker reports that logical `row` in
     /// `bank` crossed the swap threshold. Returns the mitigation actions
     /// (row movements, counter accesses, pin requests) the memory system
@@ -122,6 +133,18 @@ pub trait RowSwapDefense {
     /// pressure over time), not part of any mitigation decision. Defenses
     /// without an indirection table report zero.
     fn live_swapped_rows(&self) -> u64 {
+        0
+    }
+
+    /// Number of mitigation requests this defense has had to decline
+    /// because a capacity limit was reached (RIT live-list full, swap-pool
+    /// exhausted) — the defense's *saturation contract*: at capacity it
+    /// degrades to skipping the swap, counts the event here, and the run
+    /// continues. Saturation is surfaced through telemetry and the
+    /// `SecurityReport` so adversarial resource exhaustion is observable,
+    /// never a panic or silent wraparound. Defenses without capacity
+    /// limits report zero.
+    fn saturation_events(&self) -> u64 {
         0
     }
 

@@ -125,6 +125,10 @@ impl RowSwapDefense for RandomizedRowSwap {
         self.rit.bank(bank).translate(row)
     }
 
+    fn occupant(&self, bank: usize, location: u64) -> u64 {
+        self.rit.bank(bank).occupant(location)
+    }
+
     fn on_mitigation_trigger(
         &mut self,
         bank: usize,
@@ -232,6 +236,10 @@ impl RowSwapDefense for RandomizedRowSwap {
         (0..self.rit.banks()).map(|b| self.rit.bank(b).live_entries() as u64).sum()
     }
 
+    fn saturation_events(&self) -> u64 {
+        self.stats.skipped
+    }
+
     fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
         Box::new(self.clone())
     }
@@ -312,6 +320,34 @@ mod tests {
         for bank in 0..4 {
             assert!(d.rit.bank(bank).invariants_hold());
         }
+    }
+
+    #[test]
+    fn occupant_inverts_translate_under_churn() {
+        let mut d = rrs();
+        for i in 0..50u64 {
+            d.on_mitigation_trigger(0, i * 13 % 512, i * 1000);
+        }
+        for row in 0..512u64 {
+            let location = d.translate(0, row);
+            assert_eq!(d.occupant(0, location), row, "occupant must invert translate");
+        }
+    }
+
+    #[test]
+    fn rit_saturation_skips_gracefully_and_is_counted() {
+        // A tiny activation budget gives the RIT its floor capacity of 8
+        // live mappings; with no stale epoch to evict, distinct-row
+        // triggers beyond 4 swapped pairs must skip, not panic or wrap.
+        let mut config = MitigationConfig::paper_default(4800, 6);
+        config.act_max_per_window = 4;
+        let mut d = RandomizedRowSwap::new(config);
+        for row in 0..10u64 {
+            let _ = d.on_mitigation_trigger(0, 100 + row, row * 1_000);
+        }
+        assert!(d.stats().skipped > 0);
+        assert_eq!(d.saturation_events(), d.stats().skipped);
+        assert!(d.rit.bank(0).invariants_hold());
     }
 
     #[test]

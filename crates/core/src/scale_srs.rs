@@ -74,6 +74,10 @@ impl RowSwapDefense for ScaleSrs {
         self.inner.translate(bank, row)
     }
 
+    fn occupant(&self, bank: usize, location: u64) -> u64 {
+        self.inner.occupant(bank, location)
+    }
+
     fn on_mitigation_trigger(
         &mut self,
         bank: usize,
@@ -122,6 +126,10 @@ impl RowSwapDefense for ScaleSrs {
 
     fn live_swapped_rows(&self) -> u64 {
         self.inner.live_swapped_rows()
+    }
+
+    fn saturation_events(&self) -> u64 {
+        self.inner.saturation_events()
     }
 
     fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {

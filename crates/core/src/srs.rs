@@ -229,6 +229,10 @@ impl RowSwapDefense for SecureRowSwap {
         self.rit.bank(bank).translate(row)
     }
 
+    fn occupant(&self, bank: usize, location: u64) -> u64 {
+        self.rit.bank(bank).occupant(location)
+    }
+
     fn on_mitigation_trigger(
         &mut self,
         bank: usize,
@@ -268,6 +272,10 @@ impl RowSwapDefense for SecureRowSwap {
 
     fn live_swapped_rows(&self) -> u64 {
         (0..self.rit.banks()).map(|b| self.rit.bank(b).live_entries() as u64).sum()
+    }
+
+    fn saturation_events(&self) -> u64 {
+        self.stats.skipped
     }
 
     fn clone_box(&self) -> Box<dyn RowSwapDefense + Send> {
@@ -401,6 +409,29 @@ mod tests {
         for bank in 0..8 {
             assert!(d.rit.bank(bank).invariants_hold());
         }
+    }
+
+    #[test]
+    fn rit_saturation_skips_the_swap_and_is_counted() {
+        // Shrink the activation budget so the RIT floor capacity (8 live
+        // mappings = 4 swapped pairs) is reachable with a handful of
+        // triggers on distinct rows.
+        let mut config = MitigationConfig::paper_default(4800, 6);
+        config.act_max_per_window = 4;
+        let mut d = SecureRowSwap::new(config);
+        assert_eq!(d.saturation_events(), 0);
+        for row in 0..8u64 {
+            // Never panics; at capacity the trigger degrades to a no-op.
+            let _ = d.on_mitigation_trigger(0, 100 + row, row * 1_000);
+        }
+        assert!(d.stats().skipped > 0, "a full RIT must skip, not panic");
+        assert_eq!(d.saturation_events(), d.stats().skipped);
+        assert_eq!(d.stats().swaps + d.stats().skipped, 8, "every trigger is accounted");
+        assert!(d.rit.bank(0).invariants_hold());
+        // Already-remapped rows may keep swapping even at capacity.
+        let before = d.stats().swaps;
+        d.on_mitigation_trigger(0, 100, 9_000);
+        assert_eq!(d.stats().swaps, before + 1);
     }
 
     #[test]

@@ -79,6 +79,11 @@ impl<T: Vacant> Arena<T> {
     /// allocator, so a warmed-up arena allocates nothing).
     fn alloc(&mut self, value: T) -> u32 {
         if self.free_head == NIL {
+            // Invariant: arena population is bounded by the controller's
+            // per-bank queue capacities (enqueue returns `QueueFull` long
+            // before this), so the u32 handle space cannot be exhausted;
+            // the check is a defense against a future unbounded caller.
+            #[allow(clippy::expect_used)]
             let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 handles");
             self.slots.push(value);
             self.links.push(NIL);

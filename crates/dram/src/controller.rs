@@ -190,6 +190,9 @@ impl MemoryController {
     /// gracefully.
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
+        // The panic is part of this constructor's documented contract;
+        // fallible callers use `try_new` instead.
+        #[allow(clippy::expect_used)]
         Self::try_new(config).expect("valid DRAM configuration")
     }
 
@@ -460,7 +463,7 @@ impl MemoryController {
             let bank_idx = bank as usize;
             let queue = &mut self.completions[bank_idx];
             while self.done_arena.front(queue).is_some_and(|c| c.finish_ns <= now) {
-                let done = self.done_arena.pop_front(queue).expect("front was just checked");
+                let Some(done) = self.done_arena.pop_front(queue) else { break };
                 self.pending_completion_count -= 1;
                 sink.on_access(&done);
             }

@@ -39,6 +39,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path crates must not panic on capacity or decode surprises: every
+// remaining unwrap/expect needs a stated invariant (see the per-site
+// allows) or a test-only context.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod address;
 pub(crate) mod arena;
@@ -46,6 +51,7 @@ pub mod bank;
 pub mod command;
 pub mod config;
 pub mod controller;
+pub mod damage;
 pub mod error;
 pub mod sink;
 pub mod stats;
@@ -58,6 +64,7 @@ pub use command::{
 };
 pub use config::{DramConfig, DramTiming, PagePolicy};
 pub use controller::MemoryController;
+pub use damage::{DamageStore, EccKind, EccModel, EccOutcome};
 pub use error::DramError;
 pub use sink::{AccessSink, ActivationSink, EventCollector, NullSink};
 pub use stats::ControllerStats;

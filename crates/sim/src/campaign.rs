@@ -478,6 +478,9 @@ pub fn plan_shards(spec: &ExperimentSpec, shards: usize) -> Result<Vec<ShardMani
     let mut bins: Vec<Vec<usize>> = vec![Vec::new(); count];
     let mut load = vec![0usize; count];
     for u in order {
+        // Invariant: `count` is clamped to >= 1 by the caller, so the
+        // minimum over `0..count` always exists.
+        #[allow(clippy::expect_used)]
         let bin = (0..count).min_by_key(|&b| (load[b], b)).expect("count >= 1");
         bins[bin].extend(units[u].iter().copied());
         load[bin] += units[u].len();
@@ -912,6 +915,9 @@ pub fn merge_results(inputs: &[PathBuf], out: &Path) -> Result<MergeStats, Campa
                 Json::parse(line).map_err(|e| CampaignError::Corrupt(format!("{at}: {e}")))?;
             validate_result_record(&record)
                 .map_err(|message| CampaignError::Corrupt(format!("{at}: {message}")))?;
+            // Invariant: `validate_result_record` above already rejected
+            // any record without a numeric `scenario.index`.
+            #[allow(clippy::expect_used)]
             let index = record
                 .get("scenario")
                 .and_then(|s| s.get("index"))
@@ -995,6 +1001,7 @@ mod tests {
                     pinned_hits: 0,
                     max_row_activations_in_window: 3,
                     security: None,
+                    integrity: None,
                     telemetry: None,
                 },
             },

@@ -7,6 +7,7 @@ use srs_cpu::CoreConfig;
 use srs_dram::{DramConfig, DramTiming};
 use srs_trackers::TrackerKind;
 
+use crate::faults::FaultsConfig;
 use crate::json::{obj, Json, ToJson};
 use crate::spec::{
     attack_spec_from_json, f64_field, page_policy_name, parse_defense, parse_page_policy,
@@ -56,6 +57,11 @@ pub struct SystemConfig {
     /// [`crate::metrics::SimResult`] outside its JSON encoding — see
     /// [`crate::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// Fault-injection configuration: DRAM bit flips from over-threshold
+    /// disturbance, decoded under an ECC model. Disabled by default, and
+    /// only active on runs that carry an attack scenario — see
+    /// [`crate::faults`].
+    pub faults: FaultsConfig,
 }
 
 impl SystemConfig {
@@ -76,6 +82,7 @@ impl SystemConfig {
             llc_hit_latency_ns: 20,
             attack: None,
             telemetry: TelemetryConfig::default(),
+            faults: FaultsConfig::default(),
         }
     }
 
@@ -125,6 +132,7 @@ impl ToJson for SystemConfig {
             ("llc_hit_latency_ns", self.llc_hit_latency_ns.into()),
             ("attack", self.attack.as_ref().map_or(Json::Null, ToJson::to_json)),
             ("telemetry", self.telemetry.to_json()),
+            ("faults", self.faults.to_json()),
         ])
     }
 }
@@ -147,6 +155,13 @@ impl SystemConfig {
             Some(value) => TelemetryConfig::from_json(value)
                 .map_err(|message| SpecError::Field { field: "telemetry".to_string(), message })?,
         };
+        // Tolerant like `telemetry`: configurations encoded before the
+        // fault model existed decode to the disabled default.
+        let faults = match json.get("faults") {
+            None | Some(Json::Null) => FaultsConfig::default(),
+            Some(value) => FaultsConfig::from_json(value)
+                .map_err(|message| SpecError::Field { field: "faults".to_string(), message })?,
+        };
         Ok(Self {
             dram: dram_from_json(require(json, "dram")?)?,
             core: core_from_json(require(json, "core")?)?,
@@ -167,6 +182,7 @@ impl SystemConfig {
             )?,
             attack,
             telemetry,
+            faults,
         })
     }
 }

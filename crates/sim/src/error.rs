@@ -1,0 +1,69 @@
+//! Structured, non-panicking errors surfaced by the simulation engine.
+//!
+//! The engine's robustness contract: malformed input (a trace record whose
+//! address decodes outside the configured geometry, a record stream of any
+//! shape) must never panic the controller or wedge a core. Instead the
+//! offending access is dropped, its issuer is completed immediately so it
+//! cannot hang, and the event is recorded here for the caller to inspect.
+
+use std::error::Error;
+use std::fmt;
+
+use srs_dram::DramError;
+
+/// A structured error the engine recorded instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A demand access could not be enqueued for a reason other than
+    /// transient queue backpressure (which is deferred and retried, not an
+    /// error): the decoded destination lies outside the configured
+    /// geometry. The access was dropped and its issuing core completed
+    /// immediately so the run proceeds.
+    UnroutableAccess {
+        /// The physical byte address of the dropped access.
+        addr: u64,
+        /// The controller's rejection.
+        error: DramError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnroutableAccess { addr, error } => {
+                write!(f, "unroutable access at {addr:#x} dropped: {error}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::UnroutableAccess { error, .. } => Some(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_address_and_cause() {
+        let e = SimError::UnroutableAccess {
+            addr: 0x1234,
+            error: DramError::BankOutOfRange { bank: 99, total_banks: 32 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x1234"));
+        assert!(s.contains("bank 99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

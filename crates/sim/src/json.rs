@@ -579,6 +579,9 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // Invariant: every byte consumed into this span matched an ASCII
+        // digit/sign/dot/exponent pattern above.
+        #[allow(clippy::expect_used)]
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
         if !is_float {
             // Keep integers exact; overflowing literals fall through to f64.

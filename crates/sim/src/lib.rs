@@ -26,10 +26,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The simulator core sits under long-running campaigns: hot paths must not
+// panic on capacity or lookup surprises — every unwrap/expect needs a
+// stated invariant.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attribution;
 pub mod campaign;
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod runner;
@@ -49,6 +56,8 @@ pub use campaign::{
     ShardManifest,
 };
 pub use config::SystemConfig;
+pub use error::SimError;
+pub use faults::{FaultInjector, FaultsConfig, IntegrityReport};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{mean_normalized, NormalizedResult, SimResult};
 pub use runner::{

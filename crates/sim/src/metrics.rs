@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use srs_dram::ControllerStats;
 
+use crate::faults::IntegrityReport;
 use crate::json::{obj, Json, ToJson};
 use crate::security::SecurityReport;
 use crate::telemetry::TelemetryReport;
@@ -35,6 +36,12 @@ pub struct SimResult {
     /// Security metrics of the run, present when it carried an attack
     /// scenario ([`crate::config::SystemConfig::attack`]).
     pub security: Option<SecurityReport>,
+    /// Data-integrity metrics of the run, present when it carried an
+    /// attack scenario with fault injection enabled
+    /// ([`crate::config::SystemConfig::faults`]): actual bit flips and
+    /// corrupted reads, as opposed to the TRH-crossing proxy in
+    /// [`SimResult::security`].
+    pub integrity: Option<IntegrityReport>,
     /// Telemetry of the run, present when the configuration armed the
     /// recorder ([`crate::config::SystemConfig::telemetry`]).
     ///
@@ -77,6 +84,7 @@ impl ToJson for SimResult {
             ("pinned_hits", self.pinned_hits.into()),
             ("max_row_activations_in_window", self.max_row_activations_in_window.into()),
             ("security", self.security.as_ref().map_or(Json::Null, ToJson::to_json)),
+            ("integrity", self.integrity.as_ref().map_or(Json::Null, ToJson::to_json)),
         ])
     }
 }
@@ -187,6 +195,7 @@ mod tests {
                 pinned_hits: 0,
                 max_row_activations_in_window: 0,
                 security: None,
+                integrity: None,
                 telemetry: None,
             },
         }

@@ -218,6 +218,9 @@ where
     let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
     let (event_tx, event_rx) = channel::unbounded::<JobEvent<O>>();
     for job in items.into_iter().enumerate() {
+        // Invariant: `job_rx` lives until the thread scope below joins, so
+        // the unbounded channel cannot be disconnected yet.
+        #[allow(clippy::expect_used)]
         job_tx.send(job).expect("queue open");
     }
     drop(job_tx);

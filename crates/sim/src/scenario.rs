@@ -132,6 +132,7 @@ pub struct Experiment {
     threads: usize,
     share_prefixes: bool,
     telemetry: Option<crate::telemetry::TelemetryConfig>,
+    faults: Option<crate::faults::FaultsConfig>,
     config: ConfigSource,
 }
 
@@ -158,6 +159,7 @@ impl Experiment {
             threads: default_threads(),
             share_prefixes: true,
             telemetry: None,
+            faults: None,
             config: ConfigSource::Preset(Preset::ScaledForSpeed, ConfigPatch::default()),
         }
     }
@@ -253,6 +255,17 @@ impl Experiment {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryConfig) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Apply this fault-model configuration to every cell of the grid
+    /// (`None`, the default, leaves the end-to-end bit-flip/ECC model
+    /// off). Only attacked cells build an injector, and the model is
+    /// purely observational, so benign cells and every non-integrity
+    /// result field are byte-identical either way.
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::faults::FaultsConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -397,6 +410,9 @@ impl Experiment {
         config.attack = scenario.attack.clone();
         if let Some(telemetry) = &self.telemetry {
             config.telemetry = telemetry.clone();
+        }
+        if let Some(faults) = self.faults {
+            config.faults = faults;
         }
         config
     }
@@ -672,6 +688,9 @@ impl Experiment {
             let execute = |job: Job| -> Vec<(usize, ScenarioResult)> {
                 match job {
                     Job::Solo { index, config, baseline } => {
+                        // Invariant: jobs are only enqueued after every
+                        // baseline either resolved or errored out above.
+                        #[allow(clippy::expect_used)]
                         let (baseline_ipc, reuse) = baseline.expect("failed baselines early-out");
                         let scenario = &scenarios[index];
                         let defended = match (reuse, attribution) {
@@ -682,6 +701,10 @@ impl Experiment {
                                     &config,
                                     &scenario.workload,
                                 );
+                                // Invariant: worker threads never panic
+                                // while holding this lock (merging is a pure
+                                // add), so it cannot be poisoned.
+                                #[allow(clippy::expect_used)]
                                 let mut merged = total.lock().expect("attribution lock");
                                 *merged = merged.merged(&report);
                                 result

@@ -455,6 +455,9 @@ pub fn run_search(
             // so when the two records agree the champion came from this
             // generation — capture its full report for replay.
             if summary.best_so_far == summary.best {
+                // Invariant: `best_so_far == best` means the champion was
+                // promoted from this generation's score vector.
+                #[allow(clippy::expect_used)]
                 let index = scores
                     .iter()
                     .position(|s| *s == summary.best.1)

@@ -21,6 +21,7 @@ use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use srs_dram::ActivationEvent;
 
+use crate::faults::FaultInjector;
 use crate::json::{obj, Json, ToJson};
 
 /// Disturbance accumulated by one physical row inside the current refresh
@@ -74,7 +75,16 @@ impl SecurityTracker {
     /// data (the paper's analyses likewise never charge counter traffic as
     /// Row Hammer disturbance). Every row-*movement* activation — the
     /// latent-activation channel Juggernaut harvests — is charged.
-    pub fn on_activation(&mut self, event: &ActivationEvent) {
+    ///
+    /// When a [`FaultInjector`] rides along, each neighbor's updated
+    /// pressure is fed to it so over-threshold disturbance turns into
+    /// concrete bit flips (pending until the end of the tick, where the
+    /// defense's row mapping attributes them to logical rows).
+    pub fn on_activation(
+        &mut self,
+        event: &ActivationEvent,
+        mut faults: Option<&mut FaultInjector>,
+    ) {
         if event.maintenance_kind == Some(srs_dram::MaintenanceKind::CounterAccess) {
             return;
         }
@@ -88,6 +98,9 @@ impl SecurityTracker {
             if event.maintenance {
                 p.latent += 1;
                 self.latent_total += 1;
+            }
+            if let Some(f) = faults.as_deref_mut() {
+                f.on_disturb(bank, neighbor, p.total, event.at_ns);
             }
             if p.total > self.max_pressure {
                 self.max_pressure = p.total;
@@ -142,6 +155,7 @@ impl SecurityTracker {
             mitigations_observed: context.mitigations_observed,
             latency_spikes: context.latency_spikes,
             guesses_made: context.guesses_made,
+            saturation_events: context.saturation_events,
             closest_approach_ratio: self.max_pressure as f64 / self.t_rh as f64,
             closest_approach_ns: self.max_pressure_at_ns,
         }
@@ -172,6 +186,9 @@ pub struct ReportContext {
     pub latency_spikes: u64,
     /// Random-guess rows hammered by the attackers.
     pub guesses_made: u64,
+    /// Capacity-limit events in the defense and tracker (RIT-full swap
+    /// skips, tracker table spillover).
+    pub saturation_events: u64,
 }
 
 /// Security metrics of one attacked simulation run.
@@ -209,6 +226,13 @@ pub struct SecurityReport {
     pub latency_spikes: u64,
     /// Random-guess rows hammered in Juggernaut's phase 2.
     pub guesses_made: u64,
+    /// Times the defense or tracker hit a capacity limit and took its
+    /// documented degraded path (RIT-full swap skip, Misra-Gries
+    /// spillover, Hydra row-count-cache eviction) instead of panicking or
+    /// silently wrapping. A nonzero value means the security verdict was
+    /// reached under capacity pressure — the saturation contract makes
+    /// that visible rather than weakening the verdict silently.
+    pub saturation_events: u64,
     /// Closest approach to the threshold: `max_victim_pressure / t_rh`
     /// (`>= 1.0` iff the run crossed). This is the search subsystem's
     /// fitness tiebreak for candidates that never cross.
@@ -240,6 +264,7 @@ impl ToJson for SecurityReport {
             ("mitigations_observed", self.mitigations_observed.into()),
             ("latency_spikes", self.latency_spikes.into()),
             ("guesses_made", self.guesses_made.into()),
+            ("saturation_events", self.saturation_events.into()),
             ("closest_approach_ratio", self.closest_approach_ratio.into()),
             ("closest_approach_ns", self.closest_approach_ns.into()),
         ])
@@ -274,14 +299,15 @@ mod tests {
             mitigations_observed: 6,
             latency_spikes: 3,
             guesses_made: 0,
+            saturation_events: 0,
         }
     }
 
     #[test]
     fn activations_pressure_both_neighbors() {
         let mut t = SecurityTracker::new(10, 1 << 10, 2);
-        t.on_activation(&act(0, 5, false, 100));
-        t.on_activation(&act(0, 5, false, 200));
+        t.on_activation(&act(0, 5, false, 100), None);
+        t.on_activation(&act(0, 5, false, 200), None);
         assert_eq!(t.max_pressure(), 2, "rows 4 and 6 each carry two disturbances");
         assert!(!t.crossed());
     }
@@ -289,8 +315,8 @@ mod tests {
     #[test]
     fn edge_rows_have_one_neighbor() {
         let mut t = SecurityTracker::new(10, 4, 1);
-        t.on_activation(&act(0, 0, false, 1)); // only row 1 disturbed
-        t.on_activation(&act(0, 3, false, 2)); // only row 2 disturbed
+        t.on_activation(&act(0, 0, false, 1), None); // only row 1 disturbed
+        t.on_activation(&act(0, 3, false, 2), None); // only row 2 disturbed
         assert_eq!(t.max_pressure(), 1);
     }
 
@@ -298,7 +324,7 @@ mod tests {
     fn crossing_latches_time_and_row() {
         let mut t = SecurityTracker::new(3, 1 << 10, 1);
         for i in 0..3 {
-            t.on_activation(&act(0, 8, false, 100 * (i + 1)));
+            t.on_activation(&act(0, 8, false, 100 * (i + 1)), None);
         }
         assert!(t.crossed());
         let report = t.into_report(context());
@@ -312,11 +338,11 @@ mod tests {
     fn window_rollover_resets_pressure_but_keeps_maxima() {
         let mut t = SecurityTracker::new(100, 1 << 10, 1);
         for i in 0..5 {
-            t.on_activation(&act(0, 8, false, i));
+            t.on_activation(&act(0, 8, false, i), None);
         }
         assert_eq!(t.max_pressure(), 5);
         t.on_window_rollover();
-        t.on_activation(&act(0, 8, false, 1_000));
+        t.on_activation(&act(0, 8, false, 1_000), None);
         assert_eq!(t.max_pressure(), 5, "all-time maximum survives the rollover");
         assert!(!t.crossed());
     }
@@ -325,14 +351,17 @@ mod tests {
     fn counter_accesses_carry_no_disturbance() {
         let mut t = SecurityTracker::new(3, 1 << 10, 1);
         for i in 0..10 {
-            t.on_activation(&ActivationEvent {
-                bank: BankId::new(0),
-                row: 8,
-                logical_row: 8,
-                at_ns: i,
-                maintenance: true,
-                maintenance_kind: Some(srs_dram::MaintenanceKind::CounterAccess),
-            });
+            t.on_activation(
+                &ActivationEvent {
+                    bank: BankId::new(0),
+                    row: 8,
+                    logical_row: 8,
+                    at_ns: i,
+                    maintenance: true,
+                    maintenance_kind: Some(srs_dram::MaintenanceKind::CounterAccess),
+                },
+                None,
+            );
         }
         assert_eq!(t.max_pressure(), 0, "counter rows live in a reserved region");
         assert!(!t.crossed());
@@ -342,11 +371,11 @@ mod tests {
     fn closest_approach_tracks_the_pressure_maximum() {
         let mut t = SecurityTracker::new(100, 1 << 10, 1);
         for i in 0..5 {
-            t.on_activation(&act(0, 8, false, 10 * (i + 1)));
+            t.on_activation(&act(0, 8, false, 10 * (i + 1)), None);
         }
         t.on_window_rollover();
         // A weaker second window must not move the recorded approach.
-        t.on_activation(&act(0, 8, false, 900));
+        t.on_activation(&act(0, 8, false, 900), None);
         let report = t.into_report(context());
         assert_eq!(report.closest_approach_ns, Some(50), "time the all-time max was reached");
         assert!((report.closest_approach_ratio - 0.05).abs() < 1e-12, "5 of TRH 100");
@@ -356,9 +385,9 @@ mod tests {
     #[test]
     fn latent_pressure_is_separated() {
         let mut t = SecurityTracker::new(100, 1 << 10, 1);
-        t.on_activation(&act(0, 8, false, 1));
-        t.on_activation(&act(0, 8, true, 2));
-        t.on_activation(&act(0, 8, true, 3));
+        t.on_activation(&act(0, 8, false, 1), None);
+        t.on_activation(&act(0, 8, true, 2), None);
+        t.on_activation(&act(0, 8, true, 3), None);
         let report = t.into_report(context());
         assert_eq!(report.max_victim_pressure, 3);
         assert_eq!(report.latent_on_hottest_row, 2);

@@ -174,6 +174,9 @@ pub(crate) fn run_shared_group(
             let now = replay.now_ns();
             while next < schedule.len() && schedule[next].0 == now {
                 let b = schedule[next].1;
+                // Invariant: the schedule only records branches that were
+                // given a probe by `build_trunk`.
+                #[allow(clippy::expect_used)]
                 let probe = replay.take_probe(probe_of[b].expect("diverging branch has a probe"));
                 let fork = replay.fork_with_mitigation(
                     branch_configs[b].clone(),
@@ -211,8 +214,12 @@ pub(crate) fn run_shared_group(
         .iter()
         .enumerate()
         .map(|(c, cell)| {
+            // Invariant: the loop above fills every never-diverged slot, so
+            // by here each branch index resolved to a result.
+            #[allow(clippy::expect_used)]
             let defended =
                 branch_results[cell_branch[c]].clone().expect("every branch has a result");
+            #[allow(clippy::expect_used)]
             let baseline_ipc = branch_results[cell_baseline[c]]
                 .as_ref()
                 .expect("every baseline branch has a result")

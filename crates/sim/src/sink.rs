@@ -56,6 +56,18 @@ pub fn validate_result_record(record: &Json) -> Result<(), String> {
             .and_then(Json::as_u64)
             .ok_or("security.max_victim_pressure must be an integer")?;
     }
+    // The integrity report is null unless the cell enabled the fault model
+    // (older records omit the key entirely — both are valid).
+    if let Some(integrity) = detail.get("integrity") {
+        if !integrity.is_null() {
+            for key in ["bit_flips_injected", "corrupted_reads"] {
+                integrity
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("integrity.{key} must be an integer"))?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -322,6 +334,7 @@ mod tests {
                     pinned_hits: 0,
                     max_row_activations_in_window: 3,
                     security: None,
+                    integrity: None,
                     telemetry: None,
                 },
             },

@@ -38,6 +38,7 @@ use srs_trackers::TrackerKind;
 use srs_workloads::{all_workloads, hot_row_workloads, workloads_in, NamedWorkload, Suite};
 
 use crate::config::SystemConfig;
+use crate::faults::FaultsConfig;
 use crate::json::{obj, Json, JsonError, ToJson};
 use crate::scenario::Experiment;
 use crate::telemetry::TelemetryConfig;
@@ -300,6 +301,10 @@ pub struct ExperimentSpec {
     /// the recorder disarmed. Arming it never changes results — the results
     /// JSONL stream is byte-identical either way (see [`crate::telemetry`]).
     pub telemetry: Option<TelemetryConfig>,
+    /// Fault-model configuration applied to every cell, or `None` to leave
+    /// the end-to-end bit-flip/ECC model off. Only attacked cells ever
+    /// build an injector; the model is purely observational either way.
+    pub faults: Option<FaultsConfig>,
     /// Adaptive attack-search budget and operator rates, or `None` when the
     /// spec is a plain grid campaign. Consumed by `srs-cli search` (see
     /// [`crate::search`]); ignored by `run`.
@@ -324,6 +329,7 @@ impl Default for ExperimentSpec {
             threads: None,
             share_prefixes: true,
             telemetry: None,
+            faults: None,
             search: None,
         }
     }
@@ -375,6 +381,11 @@ impl ExperimentSpec {
                         Some(TelemetryConfig::from_json(value).map_err(|message| {
                             SpecError::Field { field: "telemetry".to_string(), message }
                         })?);
+                }
+                "faults" => {
+                    spec.faults = Some(FaultsConfig::from_json(value).map_err(|message| {
+                        SpecError::Field { field: "faults".to_string(), message }
+                    })?);
                 }
                 "search" => spec.search = Some(SearchSpec::from_json(value)?),
                 _ => {
@@ -433,6 +444,9 @@ impl ExperimentSpec {
         if let Some(telemetry) = &self.telemetry {
             experiment = experiment.with_telemetry(telemetry.clone());
         }
+        if let Some(faults) = self.faults {
+            experiment = experiment.with_faults(faults);
+        }
         if let Some(threads) = self.threads {
             experiment = experiment.with_threads(threads);
         }
@@ -455,6 +469,7 @@ const SPEC_KEYS: &[&str] = &[
     "threads",
     "share_prefixes",
     "telemetry",
+    "faults",
     "search",
 ];
 
@@ -480,6 +495,9 @@ impl ToJson for ExperimentSpec {
         // keep their byte-exact round trip.
         if let Some(telemetry) = &self.telemetry {
             pairs.push(("telemetry", telemetry.to_json()));
+        }
+        if let Some(faults) = &self.faults {
+            pairs.push(("faults", faults.to_json()));
         }
         if let Some(search) = &self.search {
             pairs.push(("search", search.to_json()));
@@ -1022,6 +1040,7 @@ mod tests {
             threads: Some(3),
             share_prefixes: false,
             telemetry: Some(TelemetryConfig::armed()),
+            faults: Some(crate::faults::FaultsConfig::enabled()),
             search: Some(SearchSpec {
                 population: 12,
                 generations: 7,

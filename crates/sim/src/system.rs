@@ -26,6 +26,8 @@ use srs_workloads::{Trace, TraceRecord};
 
 use crate::attribution::{AttributionReport, SubsystemTimers};
 use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::faults::FaultInjector;
 use crate::metrics::SimResult;
 use crate::security::{ReportContext, SecurityTracker};
 use crate::telemetry::{EventKind, Telemetry};
@@ -233,6 +235,16 @@ pub struct System {
     /// simulation state, so armed results are bit-identical to disarmed
     /// ones.
     telemetry: Telemetry,
+    /// End-to-end fault model (bit flips + ECC), present only when the
+    /// configuration carries an attack scenario with
+    /// [`crate::faults::FaultsConfig::enabled`] set. Purely observational:
+    /// it never feeds back into timing, queues or mitigation decisions, so
+    /// enabling it cannot perturb any other result field.
+    faults: Option<FaultInjector>,
+    /// Structured errors recorded instead of panicking (capped retention;
+    /// see [`System::sim_errors`]). Well-formed workloads never produce
+    /// any — every entry is a malformed input the engine survived.
+    sim_errors: Vec<SimError>,
 }
 
 impl Clone for System {
@@ -260,6 +272,8 @@ impl Clone for System {
             probes: self.probes.clone(),
             timers: self.timers.clone(),
             telemetry: self.telemetry.clone(),
+            faults: self.faults.clone(),
+            sim_errors: self.sim_errors.clone(),
         }
     }
 }
@@ -290,6 +304,12 @@ struct TickObserver<'a> {
     timers: &'a mut SubsystemTimers,
     /// Simulated-time telemetry recorder (disarmed unless configured).
     telemetry: &'a mut Telemetry,
+    /// End-to-end fault model (absent unless the run enables it). The
+    /// observer only *stages* flips — disturbance crossings push pending
+    /// flips here, and `System::step_at` commits them against the defense's
+    /// occupant map once the controller borrow ends, so both drain modes
+    /// (batched and per-event) resolve occupants at the identical point.
+    faults: Option<&'a mut FaultInjector>,
 }
 
 impl TickObserver<'_> {
@@ -316,7 +336,7 @@ impl TickObserver<'_> {
             }
         }
         if let Some(security) = self.security.as_deref_mut() {
-            security.on_activation(event);
+            security.on_activation(event, self.faults.as_deref_mut());
         }
     }
 
@@ -347,6 +367,19 @@ impl TickObserver<'_> {
             }
         }
 
+        // Saturation accounting brackets the two points that can saturate —
+        // the tracker update and the defense's mitigation handler. Armed
+        // telemetry gets an event at the point of increment; the report
+        // totals are read once at the end of the run regardless, so a
+        // disarmed recorder skips the counter reads entirely (and the event
+        // stream stays bit-identical between engines, which visit the same
+        // activation at the same tick).
+        let saturation_before = if self.telemetry.armed() {
+            self.tracker.saturation_events() + self.defense.saturation_events()
+        } else {
+            0
+        };
+
         let decision = self.tracker.record_activation(bank, logical_row);
         if decision.extra_memory_accesses > 0 {
             // Hydra's memory-resident counter table traffic.
@@ -374,6 +407,17 @@ impl TickObserver<'_> {
             let stamp = self.timers.stamp();
             self.actions.extend(self.defense.on_mitigation_trigger(bank, logical_row, self.now));
             SubsystemTimers::lap(stamp, &mut self.timers.defense_trigger_ns);
+        }
+        if self.telemetry.armed() {
+            let saturation_after =
+                self.tracker.saturation_events() + self.defense.saturation_events();
+            if saturation_after > saturation_before {
+                self.telemetry.record_saturation(
+                    self.now,
+                    u32::try_from(bank).unwrap_or(u32::MAX),
+                    saturation_after - saturation_before,
+                );
+            }
         }
     }
 }
@@ -420,6 +464,18 @@ impl ActivationSink for TickObserver<'_> {
 
 impl AccessSink for TickObserver<'_> {
     fn on_access(&mut self, done: &CompletedAccess) {
+        // The fault model observes every completed demand access — reads
+        // classify damaged lines under the ECC, writes overwrite (heal)
+        // them. This must run before the wait-token gate: writes carry no
+        // token but still heal.
+        if let Some(faults) = self.faults.as_deref_mut() {
+            if let Some((bank, outcome)) = faults.on_access(&done.request, self.now) {
+                if outcome == srs_dram::EccOutcome::Silent {
+                    self.telemetry
+                        .record_corrupted_read(self.now, u32::try_from(bank).unwrap_or(u32::MAX));
+                }
+            }
+        }
         if let Some(token) = done.request.wait_token {
             *self.pending_reads -= 1;
             self.telemetry.record_read_latency(done.latency_ns());
@@ -558,6 +614,11 @@ impl System {
         }
         let window = config.dram.refresh_window_ns;
         let total_banks = config.dram.total_banks();
+        // The fault model only exists when a run can actually disturb rows
+        // (an attack scenario) and explicitly opts in; benign runs carry no
+        // injector, so their results and prefix sharing are untouched.
+        let faults = (config.attack.is_some() && config.faults.enabled)
+            .then(|| FaultInjector::new(&config.faults, &config.dram, config.t_rh, config.seed));
         Self {
             workload: trace.name.clone(),
             core_finish_ns: vec![None; cores.len()],
@@ -580,6 +641,8 @@ impl System {
             probes: Vec::new(),
             timers: SubsystemTimers::default(),
             telemetry: Telemetry::new(&config.telemetry),
+            faults,
+            sim_errors: Vec::new(),
             config,
         }
     }
@@ -703,13 +766,34 @@ impl System {
                     self.pending_reads += 1;
                 }
             }
-            Err(_) => {
+            Err(srs_dram::DramError::QueueFull { .. }) => {
+                // Transient backpressure: park the access and retry once a
+                // slot frees up. Only queue pressure is retryable — any
+                // other rejection would re-fail forever.
                 self.deferred.push_back(DeferredAccess { addr, bank, is_write, origin });
                 self.telemetry.record_queue_stall(
                     now,
                     u32::try_from(bank.index()).unwrap_or(u32::MAX),
                     self.deferred.len() as u64,
                 );
+            }
+            Err(error) => {
+                // A structurally unroutable access (malformed input): drop
+                // it, complete the issuer so it cannot hang, and record the
+                // structured error instead of panicking. Retention is
+                // capped — the count is what matters past the first few.
+                if self.sim_errors.len() < 64 {
+                    self.sim_errors.push(SimError::UnroutableAccess { addr: addr.value(), error });
+                }
+                if let Some((core, token)) = origin {
+                    complete_source_read(
+                        &mut self.cores,
+                        &mut self.attackers,
+                        core,
+                        token,
+                        now + self.config.llc_hit_latency_ns,
+                    );
+                }
             }
         }
     }
@@ -791,6 +875,12 @@ impl System {
     /// wall clock (congested runs carry hundreds of deferred accesses).
     fn step_at(&mut self, now: u64, retry_deferred: bool) {
         self.handle_window_rollover(now);
+        // Scrub deadlines elapse before any of this tick's accesses
+        // complete, in both engines (the event engine visits every scrub
+        // deadline via `next_event_time`).
+        if let Some(faults) = self.faults.as_mut() {
+            faults.maybe_scrub(now);
+        }
         if retry_deferred {
             self.retry_deferred(now);
         }
@@ -865,10 +955,29 @@ impl System {
             counter_ops: Vec::new(),
             timers: &mut self.timers,
             telemetry: &mut self.telemetry,
+            faults: self.faults.as_mut(),
         };
         self.controller.tick_into(now, &mut observer);
         let TickObserver { actions, counter_ops, .. } = observer;
         SubsystemTimers::lap(controller_stamp, &mut self.timers.controller_raw_ns);
+        // Commit the flips this tick's disturbances staged, resolving each
+        // victim's *current occupant* through the defense — a swapped-in row
+        // carries the damage with it. This runs after the whole controller
+        // drain so batched and per-event drains (whose phase split reorders
+        // activation handling relative to mitigation triggers) resolve
+        // occupants against the identical post-tick defense state.
+        if self.faults.as_ref().is_some_and(FaultInjector::has_pending) {
+            let defense = &*self.defense;
+            if let Some(faults) = self.faults.as_mut() {
+                for (bank, row) in faults.commit_pending(|b, r| defense.occupant(b, r)) {
+                    self.telemetry.record_bit_flip(
+                        now,
+                        u32::try_from(bank).unwrap_or(u32::MAX),
+                        row,
+                    );
+                }
+            }
+        }
         for op in counter_ops {
             let _ = self.controller.enqueue_maintenance(op);
         }
@@ -984,6 +1093,12 @@ impl System {
         if let Some(t) = self.telemetry.next_sample_ns() {
             next = next.min(t);
         }
+        // The fault model's next scrub deadline: the time-skip engine must
+        // visit the tick the fixed-step oracle would first scrub at, or the
+        // two engines would classify reads against different damage state.
+        if let Some(t) = self.faults.as_ref().and_then(FaultInjector::next_scrub_ns) {
+            next = next.min(t);
+        }
         if self.deferred.len() <= 512 {
             // Past the backpressure limit the issue loop does not run, so
             // core readiness cannot produce an event; cores re-enter the
@@ -1055,6 +1170,13 @@ impl System {
     #[must_use]
     pub fn now_ns(&self) -> u64 {
         self.now
+    }
+
+    /// Structured errors the engine recorded instead of panicking (empty
+    /// for every well-formed workload). Retention is capped at 64 entries.
+    #[must_use]
+    pub fn sim_errors(&self) -> &[SimError] {
+        &self.sim_errors
     }
 
     /// Whether the run has reached one of its exit conditions (time cap,
@@ -1141,19 +1263,30 @@ impl System {
     /// fork is never a sharing trunk).
     pub fn install_attack(&mut self, attack: AttackSpec) {
         self.probes.clear();
-        self.config.attack = Some(attack);
-        let attack = self.config.attack.as_ref().expect("attack was just installed");
         let t_s = self.config.mitigation_config().swap_threshold();
         self.attackers.clear();
         for stream in 0..attack.attacker_cores.max(1) {
-            self.attackers.push(AttackerCore::new(attack, &self.config.dram, t_s, stream as u64));
+            self.attackers.push(AttackerCore::new(&attack, &self.config.dram, t_s, stream as u64));
         }
         self.security = Some(SecurityTracker::new(
             self.config.t_rh,
             self.config.dram.rows_per_bank,
             self.config.dram.total_banks(),
         ));
+        // The fork now carries an attack, so an enabled fault model attaches
+        // exactly as `System::new` would have built it. Pre-existing damage
+        // is discarded with the previous attack state — each candidate
+        // scores from the identical clean snapshot.
+        self.faults = self.config.faults.enabled.then(|| {
+            FaultInjector::new(
+                &self.config.faults,
+                &self.config.dram,
+                self.config.t_rh,
+                self.config.seed,
+            )
+        });
         self.telemetry.record_search_fork(self.now, attack.seed);
+        self.config.attack = Some(attack);
     }
 
     /// Score a batch of candidate attacks from this warm snapshot: one
@@ -1218,6 +1351,9 @@ impl System {
     /// Detach probe `index`, yielding its tracker/defense state as of the
     /// start of the current tick.
     pub(crate) fn take_probe(&mut self, index: usize) -> MitigationProbe {
+        // Invariant: the sharing executor takes each probe exactly once,
+        // immediately after attaching it to the trunk it forked.
+        #[allow(clippy::expect_used)]
         self.probes[index].take().expect("probe already taken")
     }
 
@@ -1246,7 +1382,16 @@ impl System {
             .map(|(core, finish)| core.ipc(finish.unwrap_or(elapsed).max(1)))
             .collect();
         let instructions = self.cores.iter().map(TraceCore::retired_instructions).sum();
+        // A saturated structure (RIT live-list full, spilled tracker
+        // counters, exhausted swap pool) keeps running under a defined
+        // degraded contract; the count surfaces on the security report so a
+        // weakened verdict is never silent.
+        let saturation_events = self.defense.saturation_events() + self.tracker.saturation_events();
+        let integrity = self.faults.take().map(FaultInjector::into_report);
         let security = self.security.take().map(|tracker| {
+            // Invariant: `System::new` and `install_attack` construct the
+            // security tracker only alongside an attack spec.
+            #[allow(clippy::expect_used)]
             let attack = self.config.attack.as_ref().expect("tracker implies attack");
             let mut attackers = AttackerStats::default();
             for a in &self.attackers {
@@ -1267,6 +1412,7 @@ impl System {
                 mitigations_observed: attackers.mitigations_observed,
                 latency_spikes: attackers.latency_spikes,
                 guesses_made: attackers.guesses_made,
+                saturation_events,
             })
         });
         SimResult {
@@ -1282,6 +1428,7 @@ impl System {
             pinned_hits: self.pinned_hits,
             max_row_activations_in_window: self.max_row_activations,
             security,
+            integrity,
             telemetry,
         }
     }
@@ -1380,7 +1527,7 @@ mod tests {
         let disarmed = System::new(disarmed_cfg, trace.clone()).run();
         let armed = System::new(armed_cfg.clone(), trace.clone()).run();
         assert!(disarmed.telemetry.is_none());
-        // The 13 result keys are bit-identical whether or not the recorder
+        // The 14 result keys are bit-identical whether or not the recorder
         // runs; the armed run carries the report alongside them.
         assert_eq!(disarmed.to_json().to_compact(), armed.to_json().to_compact());
         let report = armed.telemetry.expect("armed run must produce a report");

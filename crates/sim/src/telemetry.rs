@@ -144,6 +144,16 @@ pub enum EventKind {
     /// The adaptive attack search installed a candidate attack on a fork
     /// of the warm snapshot (value = the candidate's attacker seed).
     SearchPhase,
+    /// The fault model committed a bit flip to a logical row (value = the
+    /// damaged logical row).
+    BitFlip,
+    /// A demand read served silently corrupted data past the ECC
+    /// (value = the damaged logical row's bank-relative row id is not
+    /// recoverable here, so value = 1).
+    CorruptedRead,
+    /// A defense or tracker hit a capacity limit and took its degraded
+    /// path (value = number of saturation events this tick).
+    Saturation,
 }
 
 impl EventKind {
@@ -161,6 +171,9 @@ impl EventKind {
             EventKind::AttackPhase => "attack-phase",
             EventKind::QueueStall => "queue-stall",
             EventKind::SearchPhase => "search-phase",
+            EventKind::BitFlip => "bit-flip",
+            EventKind::CorruptedRead => "corrupted-read",
+            EventKind::Saturation => "saturation",
         }
     }
 
@@ -178,6 +191,9 @@ impl EventKind {
             "attack-phase" => EventKind::AttackPhase,
             "queue-stall" => EventKind::QueueStall,
             "search-phase" => EventKind::SearchPhase,
+            "bit-flip" => EventKind::BitFlip,
+            "corrupted-read" => EventKind::CorruptedRead,
+            "saturation" => EventKind::Saturation,
             _ => return None,
         })
     }
@@ -470,6 +486,9 @@ struct MetricIds {
     deferred_depth: usize,
     tracker_occupancy: usize,
     rit_live_rows: usize,
+    bit_flips: usize,
+    corrupted_reads: usize,
+    saturation_events: usize,
 }
 
 /// The live, in-simulation telemetry recorder.
@@ -533,6 +552,9 @@ impl Telemetry {
             deferred_depth: registry.series("deferred_depth", config.sample_capacity),
             tracker_occupancy: registry.series("tracker_occupancy", config.sample_capacity),
             rit_live_rows: registry.series("rit_live_rows", config.sample_capacity),
+            bit_flips: registry.counter("bit_flips"),
+            corrupted_reads: registry.counter("corrupted_reads"),
+            saturation_events: registry.counter("saturation_events"),
         };
         Self {
             enabled: true,
@@ -580,7 +602,7 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        let ids = self.ids.expect("armed telemetry has ids");
+        let Some(ids) = self.ids else { return };
         self.registry.add(ids.maintenance_ops, 1);
         if matches!(kind, EventKind::Swap | EventKind::UnswapSwap) {
             self.registry.record(ids.swap_stall, duration_ns);
@@ -593,7 +615,7 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        let ids = self.ids.expect("armed telemetry has ids");
+        let Some(ids) = self.ids else { return };
         self.registry.add(ids.mitigations, 1);
         self.events.push(TraceEvent {
             at_ns,
@@ -629,7 +651,7 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        let ids = self.ids.expect("armed telemetry has ids");
+        let Some(ids) = self.ids else { return };
         self.registry.add(ids.queue_stalls, 1);
         self.events.push(TraceEvent { at_ns, kind: EventKind::QueueStall, bank, value: depth });
     }
@@ -640,9 +662,39 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        let ids = self.ids.expect("armed telemetry has ids");
+        let Some(ids) = self.ids else { return };
         self.registry.add(ids.reads_completed, 1);
         self.registry.record(ids.memory_latency, latency_ns);
+    }
+
+    /// Record a committed bit flip on logical `row` of `bank`.
+    pub(crate) fn record_bit_flip(&mut self, at_ns: u64, bank: u32, row: u64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.add(ids.bit_flips, 1);
+        self.events.push(TraceEvent { at_ns, kind: EventKind::BitFlip, bank, value: row });
+    }
+
+    /// Record a demand read that served silently corrupted data.
+    pub(crate) fn record_corrupted_read(&mut self, at_ns: u64, bank: u32) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.add(ids.corrupted_reads, 1);
+        self.events.push(TraceEvent { at_ns, kind: EventKind::CorruptedRead, bank, value: 1 });
+    }
+
+    /// Record `count` defense/tracker saturation events on `bank`.
+    pub(crate) fn record_saturation(&mut self, at_ns: u64, bank: u32, count: u64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ids) = self.ids else { return };
+        self.registry.add(ids.saturation_events, count);
+        self.events.push(TraceEvent { at_ns, kind: EventKind::Saturation, bank, value: count });
     }
 
     /// Latch the run's first TRH crossing (subsequent calls are no-ops).
@@ -685,7 +737,7 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        let ids = self.ids.expect("armed telemetry has ids");
+        let Some(ids) = self.ids else { return };
         self.registry.sample(ids.bank_queue_depth, at_ns, bank_queue_depth);
         self.registry.sample(ids.deferred_depth, at_ns, deferred_depth);
         self.registry.sample(ids.tracker_occupancy, at_ns, tracker_occupancy);
@@ -1136,6 +1188,9 @@ mod tests {
             EventKind::AttackPhase,
             EventKind::QueueStall,
             EventKind::SearchPhase,
+            EventKind::BitFlip,
+            EventKind::CorruptedRead,
+            EventKind::Saturation,
         ] {
             assert_eq!(EventKind::from_label(kind.label()), Some(kind));
         }

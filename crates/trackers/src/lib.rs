@@ -29,6 +29,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Trackers sit on the per-activation hot path: no panics on capacity or
+// lookup surprises — every unwrap/expect needs a stated invariant.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hydra;
 pub mod misra_gries;

@@ -78,6 +78,11 @@ struct BankTable {
     /// Live slots.
     len: usize,
     spillover: u64,
+    /// Monotonic count of spillover increments: every activation the full
+    /// table could not attribute to a dedicated slot. Unlike `spillover`
+    /// itself this survives epoch resets — it is the bank's saturation
+    /// counter, not part of any frequency estimate.
+    saturations: u64,
     capacity: usize,
     /// A lower bound on the smallest counter in the table. Counters only
     /// grow, so the bound can run stale-low (costing a scan that finds
@@ -109,6 +114,7 @@ impl BankTable {
             index_bits: slots.trailing_zeros(),
             len: 0,
             spillover: 0,
+            saturations: 0,
             capacity,
             min_bound: 0,
             scan_from: 0,
@@ -235,6 +241,7 @@ impl BankTable {
             self.min_bound = scan::min_value(&self.counts[..self.len]).unwrap_or(u64::MAX);
         }
         self.spillover += 1;
+        self.saturations += 1;
         self.spillover
     }
 
@@ -370,6 +377,10 @@ impl AggressorTracker for MisraGriesTracker {
 
     fn occupancy(&self) -> u64 {
         self.banks.iter().map(|b| b.len as u64).sum()
+    }
+
+    fn saturation_events(&self) -> u64 {
+        self.banks.iter().map(|b| b.saturations).sum()
     }
 }
 
@@ -534,6 +545,41 @@ mod tests {
         t.record_activation(0, 9_999);
         assert_eq!(t.banks[0].counts[slot], before);
         assert!(t.banks[0].spillover >= spill_before);
+    }
+
+    #[test]
+    fn table_saturation_is_counted_and_survives_epoch_resets() {
+        // A 4-slot table swept by many distinct rows saturates: once every
+        // slot holds a counter above the spillover level, further misses
+        // fall back to the shared spillover counter — each such degraded
+        // observation is a saturation event. The count is monotonic across
+        // epochs even though the frequency state itself resets.
+        let mut t = MisraGriesTracker::new(MisraGriesConfig {
+            swap_threshold: 1_000_000, // never fire; we only exercise capacity
+            entries_per_bank: 4,
+            banks: 1,
+            row_tag_bits: 17,
+            counter_bits: 20,
+        });
+        // Pump four rows well above any spillover level, then miss with
+        // fresh rows so no victim is ever at/below the spillover counter.
+        for _ in 0..100 {
+            for row in 0..4u64 {
+                t.record_activation(0, row);
+            }
+        }
+        for row in 100..150u64 {
+            t.record_activation(0, row);
+        }
+        let after_first_epoch = t.saturation_events();
+        assert!(after_first_epoch > 0, "full-table misses must count as saturation");
+        t.reset_epoch();
+        assert_eq!(
+            t.saturation_events(),
+            after_first_epoch,
+            "saturation count must survive the epoch reset"
+        );
+        assert_eq!(t.estimated_count(0, 0), 0, "frequency state itself must reset");
     }
 
     #[test]

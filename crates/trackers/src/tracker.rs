@@ -89,6 +89,15 @@ pub trait AggressorTracker {
     fn occupancy(&self) -> u64 {
         0
     }
+
+    /// Number of times the tracker hit a capacity limit and fell back to
+    /// its degraded path (Misra-Gries spillover decrements, table
+    /// evictions) — the tracker half of the saturation contract: capacity
+    /// pressure is counted and surfaced, never a panic or a silent
+    /// wraparound. Trackers without capacity limits report zero.
+    fn saturation_events(&self) -> u64 {
+        0
+    }
 }
 
 impl Clone for Box<dyn AggressorTracker + Send> {

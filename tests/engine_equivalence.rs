@@ -226,3 +226,41 @@ fn event_driven_engine_matches_at_the_simulated_time_cap() {
     assert_identical("time-capped", &fixed, &event);
     assert!(fixed.elapsed_ns >= 1_000_010);
 }
+
+#[test]
+fn integrity_report_is_bit_identical_across_engines_and_drain_modes() {
+    // The end-to-end fault model (bit flips, ECC classification, scrub
+    // cadence) is driven entirely by simulated time and seeded RNG streams,
+    // so the time-skip engine, the fixed-step oracle, and both activation
+    // drain modes must produce byte-identical integrity reports.
+    use scale_srs::dram::EccKind;
+    let mut config =
+        grid_config(DefenseKind::Rrs { immediate_unswap: true }, TrackerKind::MisraGries, 300);
+    config.cores = 1;
+    config.core.target_instructions = u64::MAX / 2;
+    config.dram.refresh_window_ns = 8_000_000;
+    config.max_sim_ns = 2_500_000;
+    let mut attack = AttackSpec::new(
+        "equiv-juggernaut",
+        AttackPattern::Juggernaut { banks: 1, aggressor: 96, bias_rounds: u64::MAX },
+    );
+    // Run through the crossing so damage accumulates and scrubs elapse.
+    attack.stop_at_first_crossing = false;
+    config.attack = Some(attack);
+    config.faults.enabled = true;
+    config.faults.ecc = EccKind::Secded;
+    config.faults.scrub_interval_ns = 300_000;
+
+    let fixed = System::new(config.clone(), hot_trace(1_000)).run_fixed_step();
+    let event = System::new(config.clone(), hot_trace(1_000)).run();
+    assert_identical("faults", &fixed, &event);
+    assert_eq!(fixed.security, event.security, "faults: security report diverged");
+    assert_eq!(fixed.integrity, event.integrity, "faults: integrity report diverged");
+    let report = event.integrity.as_ref().expect("fault-model run carries an integrity report");
+    assert!(report.bit_flips_injected > 0, "an undefended-in-time crossing must flip bits");
+
+    let mut per_event = System::new(config, hot_trace(1_000));
+    per_event.set_per_event_drain(true);
+    let per_event = per_event.run();
+    assert_eq!(per_event.integrity, event.integrity, "faults: drain modes diverged");
+}

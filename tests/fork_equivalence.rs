@@ -217,3 +217,30 @@ fn mixed_attacked_grid_is_bit_identical_to_unshared() {
         assert!(r.result.detail.security.is_some(), "attacked cells carry a security report");
     }
 }
+
+/// The fault model's damage store, RNG cursors and scrub deadline are all
+/// part of the snapshot: a fork taken at any point mid-attack must finish
+/// with the byte-identical integrity report of an uninterrupted run.
+#[test]
+fn integrity_report_commutes_with_fork() {
+    use scale_srs::dram::EccKind;
+    let mut config =
+        fork_config(DefenseKind::Rrs { immediate_unswap: true }, TrackerKind::MisraGries, true);
+    if let Some(attack) = config.attack.as_mut() {
+        attack.stop_at_first_crossing = false;
+    }
+    config.faults.enabled = true;
+    config.faults.ecc = EccKind::Secded;
+    config.faults.scrub_interval_ns = 250_000;
+    let trace = fork_trace(1_500);
+    let reference = System::new(config.clone(), trace.clone()).run();
+    let report = reference.integrity.as_ref().expect("fault-model run carries a report");
+    assert!(report.bit_flips_injected > 0, "the attacked run must actually flip bits");
+    for tenths in [2u64, 5, 8] {
+        let mut original = System::new(config.clone(), trace.clone());
+        original.run_until_ns(reference.elapsed_ns * tenths / 10);
+        let forked = original.fork();
+        assert_eq!(forked.run(), reference, "fork at {tenths}/10 diverged");
+        assert_eq!(original.run(), reference, "resumed original at {tenths}/10 diverged");
+    }
+}

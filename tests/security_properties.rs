@@ -5,17 +5,18 @@
 //! and defense, and the resulting per-victim-row pressure is checked
 //! against `TRH`.
 
-use scale_srs::attack::engine::shipped_patterns;
+use scale_srs::attack::engine::{shipped_patterns, PatternProgram};
 use scale_srs::attack::search::{Candidate, Search};
-use scale_srs::attack::{birthday, juggernaut, outlier, AttackParams};
+use scale_srs::attack::{birthday, juggernaut, outlier, AttackParams, AttackSpec};
 use scale_srs::core::{
     DefenseKind, MitigationAction, MitigationConfig, RandomizedRowSwap, RowOpKind, RowSwapDefense,
     SecureRowSwap,
 };
+use scale_srs::dram::{AddressMapper, BankId};
 use scale_srs::sim::spec::ExperimentSpec;
 use scale_srs::sim::{score_from_report, warm_system};
-use scale_srs::sim::{SecurityReport, System, SystemConfig};
-use scale_srs::workloads::{AccessPattern, Trace, WorkloadSpec};
+use scale_srs::sim::{SecurityReport, SimResult, System, SystemConfig};
+use scale_srs::workloads::{AccessPattern, MemOp, Trace, TraceRecord, WorkloadSpec};
 
 /// Count how many latent activations a defense performs at the aggressor's
 /// original (home) location over `triggers` consecutive mitigations.
@@ -139,11 +140,59 @@ fn victim_trace() -> Trace {
     .generate(2_000, 3)
 }
 
-fn simulate_attacked(defense: DefenseKind, spec: scale_srs::attack::AttackSpec) -> SecurityReport {
+fn simulate_attacked(defense: DefenseKind, spec: AttackSpec) -> SecurityReport {
     let mut config = attack_config(defense);
     config.attack = Some(spec);
     let result = System::new(config, victim_trace()).run();
     result.security.expect("attacked run carries a security report")
+}
+
+/// A victim trace that sweeps every cache line of every row in the attack
+/// pattern's blast radius, reads only (a store would overwrite — heal — a
+/// damaged line). Generic victim workloads essentially never touch the
+/// handful of rows an attack damages, so demonstrating *served* corruption
+/// end to end needs a victim that actually consumes the data at risk.
+fn blast_radius_reads(config: &SystemConfig, spec: &AttackSpec) -> Trace {
+    let mapper = AddressMapper::new(config.dram.clone());
+    let mut records = Vec::new();
+    // Mirror the per-stream seeding of `AttackerCore::new` so the sweep
+    // covers exactly the rows the in-simulator attackers will pressure.
+    for stream in 0..spec.attacker_cores.max(1) as u64 {
+        let seed = spec.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let program = PatternProgram::compile(
+            &spec.pattern,
+            config.dram.total_banks(),
+            config.dram.rows_per_bank,
+            seed,
+        );
+        for (bank, row) in program.victims {
+            let base = mapper
+                .address_of(BankId::new(bank), row)
+                .expect("compiled victim rows stay inside the geometry")
+                .value();
+            for line in 0..config.dram.lines_per_row() {
+                records.push(TraceRecord {
+                    nonmem_insts: 40,
+                    op: MemOp::Read,
+                    addr: base + line * config.dram.line_size_bytes,
+                });
+            }
+        }
+    }
+    assert!(!records.is_empty(), "{}: pattern compiled to an empty blast radius", spec.name);
+    Trace::new("victim-blast-radius", records)
+}
+
+/// Run an attacked cell with the end-to-end fault model enabled (no ECC, so
+/// every served flip is a silently corrupted read) and a victim core that
+/// reads the blast radius for the whole run.
+fn simulate_with_faults(defense: DefenseKind, spec: AttackSpec, max_sim_ns: u64) -> SimResult {
+    let mut config = attack_config(defense);
+    config.max_sim_ns = max_sim_ns;
+    config.faults.enabled = true;
+    let trace = blast_radius_reads(&config, &spec);
+    config.attack = Some(spec);
+    System::new(config, trace).run()
 }
 
 #[test]
@@ -218,11 +267,28 @@ fn srs_and_scale_srs_hold_against_searched_attackers() {
             .collect();
         search.advance(&scores);
     }
+    let champion = search.best().expect("scored generations").0.clone();
+    // The evolved champion must not merely cross the TRH proxy on the
+    // baseline — it must corrupt data a victim actually reads, end to end.
+    let broken = simulate_with_faults(
+        DefenseKind::Baseline,
+        champion.to_attack_spec().run_to_cap(),
+        3_000_000,
+    );
+    let integrity = broken.integrity.expect("fault-model run carries an integrity report");
+    assert!(
+        integrity.corrupted_reads > 0,
+        "searched champion {} must serve corrupted reads on the baseline ({} flips landed)",
+        champion.name,
+        integrity.bit_flips_injected
+    );
     let mut found: Vec<Candidate> = search.population().to_vec();
-    found.push(search.best().expect("scored generations").0.clone());
+    found.push(champion);
     for candidate in &found {
         for defense in [DefenseKind::Srs, DefenseKind::ScaleSrs] {
-            let report = simulate_attacked(defense, candidate.to_attack_spec().run_to_cap());
+            let result =
+                simulate_with_faults(defense, candidate.to_attack_spec().run_to_cap(), 6_000_000);
+            let report = result.security.as_ref().expect("attacked run carries a security report");
             assert!(
                 report.max_victim_pressure < SIM_TRH,
                 "searched attacker {} vs {defense}: pressure {} reached TRH {SIM_TRH}",
@@ -232,6 +298,13 @@ fn srs_and_scale_srs_hold_against_searched_attackers() {
             assert!(
                 !report.trh_crossed,
                 "searched attacker {} vs {defense}: must not cross",
+                candidate.name
+            );
+            let integrity =
+                result.integrity.as_ref().expect("fault-model run carries an integrity report");
+            assert_eq!(
+                integrity.corrupted_reads, 0,
+                "searched attacker {} vs {defense}: no corrupted read may ever be served",
                 candidate.name
             );
         }
@@ -264,5 +337,100 @@ fn simulated_juggernaut_reproduces_the_latent_activation_mechanism() {
         srs.latent_on_hottest_row < 16,
         "SRS must leave (almost) no latent harvest, saw {}",
         srs.latent_on_hottest_row
+    );
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fault injection: from TRH crossings to *served* corrupted data.
+// The tests above state their verdicts in the TRH-crossing proxy; these close
+// the causal chain — flips land in DRAM, a victim read is served the damage.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_shipped_attacker_corrupts_victim_data_on_the_undefended_baseline() {
+    for spec in shipped_patterns() {
+        // Run past the crossing so over-threshold hammering keeps flipping
+        // bits while the victim sweeps the blast radius.
+        let result =
+            simulate_with_faults(DefenseKind::Baseline, spec.clone().run_to_cap(), 3_000_000);
+        let integrity = result.integrity.expect("fault-model run carries an integrity report");
+        assert!(
+            integrity.bit_flips_injected > 0,
+            "{}: over-threshold hammering must flip bits",
+            spec.name
+        );
+        assert!(
+            integrity.corrupted_reads > 0,
+            "{}: a victim read of a flipped line must be served corrupted ({} flips landed)",
+            spec.name,
+            integrity.bit_flips_injected
+        );
+    }
+}
+
+#[test]
+fn srs_and_scale_srs_serve_zero_corrupted_reads_at_paper_trh() {
+    for spec in shipped_patterns() {
+        for defense in [DefenseKind::Srs, DefenseKind::ScaleSrs] {
+            let result = simulate_with_faults(defense, spec.clone().run_to_cap(), 3_000_000);
+            let integrity = result.integrity.expect("fault-model run carries an integrity report");
+            assert_eq!(
+                integrity.bit_flips_injected, 0,
+                "{} vs {defense}: no row may reach TRH, so no bit may flip",
+                spec.name
+            );
+            assert_eq!(
+                integrity.corrupted_reads, 0,
+                "{} vs {defense}: no corrupted read may ever be served",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_defense_structures_degrade_gracefully_and_are_reported() {
+    // Shrink the refresh window so the Misra-Gries tables and the RIT are
+    // provisioned for a tiny per-window activation budget, then drive a
+    // wide uniform victim load plus the Juggernaut attacker through them.
+    // The structures must saturate (skipped swaps, spilled counters), the
+    // run must complete under the documented degraded contract — no panic,
+    // no silent wraparound — and the saturation must surface on both the
+    // security report and the armed telemetry counter.
+    let mut config = attack_config(DefenseKind::Srs);
+    config.cores = 4;
+    config.dram.refresh_window_ns = 60_000;
+    config.max_sim_ns = 2_000_000;
+    config.telemetry.enabled = true;
+    let juggernaut = shipped_patterns()
+        .into_iter()
+        .find(|spec| spec.name == "juggernaut")
+        .expect("library ships juggernaut");
+    config.attack = Some(juggernaut.run_to_cap());
+    let trace = WorkloadSpec {
+        name: "wide-uniform".to_string(),
+        footprint_bytes: 1 << 26,
+        base_addr: 1 << 32,
+        read_fraction: 0.7,
+        mean_gap: 10,
+        pattern: AccessPattern::Uniform,
+    }
+    .generate(8_000, 7);
+    let result = System::new(config, trace).run();
+    assert!(result.instructions > 0, "the saturated run must make forward progress");
+    let security = result.security.expect("attacked run carries a security report");
+    assert!(
+        security.saturation_events > 0,
+        "a tiny activation budget under wide load must saturate the structures"
+    );
+    let telemetry = result.telemetry.expect("armed run carries a telemetry report");
+    let counter = telemetry
+        .counters
+        .iter()
+        .find(|(name, _)| name == "saturation_events")
+        .map_or(0, |(_, value)| *value);
+    assert_eq!(
+        counter, security.saturation_events,
+        "the telemetry counter must mirror the report field"
     );
 }

@@ -4,9 +4,10 @@
 
 use proptest::prelude::*;
 
+use scale_srs::dram::EccKind;
 use scale_srs::sim::spec::{ConfigPatch, ExperimentSpec, Preset};
 use scale_srs::sim::telemetry::TelemetryConfig;
-use scale_srs::sim::ToJson;
+use scale_srs::sim::{FaultsConfig, ToJson};
 
 proptest! {
     #[test]
@@ -29,6 +30,11 @@ proptest! {
         paper in prop::bool::ANY,
         share_prefixes in prop::bool::ANY,
         telemetry in prop::option::of((prop::bool::ANY, 1u64..10_000_000, 1usize..1_000_000)),
+        faults in prop::option::of((
+            prop::bool::ANY,
+            prop::sample::select(vec![EccKind::None, EccKind::Secded, EccKind::ChipkillLite]),
+            0u64..10_000_000,
+        )),
         attacks in prop::collection::vec(
             prop::sample::select(vec!["juggernaut", "blacksmith", "single-sided"]),
             0..3,
@@ -62,6 +68,11 @@ proptest! {
                 sample_interval_ns,
                 event_capacity: capacity,
                 sample_capacity: capacity,
+            }),
+            faults: faults.map(|(enabled, ecc, scrub_interval_ns)| FaultsConfig {
+                enabled,
+                ecc,
+                scrub_interval_ns,
             }),
             search: None,
         };
